@@ -1,0 +1,64 @@
+// Shared helpers for the reproduction benches.
+//
+// Every `fig*`/`table*` binary reproduces one table or figure from the
+// paper: it prints the same rows/series the paper reports and, when run
+// with `--csv <dir>`, also writes plot-ready CSV files. Binaries take no
+// required arguments and finish in seconds so `for b in build/bench/*; do
+// $b; done` regenerates the whole evaluation.
+#pragma once
+
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/latol.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace latol::bench {
+
+/// Optional CSV output directory parsed from argv ("--csv <dir>").
+class CsvSink {
+ public:
+  CsvSink(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--csv") dir_ = argv[i + 1];
+    }
+  }
+
+  [[nodiscard]] bool enabled() const { return dir_.has_value(); }
+
+  /// Open `<dir>/<name>.csv` with the given header, or null when disabled.
+  [[nodiscard]] std::unique_ptr<util::CsvWriter> open(
+      const std::string& name, const std::vector<std::string>& header) const {
+    if (!dir_) return nullptr;
+    return std::make_unique<util::CsvWriter>(*dir_ + "/" + name + ".csv",
+                                             header);
+  }
+
+ private:
+  std::optional<std::string> dir_;
+};
+
+/// Print the experiment banner plus the Table-1 default parameters the
+/// run is based on, so every bench output is self-describing.
+inline void print_header(const std::string& experiment,
+                         const std::string& summary) {
+  util::print_banner(std::cout, experiment);
+  std::cout << summary << '\n';
+  const core::MmsConfig d = core::MmsConfig::paper_defaults();
+  std::cout << "Base parameters (paper Table 1): k=" << d.k
+            << " (P=" << d.num_processors() << "), n_t="
+            << d.threads_per_processor << ", R=" << d.runlength
+            << ", C=" << d.context_switch << ", p_remote=" << d.p_remote
+            << ", p_sw=" << d.traffic.p_sw << ", L=" << d.memory_latency
+            << ", S=" << d.switch_delay << "\n\n";
+}
+
+/// Shorthand used across benches.
+inline std::string zone_tag(double tol) {
+  return core::zone_name(core::classify_tolerance(tol));
+}
+
+}  // namespace latol::bench

@@ -1,0 +1,75 @@
+// Extension study (beyond the paper): context-switch overhead. The paper
+// carries C in its symbol table but never exercises it (its model machine
+// switches in zero time, like TERA's hardware contexts). Software-threaded
+// machines pay C on every access; this bench quantifies how fast rising C
+// erodes the latency-tolerance benefit of multithreading.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Extension - context switch overhead C",
+      "U_p and tol_network vs C at the paper's defaults. U_p counts only "
+      "useful runlength (lambda x R), so overhead shows up as lost "
+      "utilization even while the processor stays 'busy'.");
+
+  const std::vector<double> overheads{0, 1, 2, 5, 10, 20};
+  const std::vector<int> thread_counts{1, 2, 4, 8};
+  auto csv = sink.open("ext_context_switch",
+                       {"C", "n_t", "U_p", "tol_network", "lambda_net"});
+
+  std::vector<std::string> headers{"n_t \\ C"};
+  for (const double c : overheads) headers.push_back(util::Table::num(c, 0));
+  util::Table up_table(headers);
+  util::Table tol_table(headers);
+
+  for (const int n_t : thread_counts) {
+    std::vector<std::string> up_row{std::to_string(n_t)};
+    std::vector<std::string> tol_row{std::to_string(n_t)};
+    for (const double c : overheads) {
+      MmsConfig cfg = MmsConfig::paper_defaults();
+      cfg.threads_per_processor = n_t;
+      cfg.context_switch = c;
+      const ToleranceResult t = tolerance_index(cfg, Subsystem::kNetwork);
+      up_row.push_back(util::Table::num(t.actual.processor_utilization, 4));
+      tol_row.push_back(util::Table::num(t.index, 4));
+      if (csv) {
+        csv->add_row({c, static_cast<double>(n_t),
+                      t.actual.processor_utilization, t.index,
+                      t.actual.message_rate});
+      }
+    }
+    up_table.add_row(std::move(up_row));
+    tol_table.add_row(std::move(tol_row));
+  }
+  std::cout << "U_p (useful work only):\n" << up_table << '\n'
+            << "tol_network:\n" << tol_table << '\n';
+
+  // Break-even: how large may C grow before 8 threads do no better than 1?
+  MmsConfig single = MmsConfig::paper_defaults();
+  single.threads_per_processor = 1;
+  single.context_switch = 0.0;
+  const double single_up = analyze(single).processor_utilization;
+  double break_even = -1.0;
+  for (double c = 0.0; c <= 200.0; c += 1.0) {
+    MmsConfig cfg = MmsConfig::paper_defaults();
+    cfg.context_switch = c;
+    if (analyze(cfg).processor_utilization <= single_up) {
+      break_even = c;
+      break;
+    }
+  }
+  std::cout << "Break-even overhead: 8 threads with C = "
+            << util::Table::num(break_even, 0)
+            << " do no better than 1 thread with C = 0 (U_p = "
+            << util::Table::num(single_up, 4) << ").\n"
+            << "Multithreading tolerates latency only while C stays well "
+               "below the runlength -\nthe quantitative case for hardware "
+               "context switching that TERA/Alewife made.\n";
+  return 0;
+}

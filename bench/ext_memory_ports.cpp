@@ -1,0 +1,79 @@
+// Extension study: the architectural fixes the paper suggests in §7 but
+// never evaluates.
+//
+//   "A very fast IN may increase the contention at local memory, and the
+//    performance suffers, if memory response time is not low.
+//    Multiporting/pipelining the memory can be of help."
+//
+// We build exactly that scenario — a large machine with a zero-delay
+// ("very fast") interconnect — and measure how memory ports recover the
+// lost performance; then we evaluate pipelined (wormhole-style) switches
+// as the complementary fix on the network side.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Extension - multiported memories and pipelined switches (paper §7)",
+      "8x8 torus, n_t = 8, R = 10, p_remote = 0.2. The 'very fast IN' "
+      "machine has S = 0; ports then attack the resulting memory "
+      "contention.");
+
+  auto csv = sink.open("ext_memory_ports",
+                       {"S", "ports", "U_p", "L_obs", "rho_mem"});
+
+  util::Table table(
+      {"machine", "ports", "U_p", "L_obs", "rho(mem)", "S_obs"});
+  for (const double S : {0.0, 10.0}) {
+    for (const int ports : {1, 2, 4}) {
+      MmsConfig cfg = MmsConfig::paper_defaults();
+      cfg.k = 8;
+      cfg.switch_delay = S;
+      cfg.memory_ports = ports;
+      const MmsPerformance perf = analyze(cfg);
+      table.add_row({S == 0.0 ? "very fast IN (S=0)" : "baseline (S=10)",
+                     std::to_string(ports),
+                     util::Table::num(perf.processor_utilization, 4),
+                     util::Table::num(perf.memory_latency, 2),
+                     util::Table::num(perf.memory_utilization, 3),
+                     util::Table::num(perf.network_latency, 2)});
+      if (csv) {
+        csv->add_row({S, static_cast<double>(ports),
+                      perf.processor_utilization, perf.memory_latency,
+                      perf.memory_utilization});
+      }
+    }
+  }
+  std::cout << table << '\n';
+
+  // Pipelined switches: remove network queueing instead of adding ports.
+  util::Table pipe({"switches", "U_p", "S_obs", "L_obs", "tol_network"});
+  for (const bool pipelined : {false, true}) {
+    MmsConfig cfg = MmsConfig::paper_defaults();
+    cfg.k = 8;
+    cfg.p_remote = 0.4;  // network-stressed
+    cfg.pipelined_switches = pipelined;
+    const ToleranceResult t = tolerance_index(cfg, Subsystem::kNetwork,
+                                              IdealMethod::kModifyWorkload);
+    pipe.add_row({pipelined ? "pipelined (delay)" : "store-and-forward",
+                  util::Table::num(t.actual.processor_utilization, 4),
+                  util::Table::num(t.actual.network_latency, 2),
+                  util::Table::num(t.actual.memory_latency, 2),
+                  util::Table::num(t.index, 4)});
+  }
+  std::cout << "Pipelined vs store-and-forward switches (p_remote = 0.4):\n"
+            << pipe << '\n';
+
+  std::cout
+      << "Reading: with a very fast IN the memories absorb all contention "
+         "(high L_obs);\nmultiporting recovers most of the loss - the §7 "
+         "suggestion quantified. Pipelined\nswitches fix the complementary "
+         "bottleneck: S_obs collapses to the unloaded\n(d_avg+1)S and "
+         "tolerance jumps.\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 4: effect of workload parameters (n_t, p_remote) at R = 10.
+// Reproduces the four surfaces U_p, S_obs, lambda_net, tol_network.
+#include "workload_figure.hpp"
+
+int main(int argc, char** argv) {
+  const latol::bench::CsvSink sink(argc, argv);
+  latol::bench::print_header(
+      "Figure 4 - Effect of workload parameters at R = 10",
+      "Surfaces over n_t x p_remote; paper markers: lambda_net saturates at "
+      "~0.029 past p_remote ~0.3; U_p high below the critical p_remote "
+      "~0.18; 5-8 threads capture most gains.");
+  latol::bench::run_workload_figure(10.0, "fig04", sink);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 5: effect of workload parameters (n_t, p_remote) at R = 20.
+// Same surfaces as Figure 4 with a doubled runlength: the saturation and
+// critical p_remote roughly double (Eqs. 4-5).
+#include "workload_figure.hpp"
+
+int main(int argc, char** argv) {
+  const latol::bench::CsvSink sink(argc, argv);
+  latol::bench::print_header(
+      "Figure 5 - Effect of workload parameters at R = 20",
+      "Paper markers: lambda_net saturates past p_remote ~0.6; critical "
+      "p_remote ~0.68; tolerance zones shift right relative to Figure 4.");
+  latol::bench::run_workload_figure(20.0, "fig05", sink);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 6: tol_network over (n_t, R) for p_remote = 0.2 and 0.4 — the
+// surface a compiler consults when deciding how to partition a do-all
+// loop into threads.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Figure 6 - tol_network vs (n_t, R)",
+      "Horizontal planes at 0.8 / 0.5 divide the surface into the paper's "
+      "tolerated / partially tolerated / not tolerated regions.");
+
+  const std::vector<int> thread_counts{1, 2, 3, 4, 6, 8, 10};
+  const std::vector<double> runlengths{2, 5, 10, 15, 20, 30, 40};
+  auto csv =
+      sink.open("fig06", {"p_remote", "n_t", "R", "tol_network", "U_p"});
+
+  for (const double p : {0.2, 0.4}) {
+    std::vector<MmsConfig> grid;
+    for (const int n_t : thread_counts) {
+      for (const double r : runlengths) {
+        MmsConfig cfg = MmsConfig::paper_defaults();
+        cfg.p_remote = p;
+        cfg.threads_per_processor = n_t;
+        cfg.runlength = r;
+        grid.push_back(cfg);
+      }
+    }
+    SweepOptions opts;
+    opts.network_tolerance = true;
+    const auto results = sweep(grid, opts);
+
+    std::vector<std::string> headers{"n_t \\ R"};
+    for (const double r : runlengths) headers.push_back(util::Table::num(r, 0));
+    util::Table table(std::move(headers));
+    std::size_t idx = 0;
+    for (const int n_t : thread_counts) {
+      std::vector<std::string> row{std::to_string(n_t)};
+      for (std::size_t j = 0; j < runlengths.size(); ++j) {
+        const double tol = results[idx + j].tol_network.value_or(0.0);
+        row.push_back(util::Table::num(tol, 3));
+        if (csv) {
+          csv->add_row({p, static_cast<double>(n_t), runlengths[j], tol,
+                        results[idx + j].perf.processor_utilization});
+        }
+      }
+      idx += runlengths.size();
+      table.add_row(std::move(row));
+    }
+    std::cout << "(p_remote = " << p << ")\n" << table << '\n';
+  }
+  std::cout << "Reading: moving right (higher R) lifts tolerance faster than "
+               "moving down (more threads),\nonce at least 2 threads exist "
+               "to overlap with.\n";
+  return 0;
+}

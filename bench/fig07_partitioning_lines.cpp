@@ -1,0 +1,45 @@
+// Figure 7: tol_network lines for fixed work budgets n_t x R in
+// {20, 40, 60, 80, 100}, plotted against the runlength chosen for the
+// split, at p_remote = 0.2 and 0.4.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Figure 7 - Network latency tolerance for the partitioning strategy",
+      "One line per work budget n_t x R; x-axis is the runlength of the "
+      "chosen split. Larger budgets expose more computation and tolerate "
+      "better; along each line, higher R (fewer threads) wins for n_t >= 2.");
+
+  const std::vector<double> budgets{20, 40, 60, 80, 100};
+  const std::vector<int> splits{1, 2, 4, 5, 10, 20};
+  auto csv = sink.open(
+      "fig07", {"p_remote", "budget", "n_t", "R", "tol_network", "U_p"});
+
+  for (const double p : {0.2, 0.4}) {
+    std::cout << "(p_remote = " << p << ")\n";
+    util::Table table({"budget", "n_t", "R", "tol_network", "U_p", "zone"});
+    for (const double work : budgets) {
+      MmsConfig base = MmsConfig::paper_defaults();
+      base.p_remote = p;
+      for (const PartitionPoint& pt : evaluate_partitions(base, work, splits)) {
+        table.add_row({util::Table::num(work, 0), std::to_string(pt.n_t),
+                       util::Table::num(pt.runlength, 1),
+                       util::Table::num(pt.tol_network, 4),
+                       util::Table::num(pt.perf.processor_utilization, 4),
+                       bench::zone_tag(pt.tol_network)});
+        if (csv) {
+          csv->add_row({p, work, static_cast<double>(pt.n_t), pt.runlength,
+                        pt.tol_network, pt.perf.processor_utilization});
+        }
+      }
+    }
+    std::cout << table << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 8: tol_memory over (n_t, R) for L = 10 and L = 20 at
+// p_remote = 0.2 — when is the memory subsystem the bottleneck?
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Figure 8 - tol_memory vs (n_t, R) for L = 10 and L = 20",
+      "Paper finding: for R >= 2L and n_t >= 6 the memory latency is fully "
+      "tolerated (tol_memory -> 1); doubling L drags short-runlength "
+      "workloads into the non-tolerated region.");
+
+  const std::vector<int> thread_counts{1, 2, 4, 6, 8, 10};
+  const std::vector<double> runlengths{2, 5, 10, 20, 30, 40};
+  auto csv = sink.open("fig08", {"L", "n_t", "R", "tol_memory", "U_p"});
+
+  for (const double L : {10.0, 20.0}) {
+    std::vector<MmsConfig> grid;
+    for (const int n_t : thread_counts) {
+      for (const double r : runlengths) {
+        MmsConfig cfg = MmsConfig::paper_defaults();
+        cfg.memory_latency = L;
+        cfg.threads_per_processor = n_t;
+        cfg.runlength = r;
+        grid.push_back(cfg);
+      }
+    }
+    SweepOptions opts;
+    opts.memory_tolerance = true;
+    const auto results = sweep(grid, opts);
+
+    std::vector<std::string> headers{"n_t \\ R"};
+    for (const double r : runlengths) headers.push_back(util::Table::num(r, 0));
+    util::Table table(std::move(headers));
+    std::size_t idx = 0;
+    for (const int n_t : thread_counts) {
+      std::vector<std::string> row{std::to_string(n_t)};
+      for (std::size_t j = 0; j < runlengths.size(); ++j) {
+        const double tol = results[idx + j].tol_memory.value_or(0.0);
+        row.push_back(util::Table::num(tol, 3));
+        if (csv) {
+          csv->add_row({L, static_cast<double>(n_t), runlengths[j], tol,
+                        results[idx + j].perf.processor_utilization});
+        }
+      }
+      idx += runlengths.size();
+      table.add_row(std::move(row));
+    }
+    std::cout << "(L = " << L << ")\n" << table << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Figure 9: tol_network vs n_t when the machine scales from k = 2 to
+// k = 10 processors per dimension, for geometric vs uniform remote access
+// patterns, at R = 10 and R = 20.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Figure 9 - Tolerance index for different system sizes",
+      "Paper findings: (1) uniform traffic stops tolerating as k grows "
+      "(d_avg ~ k/2) while geometric saturates (d_avg -> 1/(1-p_sw)); "
+      "(2) the n_t needed to tolerate does not change with machine size; "
+      "(3) the paper reports tol up to ~1.05 for geometric at k >= 6 - an "
+      "exact product-form treatment instead approaches 1 from below (see "
+      "EXPERIMENTS.md deviation note).");
+
+  const std::vector<int> sides{2, 4, 6, 8, 10};
+  const std::vector<int> thread_counts{1, 2, 4, 6, 8, 12, 16};
+  auto csv = sink.open(
+      "fig09", {"R", "k", "pattern", "n_t", "tol_network", "d_avg"});
+
+  for (const double R : {10.0, 20.0}) {
+    std::cout << "(R = " << R << ")\n";
+    std::vector<std::string> headers{"k", "pattern"};
+    for (const int n_t : thread_counts)
+      headers.push_back("n_t=" + std::to_string(n_t));
+    util::Table table(std::move(headers));
+
+    for (const int k : sides) {
+      for (const auto pattern :
+           {topo::AccessPattern::kGeometric, topo::AccessPattern::kUniform}) {
+        std::vector<MmsConfig> grid;
+        for (const int n_t : thread_counts) {
+          MmsConfig cfg = MmsConfig::paper_defaults();
+          cfg.runlength = R;
+          cfg.k = k;
+          cfg.threads_per_processor = n_t;
+          cfg.traffic.pattern = pattern;
+          grid.push_back(cfg);
+        }
+        SweepOptions opts;
+        opts.network_tolerance = true;
+        const auto results = sweep(grid, opts);
+
+        const bool geo = pattern == topo::AccessPattern::kGeometric;
+        std::vector<std::string> row{std::to_string(k),
+                                     geo ? "geometric" : "uniform"};
+        for (std::size_t i = 0; i < thread_counts.size(); ++i) {
+          const double tol = results[i].tol_network.value_or(0.0);
+          row.push_back(util::Table::num(tol, 3));
+          if (csv) {
+            csv->add_row({R, static_cast<double>(k), geo ? 1.0 : 0.0,
+                          static_cast<double>(thread_counts[i]), tol,
+                          results[i].perf.average_distance});
+          }
+        }
+        table.add_row(std::move(row));
+      }
+    }
+    std::cout << table << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Solver performance: how cheaply the analytical side regenerates the
+// paper's figures. AMVA cost is the reason the paper could sweep
+// hundred-processor machines in 1997; these benchmarks document the same
+// property for this implementation.
+#include <benchmark/benchmark.h>
+
+#include "core/latol.hpp"
+#include "qn/mva_exact.hpp"
+
+namespace {
+
+using namespace latol;
+
+void BM_AmvaSolveByMachineSize(benchmark::State& state) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(cfg));
+  }
+  state.SetLabel("P=" + std::to_string(cfg.num_processors()));
+}
+BENCHMARK(BM_AmvaSolveByMachineSize)->Arg(2)->Arg(4)->Arg(6)->Arg(8)->Arg(10);
+
+void BM_AmvaSolveByThreads(benchmark::State& state) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.threads_per_processor = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::analyze(cfg));
+  }
+}
+BENCHMARK(BM_AmvaSolveByThreads)->Arg(1)->Arg(8)->Arg(32);
+
+void BM_NetworkConstruction(benchmark::State& state) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.k = static_cast<int>(state.range(0));
+  const core::MmsModel model(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.build_network());
+  }
+}
+BENCHMARK(BM_NetworkConstruction)->Arg(4)->Arg(10);
+
+void BM_ToleranceIndex(benchmark::State& state) {
+  const core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::tolerance_index(cfg, core::Subsystem::kNetwork));
+  }
+}
+BENCHMARK(BM_ToleranceIndex);
+
+// Exact MVA blows up combinatorially — the cost AMVA avoids. Population
+// lattice is (n_t + 1)^2 for the 2-class instance below.
+void BM_ExactMvaTwoClass(benchmark::State& state) {
+  const long n = state.range(0);
+  qn::ClosedNetwork net({{"p0", qn::StationKind::kQueueing},
+                         {"p1", qn::StationKind::kQueueing},
+                         {"mem", qn::StationKind::kQueueing}},
+                        2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, n);
+    net.set_visit_ratio(c, c, 1.0);
+    net.set_visit_ratio(c, 2, 1.0);
+    net.set_service_time(c, c, 10.0);
+    net.set_service_time(c, 2, 5.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qn::solve_mva_exact(net));
+  }
+}
+BENCHMARK(BM_ExactMvaTwoClass)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_ParallelSweep(benchmark::State& state) {
+  std::vector<core::MmsConfig> grid;
+  for (int n_t = 1; n_t <= 8; ++n_t) {
+    for (const double p : {0.1, 0.2, 0.3, 0.4}) {
+      core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+      cfg.threads_per_processor = n_t;
+      cfg.p_remote = p;
+      grid.push_back(cfg);
+    }
+  }
+  core::SweepOptions opts;
+  opts.workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep(grid, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(grid.size()));
+}
+BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Arg(0);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,51 @@
+// Table 3: effect of the thread partitioning strategy (n_t x R held
+// constant) on network latency tolerance, at p_remote = 0.2 and 0.4.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Table 3 - Thread partitioning strategy vs network latency tolerance",
+      "Exposed computation held at n_t x R = 40; the compiler's knob is the "
+      "split. Paper finding: fewer, longer threads (n_t >= 2) tolerate "
+      "best; n_t = 1 cannot overlap at all.");
+
+  const double work = 40.0;
+  const std::vector<int> splits{1, 2, 4, 5, 8, 10};
+  auto csv = sink.open("table3", {"p_remote", "n_t", "R", "L_obs", "S_obs",
+                                  "lambda_net", "U_p", "tol_network"});
+
+  for (const double p : {0.2, 0.4}) {
+    MmsConfig base = MmsConfig::paper_defaults();
+    base.p_remote = p;
+    const auto points = evaluate_partitions(base, work, splits);
+    util::Table table({"n_t", "R", "L_obs", "S_obs", "lambda_net", "U_p",
+                       "tol_network", "zone"});
+    for (const PartitionPoint& pt : points) {
+      table.add_row({std::to_string(pt.n_t), util::Table::num(pt.runlength, 1),
+                     util::Table::num(pt.perf.memory_latency, 2),
+                     util::Table::num(pt.perf.network_latency, 2),
+                     util::Table::num(pt.perf.message_rate, 4),
+                     util::Table::num(pt.perf.processor_utilization, 4),
+                     util::Table::num(pt.tol_network, 4),
+                     bench::zone_tag(pt.tol_network)});
+      if (csv) {
+        csv->add_row({p, static_cast<double>(pt.n_t), pt.runlength,
+                      pt.perf.memory_latency, pt.perf.network_latency,
+                      pt.perf.message_rate, pt.perf.processor_utilization,
+                      pt.tol_network});
+      }
+    }
+    std::cout << "(p_remote = " << p << ", n_t x R = " << work << ")\n"
+              << table << '\n';
+    const PartitionPoint best = best_partition(points);
+    std::cout << "Best split: n_t = " << best.n_t << ", R = " << best.runlength
+              << " (U_p = " << best.perf.processor_utilization << ")\n\n";
+  }
+  return 0;
+}

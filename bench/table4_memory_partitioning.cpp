@@ -1,0 +1,46 @@
+// Table 4: effect of the thread partitioning strategy on memory latency
+// tolerance (n_t x R = 40, p_remote = 0.2, L = 10 and 20).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+  const bench::CsvSink sink(argc, argv);
+  bench::print_header(
+      "Table 4 - Thread partitioning strategy vs memory latency tolerance",
+      "n_t x R = 40, p_remote = 0.2. Paper findings: raising L from 10 to "
+      "20 raises L_obs over 2.5x and collapses tol_memory for fine-grain "
+      "splits; R >= L keeps the processor busy long enough to tolerate.");
+
+  const double work = 40.0;
+  const std::vector<int> splits{1, 2, 4, 5, 8, 10};
+  auto csv = sink.open("table4", {"L", "n_t", "R", "L_obs", "S_obs", "U_p",
+                                  "tol_memory"});
+
+  for (const double L : {10.0, 20.0}) {
+    MmsConfig base = MmsConfig::paper_defaults();
+    base.memory_latency = L;
+    const auto points = evaluate_partitions(base, work, splits);
+    util::Table table(
+        {"n_t", "R", "L_obs", "S_obs", "U_p", "tol_memory", "zone"});
+    for (const PartitionPoint& pt : points) {
+      table.add_row({std::to_string(pt.n_t), util::Table::num(pt.runlength, 1),
+                     util::Table::num(pt.perf.memory_latency, 2),
+                     util::Table::num(pt.perf.network_latency, 2),
+                     util::Table::num(pt.perf.processor_utilization, 4),
+                     util::Table::num(pt.tol_memory, 4),
+                     bench::zone_tag(pt.tol_memory)});
+      if (csv) {
+        csv->add_row({L, static_cast<double>(pt.n_t), pt.runlength,
+                      pt.perf.memory_latency, pt.perf.network_latency,
+                      pt.perf.processor_utilization, pt.tol_memory});
+      }
+    }
+    std::cout << "(L = " << L << ", n_t x R = " << work << ")\n"
+              << table << '\n';
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Shared driver for Figures 4 and 5: the four surfaces U_p, S_obs,
+// lambda_net, tol_network over (n_t, p_remote) at a fixed runlength.
+#pragma once
+
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/latol.hpp"
+
+namespace latol::bench {
+
+inline void run_workload_figure(double runlength, const std::string& name,
+                                const CsvSink& sink) {
+  using namespace latol::core;
+
+  const std::vector<int> thread_counts{1, 2, 3, 4, 5, 6, 8};
+  const std::vector<double> remotes{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8};
+
+  std::vector<MmsConfig> grid;
+  for (const int n_t : thread_counts) {
+    for (const double p : remotes) {
+      MmsConfig cfg = MmsConfig::paper_defaults();
+      cfg.runlength = runlength;
+      cfg.threads_per_processor = n_t;
+      cfg.p_remote = p;
+      grid.push_back(cfg);
+    }
+  }
+  SweepOptions opts;
+  opts.network_tolerance = true;
+  const std::vector<SweepResult> results = sweep(grid, opts);
+
+  const BottleneckAnalysis bn = [&] {
+    MmsConfig cfg = MmsConfig::paper_defaults();
+    cfg.runlength = runlength;
+    return bottleneck_analysis(cfg);
+  }();
+  std::cout << "Closed-form markers (Eqs. 4-5): lambda_net_sat="
+            << bn.lambda_net_sat << ", p_remote(saturation)="
+            << bn.p_remote_sat << ", p_remote(critical)="
+            << bn.p_remote_critical << "\n\n";
+
+  auto csv = sink.open(name, {"n_t", "p_remote", "U_p", "S_obs", "lambda_net",
+                              "tol_network"});
+
+  auto surface = [&](const std::string& title, auto value) {
+    std::vector<std::string> headers{"n_t \\ p_remote"};
+    for (const double p : remotes) headers.push_back(util::Table::num(p, 2));
+    util::Table table(std::move(headers));
+    std::size_t idx = 0;
+    for (const int n_t : thread_counts) {
+      std::vector<std::string> row{std::to_string(n_t)};
+      for (std::size_t j = 0; j < remotes.size(); ++j) {
+        const SweepResult& r = results[idx + j];
+        row.push_back(util::Table::num(value(r), 4));
+      }
+      idx += remotes.size();
+      table.add_row(std::move(row));
+    }
+    std::cout << title << '\n' << table << '\n';
+  };
+
+  surface("(a) Processor utilization U_p",
+          [](const SweepResult& r) { return r.perf.processor_utilization; });
+  surface("(b) Observed network latency S_obs (cycles)",
+          [](const SweepResult& r) { return r.perf.network_latency; });
+  surface("(c) Message rate to the network lambda_net",
+          [](const SweepResult& r) { return r.perf.message_rate; });
+  surface("(d) Tolerance index tol_network",
+          [](const SweepResult& r) { return r.tol_network.value_or(0.0); });
+
+  if (csv) {
+    std::size_t idx = 0;
+    for (const int n_t : thread_counts) {
+      for (const double p : remotes) {
+        const SweepResult& r = results[idx++];
+        csv->add_row({static_cast<double>(n_t), p,
+                      r.perf.processor_utilization, r.perf.network_latency,
+                      r.perf.message_rate, r.tol_network.value_or(0.0)});
+      }
+    }
+  }
+
+  // The headline observations the paper draws from this figure.
+  std::cout << "Headline checks:\n";
+  const auto at = [&](int n_t, double p) -> const SweepResult& {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].threads_per_processor == n_t && grid[i].p_remote == p)
+        return results[i];
+    }
+    throw std::runtime_error("grid point missing");
+  };
+  std::cout << "  - lambda_net at p=0.8, n_t=8: "
+            << at(8, 0.8).perf.message_rate << " (Eq. 4 cap "
+            << bn.lambda_net_sat << ")\n";
+  std::cout << "  - tol_network at p=0.2, n_t=8: "
+            << *at(8, 0.2).tol_network << " ("
+            << zone_tag(*at(8, 0.2).tol_network) << ")\n";
+  std::cout << "  - U_p drop across critical p: U_p(0.1)="
+            << at(4, 0.1).perf.processor_utilization << " -> U_p(0.4)="
+            << at(4, 0.4).perf.processor_utilization << '\n';
+}
+
+}  // namespace latol::bench

@@ -1,0 +1,97 @@
+// Capacity-planning use of the library: given a utilization target, find
+// the largest remote-access fraction the machine tolerates, and the
+// cheapest (slowest) switch that still meets the target — the kind of
+// question the paper's introduction says the metric exists to answer.
+//
+//   ./build/examples/capacity_planner [target_U_p]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/latol.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using latol::core::MmsConfig;
+
+/// Largest x in [lo, hi] with pred(x) true, assuming pred is monotone
+/// (true below, false above). Plain bisection to a 1e-3 interval.
+template <typename Pred>
+double bisect_max(double lo, double hi, const Pred& pred) {
+  if (!pred(lo)) return lo;
+  while (hi - lo > 1e-3) {
+    const double mid = 0.5 * (lo + hi);
+    (pred(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+
+  const double target = argc > 1 ? std::atof(argv[1]) : 0.75;
+  std::cout << "Capacity planning for U_p >= " << target
+            << " on the default 4x4 machine.\n\n";
+
+  // 1. How much remote traffic can each runlength sustain?
+  util::Table table({"R", "max p_remote (model)", "critical p (Eq. 5)",
+                     "saturation p (Eq. 4)"});
+  for (const double R : {10.0, 20.0, 40.0}) {
+    MmsConfig cfg = MmsConfig::paper_defaults();
+    cfg.runlength = R;
+    const double max_p = bisect_max(0.0, 1.0, [&](double p) {
+      MmsConfig c = cfg;
+      c.p_remote = p;
+      return analyze(c).processor_utilization >= target;
+    });
+    const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+    table.add_row({util::Table::num(R, 0), util::Table::num(max_p, 3),
+                   util::Table::num(bn.p_remote_critical, 3),
+                   util::Table::num(bn.p_remote_sat, 3)});
+  }
+  std::cout << "(1) Largest tolerable remote fraction by runlength:\n"
+            << table << '\n';
+
+  // 2. How slow may the switches be before the target is missed?
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  const double max_s = bisect_max(0.0, 100.0, [&](double s) {
+    MmsConfig c = cfg;
+    c.switch_delay = s;
+    return analyze(c).processor_utilization >= target;
+  });
+  std::cout << "(2) Slowest switch meeting the target at defaults: S <= "
+            << util::Table::num(max_s, 2) << " (baseline S = 10)\n\n";
+
+  // 3. How many threads does the target need at the default workload?
+  int needed = -1;
+  for (int n_t = 1; n_t <= 64; ++n_t) {
+    MmsConfig c = cfg;
+    c.threads_per_processor = n_t;
+    if (analyze(c).processor_utilization >= target) {
+      needed = n_t;
+      break;
+    }
+  }
+  if (needed > 0) {
+    std::cout << "(3) Threads needed at the default workload: n_t >= "
+              << needed << '\n';
+  } else {
+    std::cout << "(3) No thread count up to 64 reaches the target; the "
+                 "bottleneck is elsewhere (check tolerance indices).\n";
+  }
+
+  // 4. Which subsystem should be tuned first?
+  const ToleranceResult net = tolerance_index(cfg, Subsystem::kNetwork);
+  const ToleranceResult mem = tolerance_index(cfg, Subsystem::kMemory);
+  std::cout << "\n(4) Bottleneck triage at defaults: tol_network = "
+            << util::Table::num(net.index, 3) << " ("
+            << zone_name(net.zone()) << "), tol_memory = "
+            << util::Table::num(mem.index, 3) << " ("
+            << zone_name(mem.zone()) << ")\n    -> tune the "
+            << (net.index < mem.index ? "network" : "memory")
+            << " subsystem first.\n";
+  return 0;
+}

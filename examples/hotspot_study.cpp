@@ -1,0 +1,67 @@
+// Asymmetric-workload extension: shared data concentrated on one node.
+//
+// The paper's model assumes SPMD symmetry; the underlying multi-class CQN
+// does not. This example redirects a fraction of every node's remote
+// accesses to a single hotspot node and reports per-node performance —
+// exactly the "which subsystem should be tuned" question the tolerance
+// index was designed for, now with a spatial answer.
+//
+//   ./build/examples/hotspot_study [hotspot_fraction]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/latol.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+
+  const double fraction = argc > 1 ? std::atof(argv[1]) : 0.5;
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.traffic.hotspot_node = 0;
+  cfg.traffic.hotspot_fraction = fraction;
+
+  std::cout << "Hotspot study: " << fraction * 100
+            << "% of remote accesses target node 0 on a " << cfg.k << "x"
+            << cfg.k << " torus (n_t = " << cfg.threads_per_processor
+            << ", R = " << cfg.runlength << ", p_remote = " << cfg.p_remote
+            << ").\n\n";
+
+  const MmsModel model(cfg);
+  const auto per_node = analyze_per_node(cfg);
+
+  util::Table table({"node", "dist(hot)", "U_p", "S_obs", "L_obs",
+                     "rho(local mem)", "d_avg(src)"});
+  for (int n = 0; n < cfg.num_processors(); ++n) {
+    const MmsPerformance& perf = per_node[static_cast<std::size_t>(n)];
+    table.add_row({std::to_string(n),
+                   std::to_string(model.topology().distance(0, n)),
+                   util::Table::num(perf.processor_utilization, 4),
+                   util::Table::num(perf.network_latency, 1),
+                   util::Table::num(perf.memory_latency, 1),
+                   util::Table::num(perf.memory_utilization, 3),
+                   util::Table::num(perf.average_distance, 3)});
+  }
+  std::cout << table << '\n';
+
+  // Compare against the symmetric baseline.
+  MmsConfig base = cfg;
+  base.traffic.hotspot_node = -1;
+  base.traffic.hotspot_fraction = 0.0;
+  const MmsPerformance symmetric = analyze(base);
+  double worst = 2.0, best = 0.0;
+  for (const auto& perf : per_node) {
+    worst = std::min(worst, perf.processor_utilization);
+    best = std::max(best, perf.processor_utilization);
+  }
+  std::cout << "Symmetric baseline U_p = "
+            << util::Table::num(symmetric.processor_utilization, 4)
+            << "; with the hotspot, per-node U_p spans ["
+            << util::Table::num(worst, 4) << ", " << util::Table::num(best, 4)
+            << "].\n"
+            << "The hotspot memory module saturates first (rho above); the "
+               "fix the paper suggests\nfor such bottlenecks is "
+               "multiporting/pipelining the memory or redistributing data.\n";
+  return 0;
+}

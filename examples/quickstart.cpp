@@ -1,0 +1,57 @@
+// Quickstart: analyze the paper's default machine and print every headline
+// measure, the bottleneck closed forms, and both tolerance indices.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "core/latol.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace latol;
+
+  // The paper's Table 1 defaults: 4x4 torus, n_t = 8 threads/processor,
+  // R = 10, p_remote = 0.2, geometric locality p_sw = 0.5, L = S = 10.
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+
+  std::cout << "Machine: " << cfg.k << "x" << cfg.k << " torus, n_t="
+            << cfg.threads_per_processor << ", R=" << cfg.runlength
+            << ", p_remote=" << cfg.p_remote << ", L=" << cfg.memory_latency
+            << ", S=" << cfg.switch_delay << "\n\n";
+
+  // Closed-form bottleneck constants (Eqs. 4-5).
+  const core::BottleneckAnalysis bn = core::bottleneck_analysis(cfg);
+  std::cout << "d_avg                     = " << bn.d_avg << '\n'
+            << "lambda_net saturation     = " << bn.lambda_net_sat
+            << "  (Eq. 4; paper: 0.029)\n"
+            << "p_remote at IN saturation = " << bn.p_remote_sat
+            << "  (paper: ~0.3 at R=10)\n"
+            << "critical p_remote         = " << bn.p_remote_critical
+            << "  (Eq. 5; paper: ~0.18 at R=10)\n"
+            << "unloaded one-way S_obs    = " << bn.unloaded_one_way << "\n\n";
+
+  // Solve the closed queueing network with AMVA.
+  const core::MmsPerformance perf = core::analyze(cfg);
+  std::cout << "U_p (processor utilization) = " << perf.processor_utilization
+            << '\n'
+            << "lambda (access rate)        = " << perf.access_rate << '\n'
+            << "lambda_net (message rate)   = " << perf.message_rate << '\n'
+            << "S_obs (network latency)     = " << perf.network_latency << '\n'
+            << "L_obs (memory latency)      = " << perf.memory_latency << '\n'
+            << "memory utilization          = " << perf.memory_utilization
+            << "\n\n";
+
+  // The tolerance index: how close is this system to one whose network /
+  // memory responds instantly?
+  const core::ToleranceResult net =
+      core::tolerance_index(cfg, core::Subsystem::kNetwork);
+  const core::ToleranceResult mem =
+      core::tolerance_index(cfg, core::Subsystem::kMemory);
+  std::cout << "tol_network = " << net.index << "  ("
+            << core::zone_name(net.zone()) << ")\n"
+            << "tol_memory  = " << mem.index << "  ("
+            << core::zone_name(mem.zone()) << ")\n";
+  return 0;
+}

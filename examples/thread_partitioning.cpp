@@ -1,0 +1,57 @@
+// Compiler-style use of the library: given a do-all loop whose iterations
+// expose a fixed amount of computation per processor, choose how many
+// threads to fork and how much work each should carry (paper §5).
+//
+//   ./build/examples/thread_partitioning [work_budget] [p_remote]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/latol.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace latol;
+  using namespace latol::core;
+
+  const double work = argc > 1 ? std::atof(argv[1]) : 80.0;
+  const double p_remote = argc > 2 ? std::atof(argv[2]) : 0.2;
+
+  MmsConfig base = MmsConfig::paper_defaults();
+  base.p_remote = p_remote;
+
+  std::cout << "Partitioning a loop exposing " << work
+            << " cycles of work per processor (p_remote = " << p_remote
+            << ") on a " << base.k << "x" << base.k << " torus.\n\n";
+
+  // Candidate splits: every thread count that divides the work sensibly.
+  const std::vector<int> splits{1, 2, 4, 5, 8, 10, 16, 20};
+  const auto points = evaluate_partitions(base, work, splits);
+
+  util::Table table({"n_t", "R", "U_p", "tol_network", "tol_memory",
+                     "S_obs", "L_obs", "verdict"});
+  for (const PartitionPoint& pt : points) {
+    const bool net_ok = pt.tol_network >= 0.8;
+    const bool mem_ok = pt.tol_memory >= 0.8;
+    table.add_row(
+        {std::to_string(pt.n_t), util::Table::num(pt.runlength, 1),
+         util::Table::num(pt.perf.processor_utilization, 4),
+         util::Table::num(pt.tol_network, 3),
+         util::Table::num(pt.tol_memory, 3),
+         util::Table::num(pt.perf.network_latency, 1),
+         util::Table::num(pt.perf.memory_latency, 1),
+         net_ok && mem_ok ? "both latencies tolerated"
+                          : (net_ok ? "memory is the bottleneck"
+                                    : "network is the bottleneck")});
+  }
+  std::cout << table << '\n';
+
+  const PartitionPoint best = best_partition(points);
+  std::cout << "Recommendation: fork " << best.n_t
+            << " threads of runlength " << best.runlength << " (U_p = "
+            << util::Table::num(best.perf.processor_utilization, 4)
+            << ").\n";
+  std::cout << "This matches the paper's rule of thumb: with at least 2 "
+               "threads to overlap,\nprefer longer runlengths over more "
+               "threads.\n";
+  return 0;
+}

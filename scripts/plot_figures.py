@@ -1,0 +1,103 @@
+#!/usr/bin/env python3
+"""Render the paper's figures from bench CSV output.
+
+Usage:
+    mkdir -p out && for b in build/bench/fig*; do $b --csv out; done
+    python3 scripts/plot_figures.py out
+
+Produces one PNG per figure next to the CSVs. Requires matplotlib; the
+benches themselves have no Python dependency — this script is optional
+convenience for visual comparison against the paper's plots.
+"""
+import csv
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+try:
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+except ImportError:  # pragma: no cover - convenience script
+    sys.exit("matplotlib not available; install it or read the CSVs directly")
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return [{k: float(v) for k, v in row.items()} for row in rows]
+
+
+def plot_workload(rows, title, out):
+    fig, axes = plt.subplots(2, 2, figsize=(11, 8))
+    metrics = [
+        ("U_p", "Processor utilization U_p"),
+        ("S_obs", "Network latency S_obs"),
+        ("lambda_net", "Message rate lambda_net"),
+        ("tol_network", "Tolerance index tol_network"),
+    ]
+    series = defaultdict(list)
+    for r in rows:
+        series[int(r["n_t"])].append(r)
+    for ax, (key, label) in zip(axes.flat, metrics):
+        for n_t, pts in sorted(series.items()):
+            pts = sorted(pts, key=lambda r: r["p_remote"])
+            ax.plot([p["p_remote"] for p in pts], [p[key] for p in pts],
+                    marker="o", markersize=3, label=f"n_t={n_t}")
+        ax.set_xlabel("p_remote")
+        ax.set_ylabel(label)
+        ax.grid(alpha=0.3)
+    axes[0][0].legend(fontsize=7)
+    fig.suptitle(title)
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+
+
+def plot_scaling(rows, out):
+    fig, ax = plt.subplots(figsize=(8, 5))
+    series = defaultdict(list)
+    for r in rows:
+        if r["R"] != 10.0:
+            continue
+        name = f"k={int(r['k'])} {'geo' if r['pattern'] else 'uni'}"
+        series[name].append(r)
+    for name, pts in sorted(series.items()):
+        pts = sorted(pts, key=lambda r: r["n_t"])
+        ax.plot([p["n_t"] for p in pts], [p["tol_network"] for p in pts],
+                marker="o", markersize=3, label=name)
+    ax.set_xlabel("threads per processor n_t")
+    ax.set_ylabel("tol_network")
+    ax.grid(alpha=0.3)
+    ax.legend(fontsize=7, ncol=2)
+    ax.set_title("Figure 9: tolerance vs machine size (R = 10)")
+    fig.tight_layout()
+    fig.savefig(out, dpi=130)
+    plt.close(fig)
+
+
+def main():
+    directory = Path(sys.argv[1] if len(sys.argv) > 1 else ".")
+    made = []
+    for name, title in (("fig04", "Figure 4 (R = 10)"),
+                        ("fig05", "Figure 5 (R = 20)")):
+        src = directory / f"{name}.csv"
+        if src.exists():
+            dst = directory / f"{name}.png"
+            plot_workload(load(src), title, dst)
+            made.append(dst)
+    src = directory / "fig09.csv"
+    if src.exists():
+        dst = directory / "fig09.png"
+        plot_scaling(load(src), dst)
+        made.append(dst)
+    if not made:
+        sys.exit(f"no fig*.csv found in {directory}; run the benches with "
+                 "--csv first")
+    for p in made:
+        print(f"wrote {p}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,183 @@
+// Implementations of the `latol` CLI commands.
+#include <iomanip>
+#include <ostream>
+
+#include "cli/options.hpp"
+#include "core/latol.hpp"
+#include "sim/mms_des.hpp"
+#include "sim/mms_petri.hpp"
+#include "util/table.hpp"
+
+namespace latol::cli {
+
+namespace {
+
+void print_machine(const core::MmsConfig& cfg, std::ostream& out) {
+  out << "machine: " << topo::topology_kind_name(cfg.topology) << " k="
+      << cfg.k << " (P=" << cfg.num_processors() << "), n_t="
+      << cfg.threads_per_processor << ", R=" << cfg.runlength
+      << ", C=" << cfg.context_switch << ", p_remote=" << cfg.p_remote
+      << ", L=" << cfg.memory_latency << ", S=" << cfg.switch_delay;
+  if (cfg.traffic.pattern == topo::AccessPattern::kGeometric) {
+    out << ", geometric p_sw=" << cfg.traffic.p_sw;
+  } else {
+    out << ", uniform";
+  }
+  if (cfg.traffic.hotspot_node >= 0 && cfg.traffic.hotspot_fraction > 0.0) {
+    out << ", hotspot node " << cfg.traffic.hotspot_node << " ("
+        << cfg.traffic.hotspot_fraction * 100 << "%)";
+  }
+  out << "\n\n";
+}
+
+int cmd_analyze(const CliOptions& opts, std::ostream& out) {
+  print_machine(opts.config, out);
+  const core::MmsPerformance perf = core::analyze(opts.config);
+  out << "U_p (processor utilization) = " << perf.processor_utilization
+      << '\n'
+      << "lambda (access rate)        = " << perf.access_rate << '\n'
+      << "lambda_net (message rate)   = " << perf.message_rate << '\n'
+      << "S_obs (network latency)     = " << perf.network_latency << '\n'
+      << "L_obs (memory latency)      = " << perf.memory_latency << '\n'
+      << "memory utilization          = " << perf.memory_utilization << '\n'
+      << "max switch utilization      = " << perf.switch_utilization << '\n'
+      << "d_avg                       = " << perf.average_distance << '\n';
+  return 0;
+}
+
+int cmd_tolerance(const CliOptions& opts, std::ostream& out) {
+  print_machine(opts.config, out);
+  const core::ToleranceResult net =
+      core::tolerance_index(opts.config, core::Subsystem::kNetwork);
+  const core::ToleranceResult mem =
+      core::tolerance_index(opts.config, core::Subsystem::kMemory);
+  out << "tol_network = " << net.index << " (" << core::zone_name(net.zone())
+      << ")\n"
+      << "tol_memory  = " << mem.index << " (" << core::zone_name(mem.zone())
+      << ")\n"
+      << "U_p = " << net.actual.processor_utilization
+      << "  (ideal network: " << net.ideal.processor_utilization
+      << ", ideal memory: " << mem.ideal.processor_utilization << ")\n";
+  const core::Subsystem first = net.index < mem.index
+                                    ? core::Subsystem::kNetwork
+                                    : core::Subsystem::kMemory;
+  out << "tune first: "
+      << (first == core::Subsystem::kNetwork ? "network" : "memory")
+      << " subsystem\n";
+  return 0;
+}
+
+int cmd_bottleneck(const CliOptions& opts, std::ostream& out) {
+  print_machine(opts.config, out);
+  const core::BottleneckAnalysis bn = core::bottleneck_analysis(opts.config);
+  out << "d_avg                        = " << bn.d_avg << '\n'
+      << "lambda_net saturation (Eq.4) = " << bn.lambda_net_sat << '\n'
+      << "p_remote at saturation       = " << bn.p_remote_sat << '\n'
+      << "critical p_remote (Eq.5)     = " << bn.p_remote_critical << '\n'
+      << "unloaded one-way S_obs       = " << bn.unloaded_one_way << '\n'
+      << "unloaded round trip          = " << bn.unloaded_round_trip << '\n'
+      << "memory service rate          = " << bn.memory_service_rate << '\n';
+  return 0;
+}
+
+int cmd_sweep(const CliOptions& opts, std::ostream& out) {
+  print_machine(opts.config, out);
+  LATOL_REQUIRE(opts.sweep_steps >= 1, "sweep needs >= 1 step");
+  util::Table table({opts.sweep_param, "U_p", "S_obs", "L_obs", "lambda_net",
+                     "tol_network", "zone"});
+  for (int s = 0; s < opts.sweep_steps; ++s) {
+    const double x =
+        opts.sweep_steps == 1
+            ? opts.sweep_from
+            : opts.sweep_from + (opts.sweep_to - opts.sweep_from) * s /
+                                    (opts.sweep_steps - 1);
+    core::MmsConfig cfg = opts.config;
+    if (opts.sweep_param == "p_remote") {
+      cfg.p_remote = x;
+    } else if (opts.sweep_param == "threads") {
+      cfg.threads_per_processor = static_cast<int>(x);
+    } else if (opts.sweep_param == "runlength") {
+      cfg.runlength = x;
+    } else if (opts.sweep_param == "switch_delay") {
+      cfg.switch_delay = x;
+    } else if (opts.sweep_param == "memory_latency") {
+      cfg.memory_latency = x;
+    } else if (opts.sweep_param == "k") {
+      cfg.k = static_cast<int>(x);
+    } else if (opts.sweep_param == "p_sw") {
+      cfg.traffic.p_sw = x;
+    } else if (opts.sweep_param == "context_switch") {
+      cfg.context_switch = x;
+    } else if (opts.sweep_param == "memory_ports") {
+      cfg.memory_ports = static_cast<int>(x);
+    } else {
+      throw InvalidArgument("unknown sweep parameter `" + opts.sweep_param +
+                            "`");
+    }
+    const core::ToleranceResult t =
+        core::tolerance_index(cfg, core::Subsystem::kNetwork);
+    table.add_row({util::Table::num(x, 3),
+                   util::Table::num(t.actual.processor_utilization, 4),
+                   util::Table::num(t.actual.network_latency, 2),
+                   util::Table::num(t.actual.memory_latency, 2),
+                   util::Table::num(t.actual.message_rate, 4),
+                   util::Table::num(t.index, 4),
+                   core::zone_name(t.zone())});
+  }
+  table.print(out);
+  return 0;
+}
+
+int cmd_simulate(const CliOptions& opts, std::ostream& out) {
+  print_machine(opts.config, out);
+  const core::MmsPerformance model = core::analyze(opts.config);
+  util::Table table({"measure", "model", "simulation", "dev%"});
+  auto row = [&](const std::string& name, double m, double s, int prec) {
+    const double dev = m != 0.0 ? 100.0 * (s - m) / m : 0.0;
+    table.add_row({name, util::Table::num(m, prec), util::Table::num(s, prec),
+                   util::Table::num(dev, 1)});
+  };
+  if (opts.use_petri) {
+    const sim::PetriMmsResult r =
+        sim::simulate_mms_petri(opts.config, opts.sim_time, 0.1, opts.seed);
+    out << "stochastic Petri net, " << opts.sim_time << " time units, "
+        << r.total_firings << " firings\n";
+    row("U_p", model.processor_utilization, r.processor_utilization, 4);
+    row("lambda_net", model.message_rate, r.message_rate, 5);
+    row("S_obs", model.network_latency, r.network_latency, 2);
+    row("L_obs", model.memory_latency, r.memory_latency, 2);
+  } else {
+    sim::SimulationConfig sc;
+    sc.mms = opts.config;
+    sc.sim_time = opts.sim_time;
+    sc.seed = opts.seed;
+    const sim::SimulationResult r = sim::simulate_mms(sc);
+    out << "discrete-event simulation, " << opts.sim_time
+        << " time units, " << r.events << " events\n";
+    row("U_p", model.processor_utilization, r.processor_utilization, 4);
+    row("lambda_net", model.message_rate, r.message_rate, 5);
+    row("S_obs", model.network_latency, r.network_latency, 2);
+    row("L_obs", model.memory_latency, r.memory_latency, 2);
+  }
+  table.print(out);
+  return 0;
+}
+
+}  // namespace
+
+int run_command(const CliOptions& opts, std::ostream& out) {
+  if (opts.command == "help") {
+    out << usage();
+    return 0;
+  }
+  opts.config.validate();
+  if (opts.command == "analyze") return cmd_analyze(opts, out);
+  if (opts.command == "tolerance") return cmd_tolerance(opts, out);
+  if (opts.command == "bottleneck") return cmd_bottleneck(opts, out);
+  if (opts.command == "sweep") return cmd_sweep(opts, out);
+  if (opts.command == "simulate") return cmd_simulate(opts, out);
+  out << usage();
+  return 2;
+}
+
+}  // namespace latol::cli

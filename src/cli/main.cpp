@@ -1,0 +1,18 @@
+// `latol` command-line entry point: parse, run, report errors.
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/options.hpp"
+
+int main(int argc, char** argv) {
+  try {
+    const std::vector<std::string> args(argv + 1, argv + argc);
+    const latol::cli::CliOptions opts = latol::cli::parse_command_line(args);
+    return latol::cli::run_command(opts, std::cout);
+  } catch (const std::exception& e) {
+    std::cerr << "latol: " << e.what() << '\n';
+    return 1;
+  }
+}

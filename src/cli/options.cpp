@@ -1,0 +1,163 @@
+#include "cli/options.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace latol::cli {
+
+namespace {
+
+double parse_double(const std::string& flag, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    LATOL_REQUIRE(used == value.size(), "trailing junk");
+    return v;
+  } catch (const std::exception&) {
+    throw InvalidArgument("flag " + flag + " expects a number, got `" +
+                          value + "`");
+  }
+}
+
+int parse_int(const std::string& flag, const std::string& value) {
+  int out = 0;
+  const auto [ptr, ec] =
+      std::from_chars(value.data(), value.data() + value.size(), out);
+  if (ec != std::errc() || ptr != value.data() + value.size()) {
+    throw InvalidArgument("flag " + flag + " expects an integer, got `" +
+                          value + "`");
+  }
+  return out;
+}
+
+topo::TopologyKind parse_topology(const std::string& value) {
+  if (value == "torus") return topo::TopologyKind::kTorus2D;
+  if (value == "mesh") return topo::TopologyKind::kMesh2D;
+  if (value == "ring") return topo::TopologyKind::kRing;
+  if (value == "hypercube") return topo::TopologyKind::kHypercube;
+  throw InvalidArgument("unknown topology `" + value +
+                        "` (torus|mesh|ring|hypercube)");
+}
+
+topo::AccessPattern parse_pattern(const std::string& value) {
+  if (value == "geometric") return topo::AccessPattern::kGeometric;
+  if (value == "uniform") return topo::AccessPattern::kUniform;
+  throw InvalidArgument("unknown pattern `" + value +
+                        "` (geometric|uniform)");
+}
+
+}  // namespace
+
+CliOptions parse_command_line(const std::vector<std::string>& args) {
+  CliOptions opts;
+  if (args.empty()) return opts;
+
+  opts.command = args[0];
+  const bool known =
+      opts.command == "analyze" || opts.command == "tolerance" ||
+      opts.command == "bottleneck" || opts.command == "sweep" ||
+      opts.command == "simulate" || opts.command == "help";
+  if (!known) {
+    throw InvalidArgument("unknown command `" + opts.command + "`\n" +
+                          usage());
+  }
+
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& flag = args[i];
+    auto value = [&]() -> const std::string& {
+      LATOL_REQUIRE(i + 1 < args.size(), "flag " << flag << " needs a value");
+      return args[++i];
+    };
+    if (flag == "--k") {
+      opts.config.k = parse_int(flag, value());
+    } else if (flag == "--topology") {
+      opts.config.topology = parse_topology(value());
+    } else if (flag == "--threads") {
+      opts.config.threads_per_processor = parse_int(flag, value());
+    } else if (flag == "--runlength") {
+      opts.config.runlength = parse_double(flag, value());
+    } else if (flag == "--context-switch") {
+      opts.config.context_switch = parse_double(flag, value());
+    } else if (flag == "--p-remote") {
+      opts.config.p_remote = parse_double(flag, value());
+    } else if (flag == "--p-sw") {
+      opts.config.traffic.p_sw = parse_double(flag, value());
+    } else if (flag == "--pattern") {
+      opts.config.traffic.pattern = parse_pattern(value());
+    } else if (flag == "--memory-latency") {
+      opts.config.memory_latency = parse_double(flag, value());
+    } else if (flag == "--switch-delay") {
+      opts.config.switch_delay = parse_double(flag, value());
+    } else if (flag == "--hotspot-node") {
+      opts.config.traffic.hotspot_node = parse_int(flag, value());
+    } else if (flag == "--hotspot-fraction") {
+      opts.config.traffic.hotspot_fraction = parse_double(flag, value());
+    } else if (flag == "--memory-ports") {
+      opts.config.memory_ports = parse_int(flag, value());
+    } else if (flag == "--pipelined-switches") {
+      opts.config.pipelined_switches = true;
+    } else if (flag == "--param") {
+      opts.sweep_param = value();
+    } else if (flag == "--from") {
+      opts.sweep_from = parse_double(flag, value());
+    } else if (flag == "--to") {
+      opts.sweep_to = parse_double(flag, value());
+    } else if (flag == "--steps") {
+      opts.sweep_steps = parse_int(flag, value());
+    } else if (flag == "--time") {
+      opts.sim_time = parse_double(flag, value());
+    } else if (flag == "--seed") {
+      opts.seed = static_cast<std::uint64_t>(parse_int(flag, value()));
+    } else if (flag == "--petri") {
+      opts.use_petri = true;
+    } else {
+      throw InvalidArgument("unknown flag `" + flag + "`\n" + usage());
+    }
+  }
+  return opts;
+}
+
+std::string usage() {
+  std::ostringstream os;
+  os << "latol - latency tolerance analysis for multithreaded architectures\n"
+        "        (Nemawarkar & Gao, IPPS'97)\n\n"
+        "usage: latol <command> [flags]\n\n"
+        "commands:\n"
+        "  analyze     solve the model; print U_p, S_obs, L_obs, rates\n"
+        "  tolerance   tolerance indices (network & memory) with zones\n"
+        "  bottleneck  closed-form Eq. 4/5 constants and operating zones\n"
+        "  sweep       vary one parameter; print U_p and tol_network\n"
+        "  simulate    discrete-event (or --petri) simulation vs the model\n"
+        "  help        this text\n\n"
+        "machine/workload flags (defaults = paper Table 1):\n"
+        "  --k N                 size parameter (torus/mesh side, ring size,\n"
+        "                        hypercube dimension)        [4]\n"
+        "  --topology T          torus|mesh|ring|hypercube   [torus]\n"
+        "  --threads N           threads per processor n_t   [8]\n"
+        "  --runlength R         mean thread runlength       [10]\n"
+        "  --context-switch C    switch overhead             [0]\n"
+        "  --p-remote P          remote access probability   [0.2]\n"
+        "  --pattern X           geometric|uniform           [geometric]\n"
+        "  --p-sw X              geometric locality factor   [0.5]\n"
+        "  --memory-latency L    memory access time          [10]\n"
+        "  --switch-delay S      per-switch routing time     [10]\n"
+        "  --hotspot-node N      redirect traffic to node N  [off]\n"
+        "  --hotspot-fraction F  redirected fraction         [0]\n"
+        "  --memory-ports N      servers per memory module   [1]\n"
+        "  --pipelined-switches  switches as pure delays     [off]\n\n"
+        "sweep flags:\n"
+        "  --param X   p_remote|threads|runlength|switch_delay|\n"
+        "              memory_latency|k|p_sw|context_switch|\n"
+        "              memory_ports                          [p_remote]\n"
+        "  --from A --to B --steps N                         [0 0.8 9]\n\n"
+        "simulate flags:\n"
+        "  --time T    simulated time units                  [100000]\n"
+        "  --seed N    RNG seed                              [1]\n"
+        "  --petri     use the stochastic Petri net simulator\n";
+  return os.str();
+}
+
+}  // namespace latol::cli

@@ -1,0 +1,47 @@
+// Command-line interface of the `latol` tool.
+//
+// The parser and the command implementations live in a library so they
+// can be unit-tested without spawning processes; `main.cpp` only forwards
+// argv and prints errors.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/mms_config.hpp"
+
+namespace latol::cli {
+
+/// Parsed invocation.
+struct CliOptions {
+  /// analyze | tolerance | bottleneck | sweep | simulate | help
+  std::string command = "help";
+  core::MmsConfig config = core::MmsConfig::paper_defaults();
+
+  // --- sweep ---
+  std::string sweep_param = "p_remote";  ///< p_remote|threads|runlength|switch_delay|memory_latency|k
+  double sweep_from = 0.0;
+  double sweep_to = 0.8;
+  int sweep_steps = 9;
+
+  // --- simulate ---
+  double sim_time = 100000.0;
+  std::uint64_t seed = 1;
+  bool use_petri = false;  ///< STPN instead of the direct event simulator
+};
+
+/// Parse `args` (argv[1:]). Throws latol::InvalidArgument with a
+/// user-facing message on unknown flags or malformed values.
+[[nodiscard]] CliOptions parse_command_line(
+    const std::vector<std::string>& args);
+
+/// Execute the parsed command, writing the report to `out`. Returns the
+/// process exit code.
+int run_command(const CliOptions& options, std::ostream& out);
+
+/// The help text (also printed by `latol help`).
+[[nodiscard]] std::string usage();
+
+}  // namespace latol::cli

@@ -1,0 +1,40 @@
+#include "core/bottleneck.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/mms_model.hpp"
+
+namespace latol::core {
+
+BottleneckAnalysis bottleneck_analysis(const MmsConfig& config) {
+  config.validate();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  const MmsModel model(config);
+  BottleneckAnalysis out;
+  out.d_avg = model.average_distance();
+  const double S = config.switch_delay;
+  const double L = config.memory_latency;
+  const double R = config.runlength;
+
+  out.unloaded_one_way = (out.d_avg + 1.0) * S;
+  out.unloaded_round_trip = 2.0 * out.unloaded_one_way;
+  out.memory_service_rate = L > 0.0 ? 1.0 / L : kInf;
+
+  const double net_demand = 2.0 * out.d_avg * S;  // per-message switch load
+  out.lambda_net_sat = net_demand > 0.0 ? 1.0 / net_demand : kInf;
+  out.p_remote_sat =
+      net_demand > 0.0 ? std::clamp(R / net_demand, 0.0, 1.0) : 1.0;
+
+  if (out.unloaded_round_trip > 0.0) {
+    out.p_remote_critical = std::clamp(
+        1.0 - L / R + L / out.unloaded_round_trip, 0.0, 1.0);
+  } else {
+    // Zero-delay network: only the memory can starve the processor.
+    out.p_remote_critical = 1.0;
+  }
+  return out;
+}
+
+}  // namespace latol::core

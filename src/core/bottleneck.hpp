@@ -1,0 +1,42 @@
+// Closed-form bottleneck analysis (paper §5, Eqs. 4-5).
+//
+// The paper explains every qualitative feature of its surfaces with two
+// constants:
+//
+//  Eq. 4  lambda_net,sat = 1 / (2 d_avg S)
+//         Each remote access and its response together place 2 d_avg
+//         inbound-switch visits on the network, spread evenly (by
+//         symmetry) over the P inbound switches; saturation of those
+//         switches caps the per-processor message rate. Defaults: 0.029.
+//
+//  Eq. 5  p_crit = 1 - L/R + L / (2 (d_avg + 1) S)
+//         The processor keeps finding work while its access rate 1/R stays
+//         below the combined response rate of the local memory
+//         ((1 - p_remote)/L) and the network round trip
+//         (1 / (2 (d_avg + 1) S): d_avg inbound hops each way plus 2S to
+//         get on/off the IN). Defaults: 0.18 (R=10), 0.68 (R=20).
+//
+// From Eq. 4 also follows the p_remote at which the network saturates:
+// p_sat = R / (2 d_avg S): 0.29 (R=10), 0.58 (R=20) — the paper's "0.3"
+// and "0.6" zone boundaries.
+#pragma once
+
+#include "core/mms_config.hpp"
+
+namespace latol::core {
+
+/// Closed-form constants characterizing the operating zones of an MMS.
+struct BottleneckAnalysis {
+  double d_avg = 0;             ///< average remote hop distance
+  double lambda_net_sat = 0;    ///< Eq. 4 (infinite when S = 0)
+  double p_remote_sat = 0;      ///< p_remote where lambda_net saturates (clamped to [0,1])
+  double p_remote_critical = 0; ///< Eq. 5 (clamped to [0,1])
+  double unloaded_one_way = 0;  ///< (d_avg + 1) S: S_obs with no contention
+  double unloaded_round_trip = 0;  ///< 2 (d_avg + 1) S
+  double memory_service_rate = 0;  ///< 1/L (infinite when L = 0)
+};
+
+/// Compute the closed forms for `config`.
+[[nodiscard]] BottleneckAnalysis bottleneck_analysis(const MmsConfig& config);
+
+}  // namespace latol::core

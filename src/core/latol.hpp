@@ -1,0 +1,15 @@
+// Umbrella header for the latol public API.
+//
+// Quick tour:
+//   MmsConfig cfg = MmsConfig::paper_defaults();   // Table 1 defaults
+//   MmsPerformance perf = analyze(cfg);            // U_p, S_obs, L_obs, ...
+//   ToleranceResult tol = tolerance_index(cfg, Subsystem::kNetwork);
+//   BottleneckAnalysis bn = bottleneck_analysis(cfg);  // Eq. 4/5 closed forms
+#pragma once
+
+#include "core/bottleneck.hpp"      // IWYU pragma: export
+#include "core/mms_config.hpp"      // IWYU pragma: export
+#include "core/mms_model.hpp"       // IWYU pragma: export
+#include "core/sweep.hpp"           // IWYU pragma: export
+#include "core/thread_partition.hpp"  // IWYU pragma: export
+#include "core/tolerance.hpp"       // IWYU pragma: export

@@ -1,0 +1,66 @@
+#include "core/mms_config.hpp"
+
+#include "util/error.hpp"
+
+namespace latol::core {
+
+int MmsConfig::num_processors() const {
+  switch (topology) {
+    case topo::TopologyKind::kTorus2D:
+    case topo::TopologyKind::kMesh2D:
+      return k * k;
+    case topo::TopologyKind::kRing:
+      return k;
+    case topo::TopologyKind::kHypercube:
+      return 1 << k;
+  }
+  return 0;
+}
+
+void MmsConfig::validate() const {
+  switch (topology) {
+    case topo::TopologyKind::kTorus2D:
+    case topo::TopologyKind::kMesh2D:
+      LATOL_REQUIRE(k >= 1 && k <= 64, "side k=" << k);
+      break;
+    case topo::TopologyKind::kRing:
+      LATOL_REQUIRE(k >= 1 && k <= 4096, "ring size k=" << k);
+      break;
+    case topo::TopologyKind::kHypercube:
+      LATOL_REQUIRE(k >= 0 && k <= 12, "hypercube dimension k=" << k);
+      break;
+  }
+  LATOL_REQUIRE(memory_latency >= 0.0, "L=" << memory_latency);
+  LATOL_REQUIRE(switch_delay >= 0.0, "S=" << switch_delay);
+  LATOL_REQUIRE(memory_ports >= 1, "memory_ports=" << memory_ports);
+  LATOL_REQUIRE(threads_per_processor >= 1,
+                "n_t=" << threads_per_processor);
+  LATOL_REQUIRE(runlength > 0.0, "R=" << runlength);
+  LATOL_REQUIRE(context_switch >= 0.0, "C=" << context_switch);
+  LATOL_REQUIRE(p_remote >= 0.0 && p_remote <= 1.0,
+                "p_remote=" << p_remote);
+  LATOL_REQUIRE(p_remote == 0.0 || num_processors() >= 2,
+                "remote accesses (p_remote="
+                    << p_remote << ") need at least 2 processing elements");
+  if (traffic.pattern == topo::AccessPattern::kGeometric) {
+    LATOL_REQUIRE(traffic.p_sw > 0.0 && traffic.p_sw <= 1.0,
+                  "p_sw=" << traffic.p_sw);
+  }
+}
+
+MmsConfig MmsConfig::paper_defaults() {
+  MmsConfig c;
+  c.k = 4;
+  c.memory_latency = 10.0;
+  c.switch_delay = 10.0;
+  c.threads_per_processor = 8;
+  c.runlength = 10.0;
+  c.context_switch = 0.0;
+  c.p_remote = 0.2;
+  c.traffic.pattern = topo::AccessPattern::kGeometric;
+  c.traffic.p_sw = 0.5;
+  c.traffic.mode = topo::GeometricMode::kDistanceClass;
+  return c;
+}
+
+}  // namespace latol::core

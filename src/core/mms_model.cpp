@@ -1,0 +1,186 @@
+#include "core/mms_model.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "qn/mva_linearizer.hpp"
+#include "util/error.hpp"
+
+namespace latol::core {
+
+MmsModel::MmsModel(const MmsConfig& config) : config_(config) {
+  config_.validate();
+  topology_ = topo::make_topology(config_.topology, config_.k);
+  if (topology_->num_nodes() >= 2) {
+    traffic_ = std::make_unique<topo::RemoteAccessDistribution>(
+        *topology_, config_.traffic);
+  }
+}
+
+const topo::RemoteAccessDistribution& MmsModel::traffic() const {
+  LATOL_REQUIRE(traffic_ != nullptr,
+                "traffic distribution undefined for a 1-node machine");
+  return *traffic_;
+}
+
+double MmsModel::average_distance() const {
+  return traffic_ ? traffic_->average_distance() : 0.0;
+}
+
+PeStations MmsModel::stations(int node) {
+  const auto base = static_cast<std::size_t>(node) * 4;
+  return PeStations{base, base + 1, base + 2, base + 3};
+}
+
+qn::ClosedNetwork MmsModel::build_network() const {
+  const int P = topology_->num_nodes();
+  std::vector<qn::Station> station_list;
+  station_list.reserve(static_cast<std::size_t>(P) * 4);
+  const qn::StationKind switch_kind = config_.pipelined_switches
+                                          ? qn::StationKind::kDelay
+                                          : qn::StationKind::kQueueing;
+  for (int n = 0; n < P; ++n) {
+    station_list.push_back(
+        {"P" + std::to_string(n), qn::StationKind::kQueueing, 1});
+    station_list.push_back({"M" + std::to_string(n),
+                            qn::StationKind::kQueueing, config_.memory_ports});
+    station_list.push_back({"I" + std::to_string(n), switch_kind, 1});
+    station_list.push_back({"O" + std::to_string(n), switch_kind, 1});
+  }
+  qn::ClosedNetwork net(std::move(station_list), static_cast<std::size_t>(P));
+
+  const double p = config_.p_remote;
+  for (int i = 0; i < P; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    net.set_population(c, config_.threads_per_processor);
+
+    // Uniform per-type service times keep the BCMP class-independence
+    // condition satisfied by construction.
+    for (int n = 0; n < P; ++n) {
+      const PeStations st = stations(n);
+      net.set_service_time(c, st.processor,
+                           config_.runlength + config_.context_switch);
+      net.set_service_time(c, st.memory, config_.memory_latency);
+      net.set_service_time(c, st.inbound, config_.switch_delay);
+      net.set_service_time(c, st.outbound, config_.switch_delay);
+    }
+
+    const PeStations home = stations(i);
+    net.set_visit_ratio(c, home.processor, 1.0);
+    net.set_visit_ratio(c, home.memory, 1.0 - p);
+    if (p <= 0.0) {
+      net.set_visit_ratio(c, home.memory, 1.0);
+      continue;
+    }
+
+    // Remote accesses: requests leave via the home outbound switch...
+    if (config_.count_source_outbound) {
+      net.set_visit_ratio(c, home.outbound,
+                          net.visit_ratio(c, home.outbound) + p);
+    }
+
+    for (int dst = 0; dst < P; ++dst) {
+      if (dst == i) continue;
+      const double q = traffic().probability(i, dst);
+      if (q <= 0.0) continue;
+      const PeStations there = stations(dst);
+      net.set_visit_ratio(c, there.memory,
+                          net.visit_ratio(c, there.memory) + p * q);
+      // ...responses leave via the destination's outbound switch...
+      net.set_visit_ratio(c, there.outbound,
+                          net.visit_ratio(c, there.outbound) + p * q);
+      // ...and both legs traverse one inbound switch per hop.
+      for (const auto& [node, w] : topology_->inbound_visits(i, dst)) {
+        const std::size_t in = stations(node).inbound;
+        net.set_visit_ratio(c, in, net.visit_ratio(c, in) + p * q * w);
+      }
+      for (const auto& [node, w] : topology_->inbound_visits(dst, i)) {
+        const std::size_t in = stations(node).inbound;
+        net.set_visit_ratio(c, in, net.visit_ratio(c, in) + p * q * w);
+      }
+    }
+  }
+  return net;
+}
+
+MmsPerformance extract_performance(const MmsModel& model,
+                                   const qn::ClosedNetwork& net,
+                                   const qn::MvaSolution& sol, int node) {
+  const MmsConfig& cfg = model.config();
+  const int P = model.topology().num_nodes();
+  LATOL_REQUIRE(node >= 0 && node < P, "node " << node);
+  const auto cls = static_cast<std::size_t>(node);
+  MmsPerformance perf;
+  perf.average_distance = P >= 2 && cfg.p_remote > 0.0
+                              ? model.traffic().average_distance_from(node)
+                              : 0.0;
+  perf.solver_iterations = sol.iterations;
+  perf.converged = sol.converged;
+
+  const double lambda = sol.throughput[cls];
+  perf.access_rate = lambda;
+  perf.processor_utilization = lambda * cfg.runlength;
+  perf.message_rate = lambda * cfg.p_remote;
+
+  double switch_residence = 0.0;  // per-cycle time on switches (Eq. 1 numerator)
+  double memory_residence = 0.0;  // per-cycle time at memories (= L_obs)
+  double max_switch_util = 0.0;
+  for (int n = 0; n < P; ++n) {
+    const PeStations st = MmsModel::stations(n);
+    memory_residence +=
+        net.visit_ratio(cls, st.memory) * sol.waiting(cls, st.memory);
+    switch_residence +=
+        net.visit_ratio(cls, st.inbound) * sol.waiting(cls, st.inbound) +
+        net.visit_ratio(cls, st.outbound) * sol.waiting(cls, st.outbound);
+    max_switch_util = std::max({max_switch_util, sol.utilization[st.inbound],
+                                sol.utilization[st.outbound]});
+  }
+  perf.memory_latency = memory_residence;  // total memory visit ratio is 1
+  perf.network_latency =
+      cfg.p_remote > 0.0 ? switch_residence / (2.0 * cfg.p_remote) : 0.0;
+  // Per-port utilization so the value stays in [0, 1] for multiported
+  // memories (sol.utilization is the mean number of busy servers).
+  perf.memory_utilization = sol.utilization[MmsModel::stations(node).memory] /
+                            static_cast<double>(cfg.memory_ports);
+  perf.switch_utilization = max_switch_util;
+  return perf;
+}
+
+std::vector<MmsPerformance> analyze_per_node(const MmsConfig& config,
+                                             const qn::AmvaOptions& options) {
+  const MmsModel model(config);
+  const qn::ClosedNetwork net = model.build_network();
+  const qn::MvaSolution sol = qn::solve_amva(net, options);
+  std::vector<MmsPerformance> out;
+  const int P = model.topology().num_nodes();
+  out.reserve(static_cast<std::size_t>(P));
+  for (int n = 0; n < P; ++n)
+    out.push_back(extract_performance(model, net, sol, n));
+  return out;
+}
+
+DetailedAnalysis analyze_detailed(const MmsConfig& config,
+                                  const qn::AmvaOptions& options) {
+  const MmsModel model(config);
+  qn::ClosedNetwork net = model.build_network();
+  qn::MvaSolution sol = qn::solve_amva(net, options);
+  MmsPerformance perf = extract_performance(model, net, sol);
+  return DetailedAnalysis{perf, std::move(net), std::move(sol)};
+}
+
+MmsPerformance analyze(const MmsConfig& config, const qn::AmvaOptions& options) {
+  return analyze_detailed(config, options).perf;
+}
+
+MmsPerformance analyze(const MmsConfig& config,
+                       const AnalysisOptions& options) {
+  if (!options.use_linearizer) return analyze(config, options.amva);
+  const MmsModel model(config);
+  const qn::ClosedNetwork net = model.build_network();
+  qn::LinearizerOptions lin;
+  lin.tolerance = options.amva.tolerance;
+  const qn::MvaSolution sol = qn::solve_linearizer(net, lin);
+  return extract_performance(model, net, sol);
+}
+
+}  // namespace latol::core

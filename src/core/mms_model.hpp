@@ -1,0 +1,127 @@
+// The paper's closed queueing network model of the MMS (§2, Fig. 2) and
+// the performance measures derived from its solution (Eqs. 1-3).
+//
+// Each processing element contributes four stations — processor, memory,
+// inbound switch, outbound switch — and each processor's resident threads
+// form one closed class of population n_t. A class-i cycle is:
+//
+//   P_i --(1-p_remote)--> M_i --> P_i
+//   P_i --(p_remote)----> O_i -> I.. -> I_j -> M_j -> O_j -> I.. -> I_i -> P_i
+//
+// Visit ratios follow the remote-access distribution and dimension-order
+// torus routing (em/eo/ei in the paper's notation).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "core/mms_config.hpp"
+#include "qn/mva_approx.hpp"
+#include "qn/network.hpp"
+#include "qn/solution.hpp"
+#include "topo/topology.hpp"
+#include "topo/traffic.hpp"
+
+namespace latol::core {
+
+/// Station indices for one processing element within the CQN.
+struct PeStations {
+  std::size_t processor;
+  std::size_t memory;
+  std::size_t inbound;
+  std::size_t outbound;
+};
+
+/// Builds the CQN for an MmsConfig and maps nodes to station indices.
+class MmsModel {
+ public:
+  /// Validates `config` and precomputes topology + traffic pattern.
+  explicit MmsModel(const MmsConfig& config);
+
+  [[nodiscard]] const MmsConfig& config() const { return config_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topology_; }
+
+  /// Remote-access distribution; only meaningful when p_remote > 0 and
+  /// num_nodes >= 2 (it is still constructed for any machine with at
+  /// least two nodes).
+  [[nodiscard]] const topo::RemoteAccessDistribution& traffic() const;
+
+  /// Average remote hop distance d_avg (0 when the machine has one node).
+  [[nodiscard]] double average_distance() const;
+
+  /// Station indices of processing element `node`.
+  [[nodiscard]] static PeStations stations(int node);
+
+  /// Construct the full multi-class closed network (4P stations, P
+  /// classes, populations n_t each) with the paper's visit ratios.
+  [[nodiscard]] qn::ClosedNetwork build_network() const;
+
+ private:
+  MmsConfig config_;
+  std::unique_ptr<topo::Topology> topology_;
+  // The traffic distribution holds a reference to *topology_, so the
+  // model is non-copyable by design.
+  std::unique_ptr<topo::RemoteAccessDistribution> traffic_;
+};
+
+/// Headline performance measures for one (symmetric) processing element.
+struct MmsPerformance {
+  double processor_utilization = 0;  ///< U_p = lambda * R (Eq. 3)
+  double access_rate = 0;            ///< lambda_i: memory accesses per time unit
+  double message_rate = 0;           ///< lambda_net = lambda * p_remote (Eq. 2)
+  double network_latency = 0;        ///< S_obs: observed one-way latency (Eq. 1)
+  double memory_latency = 0;         ///< L_obs: observed memory latency
+  double memory_utilization = 0;     ///< per-port utilization of a memory module
+  double switch_utilization = 0;     ///< max utilization over all switches
+  double average_distance = 0;       ///< d_avg of the remote pattern
+  long solver_iterations = 0;        ///< AMVA iterations used
+  bool converged = true;             ///< AMVA convergence flag
+};
+
+/// Approximate-MVA flavor used by analyze()/tolerance_index().
+///
+/// The paper's algorithm (its Fig. 3) is Bard-Schweitzer, which our own
+/// validation shows underestimates U_p by ~3% at the defaults — the same
+/// "model predictions are slightly lower than the simulations" bias the
+/// paper reports. Linearizer closes that gap (matches long simulations to
+/// <0.1%) at ~(P+1)x3 the cost.
+struct AnalysisOptions {
+  qn::AmvaOptions amva{};
+  bool use_linearizer = false;
+};
+
+/// Solve the model with AMVA and derive the paper's measures (for class 0;
+/// all classes are statistically identical under the SPMD assumption).
+[[nodiscard]] MmsPerformance analyze(const MmsConfig& config,
+                                     const qn::AmvaOptions& options = {});
+
+/// Overload with solver selection.
+[[nodiscard]] MmsPerformance analyze(const MmsConfig& config,
+                                     const AnalysisOptions& options);
+
+/// As `analyze`, but also hands back the network and the raw solution for
+/// callers that need station-level detail (tests, benches).
+struct DetailedAnalysis {
+  MmsPerformance perf;
+  qn::ClosedNetwork network;
+  qn::MvaSolution solution;
+};
+[[nodiscard]] DetailedAnalysis analyze_detailed(
+    const MmsConfig& config, const qn::AmvaOptions& options = {});
+
+/// Extract MmsPerformance from an already-computed solution of the network
+/// built by MmsModel::build_network(), from the viewpoint of the threads
+/// resident on `node` (class index == node index). Under the paper's SPMD
+/// symmetry every node reports the same numbers; with a traffic hotspot
+/// they differ per node.
+[[nodiscard]] MmsPerformance extract_performance(const MmsModel& model,
+                                                 const qn::ClosedNetwork& net,
+                                                 const qn::MvaSolution& sol,
+                                                 int node = 0);
+
+/// Solve once and report every node's performance (for asymmetric
+/// workloads such as hotspot traffic).
+[[nodiscard]] std::vector<MmsPerformance> analyze_per_node(
+    const MmsConfig& config, const qn::AmvaOptions& options = {});
+
+}  // namespace latol::core

@@ -1,0 +1,42 @@
+#include "core/sweep.hpp"
+
+#include <exception>
+#include <string>
+
+#include "util/thread_pool.hpp"
+
+namespace latol::core {
+
+std::vector<SweepResult> sweep(std::span<const MmsConfig> grid,
+                               const SweepOptions& options) {
+  std::vector<SweepResult> results(grid.size());
+  util::parallel_for(
+      grid.size(),
+      [&](std::size_t i) {
+        SweepResult& r = results[i];
+        try {
+          const MmsConfig& cfg = grid[i];
+          if (options.network_tolerance) {
+            const ToleranceResult t = tolerance_index(
+                cfg, Subsystem::kNetwork, options.network_method, options.amva);
+            r.perf = t.actual;
+            r.tol_network = t.index;
+          }
+          if (options.memory_tolerance) {
+            const ToleranceResult t =
+                tolerance_index(cfg, Subsystem::kMemory, options.amva);
+            r.perf = t.actual;
+            r.tol_memory = t.index;
+          }
+          if (!options.network_tolerance && !options.memory_tolerance) {
+            r.perf = analyze(cfg, options.amva);
+          }
+        } catch (const std::exception& e) {
+          r.error = e.what();
+        }
+      },
+      options.workers);
+  return results;
+}
+
+}  // namespace latol::core

@@ -1,0 +1,50 @@
+// Parallel parameter sweeps.
+//
+// Every figure in the paper is a grid of independent model solves; the
+// sweep engine fans the grid out over a thread pool while keeping results
+// in input order (deterministic regardless of worker count). Tolerance
+// indices are computed on demand since each adds an extra solve of the
+// ideal system (the p_remote = 0 / S = 0 ideal is shared between grid
+// points only when the varied parameters allow; we keep it simple and
+// solve per point — individual solves are microseconds-to-milliseconds).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/mms_config.hpp"
+#include "core/mms_model.hpp"
+#include "core/tolerance.hpp"
+#include "qn/mva_approx.hpp"
+
+namespace latol::core {
+
+/// What to compute per grid point.
+struct SweepOptions {
+  bool network_tolerance = false;
+  IdealMethod network_method = IdealMethod::kModifyWorkload;
+  bool memory_tolerance = false;
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  qn::AmvaOptions amva{};
+};
+
+/// Result for one grid point. Tolerance fields are present only when
+/// requested in SweepOptions.
+struct SweepResult {
+  MmsPerformance perf;
+  std::optional<double> tol_network;
+  std::optional<double> tol_memory;
+  /// Set when the solve threw (bad config); the other fields are then
+  /// default-initialized.
+  std::optional<std::string> error;
+};
+
+/// Analyze every configuration in `grid` in parallel; results match the
+/// input order. Exceptions from individual points are captured into
+/// `SweepResult::error` instead of aborting the sweep.
+[[nodiscard]] std::vector<SweepResult> sweep(std::span<const MmsConfig> grid,
+                                             const SweepOptions& options = {});
+
+}  // namespace latol::core

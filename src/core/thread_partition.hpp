@@ -1,0 +1,43 @@
+// Thread-partitioning strategy analysis (paper §5 "Impact of a Thread
+// Partitioning Strategy" and §6).
+//
+// A compiler splitting a do-all loop chooses how many threads to expose
+// (n_t) and how much work each carries (R), holding the exposed
+// computation n_t x R constant. This module evaluates the tolerance and
+// utilization of every split of a work budget and picks the best one —
+// reproducing the paper's finding that for n_t >= 2 a *longer runlength*
+// beats *more threads*.
+#pragma once
+
+#include <vector>
+
+#include "core/mms_config.hpp"
+#include "core/mms_model.hpp"
+#include "core/tolerance.hpp"
+#include "qn/mva_approx.hpp"
+
+namespace latol::core {
+
+/// One candidate split of the work budget.
+struct PartitionPoint {
+  int n_t = 0;        ///< threads per processor
+  double runlength = 0;  ///< per-thread runlength R = work / n_t
+  MmsPerformance perf;
+  double tol_network = 0;
+  double tol_memory = 0;
+};
+
+/// Evaluate every split (n_t, work/n_t) for n_t in `thread_counts` against
+/// `base` (whose n_t and R are overridden per point). `work` is the
+/// exposed computation n_t x R. Results are ordered as `thread_counts`.
+[[nodiscard]] std::vector<PartitionPoint> evaluate_partitions(
+    const MmsConfig& base, double work, const std::vector<int>& thread_counts,
+    IdealMethod network_method = IdealMethod::kModifyWorkload,
+    const qn::AmvaOptions& options = {});
+
+/// The split with the highest processor utilization (ties broken toward
+/// fewer threads — cheaper to manage, and the paper's recommendation).
+[[nodiscard]] PartitionPoint best_partition(
+    const std::vector<PartitionPoint>& points);
+
+}  // namespace latol::core

@@ -1,0 +1,43 @@
+// Asymptotic (bottleneck) bounds for closed networks.
+//
+// These are the one-line bounds behind the paper's "simple bottleneck
+// analysis" (§3, §5): per-class throughput can never exceed the inverse of
+// the largest single-station demand, nor population / zero-contention
+// cycle time. Used in property tests (every solver must respect them) and
+// in the bottleneck module's closed forms.
+#pragma once
+
+#include <algorithm>
+
+#include "qn/network.hpp"
+
+namespace latol::qn {
+
+/// Upper bound on class-c throughput when class c is alone in the network:
+/// lambda_c <= min(N_c / D_c_total, 1 / max_m D_{c,m}).
+[[nodiscard]] inline double asymptotic_throughput_bound(
+    const ClosedNetwork& net, std::size_t c) {
+  double dmax = 0.0;
+  for (std::size_t m = 0; m < net.num_stations(); ++m) {
+    if (net.station(m).kind == StationKind::kQueueing)
+      dmax = std::max(dmax, net.demand(c, m));
+  }
+  const double total = net.total_demand(c);
+  double bound = static_cast<double>(net.population(c)) / total;
+  if (dmax > 0.0) bound = std::min(bound, 1.0 / dmax);
+  return bound;
+}
+
+/// Lower bound: all other customers always queued in front
+/// (lambda_c >= N_c / (N_total * D_c_total) is loose but safe for
+/// single-class networks; for multi-class we only expose the single-class
+/// form where it is exact as a bound).
+[[nodiscard]] inline double pessimistic_throughput_bound(
+    const ClosedNetwork& net, std::size_t c) {
+  const double total = net.total_demand(c);
+  const auto n_total = static_cast<double>(net.total_population());
+  if (total <= 0.0 || n_total <= 0.0) return 0.0;
+  return static_cast<double>(net.population(c)) / (n_total * total);
+}
+
+}  // namespace latol::qn

@@ -1,0 +1,30 @@
+// Buzen's convolution algorithm for single-class closed networks.
+//
+// Computes the normalization constants G(0..N) of the product-form
+// stationary distribution and derives throughput, utilization, and mean
+// queue lengths from them. Serves as an independent cross-check of the MVA
+// solvers (the two are algebraically equivalent for product-form networks,
+// so any disagreement flags an implementation bug).
+#pragma once
+
+#include <vector>
+
+#include "qn/network.hpp"
+#include "qn/solution.hpp"
+
+namespace latol::qn {
+
+/// Result of a convolution solve; `normalization[n]` is G(n) computed with
+/// demands rescaled by `demand_scale` (G values themselves are reported for
+/// inspection; all derived measures are unscaled).
+struct ConvolutionSolution {
+  std::vector<double> normalization;
+  double demand_scale = 1.0;
+  MvaSolution measures;
+};
+
+/// Solve a single-class closed network (num_classes() == 1) with Buzen's
+/// algorithm. Only kQueueing and kDelay stations are supported.
+[[nodiscard]] ConvolutionSolution solve_convolution(const ClosedNetwork& net);
+
+}  // namespace latol::qn

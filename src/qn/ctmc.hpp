@@ -1,0 +1,43 @@
+// Brute-force continuous-time Markov chain solver for small closed
+// networks: exact ground truth for validating both MVA solvers.
+//
+// States are occupancy matrices (customers of class c at station m). For
+// queueing stations with class-independent exponential service the count
+// process under random-order service is Markov and has the same stationary
+// law as FCFS (both are product-form); we therefore model the departing
+// class as chosen uniformly among queued customers. Delay stations serve
+// every customer in parallel at its own per-class rate.
+//
+// The paper itself remarks that state-space solutions are computationally
+// intensive (a 2-processor, 10-thread system has ~63k states) — which is
+// exactly why it uses AMVA; this module reproduces that "accurate but
+// expensive" baseline for test-sized systems.
+#pragma once
+
+#include <cstddef>
+
+#include "qn/network.hpp"
+#include "qn/routing.hpp"
+#include "qn/solution.hpp"
+
+namespace latol::qn {
+
+/// Options for the CTMC solve.
+struct CtmcOptions {
+  /// Hard cap on the number of enumerated states (dense solve is O(S^3)).
+  std::size_t max_states = 20000;
+};
+
+/// Number of states the CTMC for `net` would have (product over classes of
+/// compositions of N_c into num_stations parts).
+[[nodiscard]] std::size_t ctmc_state_count(const ClosedNetwork& net);
+
+/// Solve the stationary distribution exactly and derive the same measures
+/// the MVA solvers report. `net` must satisfy the product-form service
+/// conditions (checked). Throughput of class c counts departures from its
+/// reference station.
+[[nodiscard]] MvaSolution solve_ctmc(const ClosedNetwork& net,
+                                     const RoutedClosedNetwork& routed,
+                                     const CtmcOptions& options = {});
+
+}  // namespace latol::qn

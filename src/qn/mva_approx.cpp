@@ -1,0 +1,109 @@
+#include "qn/mva_approx.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace latol::qn {
+
+MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
+  net.validate();
+  LATOL_REQUIRE(options.tolerance > 0.0, "tolerance " << options.tolerance);
+  LATOL_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
+                "damping " << options.damping);
+
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+
+  MvaSolution sol;
+  sol.throughput.assign(C, 0.0);
+  sol.waiting = util::Matrix(C, M, 0.0);
+  sol.queue_length = util::Matrix(C, M, 0.0);
+  sol.utilization.assign(M, 0.0);
+
+  // Initial guess: spread each class's population over its stations in
+  // proportion to service demand (any positive spread converges; this one
+  // starts near the answer for balanced networks).
+  for (std::size_t c = 0; c < C; ++c) {
+    const double total = net.total_demand(c);
+    if (net.population(c) == 0 || total <= 0.0) continue;
+    for (std::size_t m = 0; m < M; ++m) {
+      sol.queue_length(c, m) =
+          static_cast<double>(net.population(c)) * net.demand(c, m) / total;
+    }
+  }
+
+  // Per-station total queue lengths, maintained across iterations.
+  std::vector<double> station_total(M, 0.0);
+  auto refresh_totals = [&] {
+    for (std::size_t m = 0; m < M; ++m) station_total[m] = sol.station_queue(m);
+  };
+  refresh_totals();
+
+  bool converged = false;
+  long iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      const long pop = net.population(c);
+      if (pop == 0) continue;
+      const double nc = static_cast<double>(pop);
+
+      // Residence times under the Schweitzer arrival approximation.
+      double cycle = 0.0;
+      for (std::size_t m = 0; m < M; ++m) {
+        const double v = net.visit_ratio(c, m);
+        if (v <= 0.0) {
+          sol.waiting(c, m) = 0.0;
+          continue;
+        }
+        const double s = net.service_time(c, m);
+        double w = s;
+        if (net.station(m).kind == StationKind::kQueueing) {
+          const double seen = station_total[m] - sol.queue_length(c, m) +
+                              ((nc - 1.0) / nc) * sol.queue_length(c, m);
+          const auto servers = static_cast<double>(net.station(m).servers);
+          // Seidmann approximation for multi-server stations: a fixed
+          // delay of s(m-1)/m plus a single server of speed m. Exact for
+          // servers == 1.
+          w = s * (servers - 1.0) / servers +
+              (s / servers) * (1.0 + seen);
+        }
+        sol.waiting(c, m) = w;
+        cycle += v * w;
+      }
+      LATOL_REQUIRE(cycle > 0.0, "class " << c << " has zero cycle time");
+      const double lambda = nc / cycle;
+      sol.throughput[c] = lambda;
+
+      // Queue-length update (with optional under-relaxation), keeping the
+      // running per-station totals in sync so later classes in this sweep
+      // see the newest estimates (Gauss–Seidel style, faster than Jacobi).
+      for (std::size_t m = 0; m < M; ++m) {
+        const double target = lambda * net.visit_ratio(c, m) * sol.waiting(c, m);
+        const double updated = sol.queue_length(c, m) +
+                               options.damping * (target - sol.queue_length(c, m));
+        delta = std::max(delta, std::fabs(updated - sol.queue_length(c, m)));
+        station_total[m] += updated - sol.queue_length(c, m);
+        sol.queue_length(c, m) = updated;
+      }
+    }
+    if (delta < options.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+
+  sol.iterations = iter;
+  sol.converged = converged;
+  for (std::size_t m = 0; m < M; ++m) {
+    double u = 0.0;
+    for (std::size_t c = 0; c < C; ++c)
+      u += sol.throughput[c] * net.demand(c, m);
+    sol.utilization[m] = u;
+  }
+  return sol;
+}
+
+}  // namespace latol::qn

@@ -1,0 +1,42 @@
+// Approximate mean value analysis (Bard–Schweitzer fixed point).
+//
+// This is the algorithm of the paper's Figure 3. For each class i the
+// arrival theorem is approximated by estimating the queue seen by a newly
+// arriving class-i customer from the equilibrium queue lengths at full
+// population N:
+//
+//   n_m(N - 1_i) ~= ((N_i - 1) / N_i) * n_{i,m}(N) + sum_{j != i} n_{j,m}(N)
+//   w_{i,m}(N)    = s_{i,m} * (1 + n_m(N - 1_i))          (FCFS queueing)
+//                 = s_{i,m}                                (delay)
+//   lambda_i(N)   = N_i / sum_m v_{i,m} w_{i,m}(N)
+//   n_{i,m}(N)    = lambda_i(N) * v_{i,m} * w_{i,m}(N)
+//
+// iterated to a fixed point. Cost per iteration is O(classes x stations);
+// the fixed point is typically reached in tens of iterations, which is why
+// the paper can sweep hundred-processor systems.
+#pragma once
+
+#include "qn/network.hpp"
+#include "qn/solution.hpp"
+
+namespace latol::qn {
+
+/// Options for the AMVA fixed-point iteration.
+struct AmvaOptions {
+  /// Convergence threshold on the max absolute change of any per-class
+  /// station queue length between successive iterations.
+  double tolerance = 1e-10;
+  /// Iteration budget; exceeding it marks the solution unconverged.
+  long max_iterations = 200000;
+  /// Under-relaxation factor in (0, 1]: 1 = plain fixed point. Values
+  /// below 1 damp the (rare) oscillating cases.
+  double damping = 1.0;
+};
+
+/// Solve `net` with Bard–Schweitzer AMVA. Classes with zero population get
+/// zero throughput and queue lengths. Throws InvalidArgument on an invalid
+/// network; never throws on non-convergence (check `converged`).
+[[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
+                                     const AmvaOptions& options = {});
+
+}  // namespace latol::qn

@@ -1,0 +1,141 @@
+#include "qn/mva_exact.hpp"
+
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace latol::qn {
+
+namespace {
+
+/// Mixed-radix index of a population vector in the lattice
+/// [0..N_0] x ... x [0..N_{C-1}].
+std::size_t lattice_index(const std::vector<long>& pop,
+                          const std::vector<std::size_t>& stride) {
+  std::size_t idx = 0;
+  for (std::size_t c = 0; c < pop.size(); ++c)
+    idx += static_cast<std::size_t>(pop[c]) * stride[c];
+  return idx;
+}
+
+}  // namespace
+
+MvaSolution solve_mva_exact(const ClosedNetwork& net, std::size_t max_states) {
+  net.validate();
+  LATOL_REQUIRE(net.is_product_form(),
+                "exact MVA requires class-independent service times at "
+                "shared FCFS stations");
+  for (std::size_t m = 0; m < net.num_stations(); ++m) {
+    LATOL_REQUIRE(net.station(m).kind != StationKind::kQueueing ||
+                      net.station(m).servers == 1,
+                  "exact MVA handles single-server queueing stations only; "
+                  "use the CTMC solver (exact) or AMVA (Seidmann "
+                  "approximation) for multi-server stations");
+  }
+
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+
+  std::vector<std::size_t> stride(C);
+  std::size_t states = 1;
+  for (std::size_t c = 0; c < C; ++c) {
+    stride[c] = states;
+    const auto span = static_cast<std::size_t>(net.population(c)) + 1;
+    LATOL_REQUIRE(states <= max_states / span,
+                  "population lattice exceeds max_states=" << max_states);
+    states *= span;
+  }
+
+  // Total queue length per station for every population vector <= N.
+  std::vector<std::vector<double>> total_queue(states,
+                                               std::vector<double>(M, 0.0));
+
+  // Enumerate lattice points in order of increasing total population so
+  // every N - 1_c predecessor is already computed. Odometer enumeration
+  // over the lattice happens to visit predecessors first only per-class;
+  // we instead sweep by total population level.
+  const long total_pop = net.total_population();
+
+  std::vector<long> pop(C, 0);
+  std::vector<double> w(M, 0.0);
+  std::vector<double> lambda(C, 0.0);
+
+  MvaSolution sol;
+  sol.throughput.assign(C, 0.0);
+  sol.waiting = util::Matrix(C, M, 0.0);
+  sol.queue_length = util::Matrix(C, M, 0.0);
+  sol.utilization.assign(M, 0.0);
+
+  for (long level = 1; level <= total_pop; ++level) {
+    // Iterate every lattice vector with sum == level via an odometer.
+    std::fill(pop.begin(), pop.end(), 0L);
+    for (;;) {
+      long sum = 0;
+      for (const long p : pop) sum += p;
+      if (sum == level) {
+        const std::size_t idx = lattice_index(pop, stride);
+        auto& nbar = total_queue[idx];
+        const bool at_target = (level == total_pop);
+        for (std::size_t c = 0; c < C; ++c) {
+          if (pop[c] == 0) {
+            lambda[c] = 0.0;
+            continue;
+          }
+          pop[c] -= 1;
+          const auto& prev = total_queue[lattice_index(pop, stride)];
+          pop[c] += 1;
+          double cycle = 0.0;
+          for (std::size_t m = 0; m < M; ++m) {
+            const double v = net.visit_ratio(c, m);
+            if (v <= 0.0) {
+              w[m] = 0.0;
+              continue;
+            }
+            const double s = net.service_time(c, m);
+            w[m] = (net.station(m).kind == StationKind::kQueueing)
+                       ? s * (1.0 + prev[m])
+                       : s;
+            cycle += v * w[m];
+          }
+          LATOL_REQUIRE(cycle > 0.0, "class " << c << " has zero cycle time");
+          lambda[c] = static_cast<double>(pop[c]) / cycle;
+          if (at_target) {
+            sol.throughput[c] = lambda[c];
+            for (std::size_t m = 0; m < M; ++m) {
+              sol.waiting(c, m) = w[m];
+              sol.queue_length(c, m) =
+                  lambda[c] * net.visit_ratio(c, m) * w[m];
+            }
+          } else {
+            for (std::size_t m = 0; m < M; ++m)
+              nbar[m] += lambda[c] * net.visit_ratio(c, m) * w[m];
+          }
+          if (at_target) {
+            for (std::size_t m = 0; m < M; ++m)
+              nbar[m] += lambda[c] * net.visit_ratio(c, m) * w[m];
+          }
+        }
+      }
+      // Odometer step constrained to pop[c] <= N_c.
+      std::size_t c = 0;
+      for (; c < C; ++c) {
+        if (pop[c] < net.population(c)) {
+          ++pop[c];
+          break;
+        }
+        pop[c] = 0;
+      }
+      if (c == C) break;
+    }
+  }
+
+  for (std::size_t m = 0; m < M; ++m) {
+    double u = 0.0;
+    for (std::size_t c = 0; c < C; ++c)
+      u += sol.throughput[c] * net.demand(c, m);
+    sol.utilization[m] = u;
+  }
+  return sol;
+}
+
+}  // namespace latol::qn

@@ -1,0 +1,27 @@
+// Exact mean value analysis for closed product-form networks.
+//
+// The classic recursive MVA: performance at population vector N is derived
+// from the exact arrival theorem — an arriving class-c customer sees the
+// network in equilibrium at population N - 1_c — evaluated bottom-up over
+// the whole population lattice. Exponential in the number of classes
+// (prod_c (N_c + 1) lattice points), so this solver exists to validate the
+// approximate solver on small systems, exactly as the paper motivates AMVA
+// ("an accurate solution ... is computationally intensive").
+//
+// Exactness requires the product-form (BCMP) conditions; for FCFS queueing
+// stations that means class-independent service times, which
+// `ClosedNetwork::is_product_form()` checks and this solver enforces.
+#pragma once
+
+#include "qn/network.hpp"
+#include "qn/solution.hpp"
+
+namespace latol::qn {
+
+/// Solve `net` exactly. Throws InvalidArgument when the network violates
+/// the product-form conditions or the lattice would exceed `max_states`
+/// population vectors (guard against accidental blow-up).
+[[nodiscard]] MvaSolution solve_mva_exact(const ClosedNetwork& net,
+                                          std::size_t max_states = 50'000'000);
+
+}  // namespace latol::qn

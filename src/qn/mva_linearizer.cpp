@@ -1,0 +1,155 @@
+#include "qn/mva_linearizer.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace latol::qn {
+
+namespace {
+
+/// Queue-length fractions F(c, m) = n_{c,m} / N_c from one Core solve,
+/// plus the full solution at that population.
+struct CoreResult {
+  util::Matrix fractions;  // C x M
+  MvaSolution solution;
+  bool converged = true;
+  long iterations = 0;
+};
+
+/// One Schweitzer-style fixed point at population `pop`, using the
+/// correction terms D(i, m, j): the queue of class i at station m seen by
+/// an arriving class-j customer is (pop_i - delta_ij)(F_{i,m} + D_{i,m,j}).
+CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
+                      const std::vector<util::Matrix>& corrections,
+                      const LinearizerOptions& options) {
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+
+  CoreResult out;
+  out.fractions = util::Matrix(C, M, 0.0);
+  out.solution.throughput.assign(C, 0.0);
+  out.solution.waiting = util::Matrix(C, M, 0.0);
+  out.solution.queue_length = util::Matrix(C, M, 0.0);
+  out.solution.utilization.assign(M, 0.0);
+
+  // Initialize fractions proportional to demand.
+  for (std::size_t c = 0; c < C; ++c) {
+    const double total = net.total_demand(c);
+    if (pop[c] == 0 || total <= 0.0) continue;
+    for (std::size_t m = 0; m < M; ++m)
+      out.fractions(c, m) = net.demand(c, m) / total;
+  }
+
+  bool converged = false;
+  long iter = 0;
+  for (; iter < options.max_core_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t j = 0; j < C; ++j) {
+      if (pop[j] == 0) continue;
+      const auto nj = static_cast<double>(pop[j]);
+      double cycle = 0.0;
+      for (std::size_t m = 0; m < M; ++m) {
+        const double v = net.visit_ratio(j, m);
+        if (v <= 0.0) {
+          out.solution.waiting(j, m) = 0.0;
+          continue;
+        }
+        double w = net.service_time(j, m);
+        if (net.station(m).kind == StationKind::kQueueing) {
+          double seen = 0.0;
+          for (std::size_t i = 0; i < C; ++i) {
+            if (pop[i] == 0) continue;
+            const double ni =
+                static_cast<double>(pop[i]) - (i == j ? 1.0 : 0.0);
+            if (ni <= 0.0) continue;
+            seen += ni * (out.fractions(i, m) + corrections[i](m, j));
+          }
+          const double s = net.service_time(j, m);
+          const auto servers = static_cast<double>(net.station(m).servers);
+          // Seidmann approximation (exact for servers == 1).
+          w = s * (servers - 1.0) / servers +
+              (s / servers) * (1.0 + std::max(0.0, seen));
+        }
+        out.solution.waiting(j, m) = w;
+        cycle += v * w;
+      }
+      LATOL_REQUIRE(cycle > 0.0, "class " << j << " has zero cycle time");
+      const double lambda = nj / cycle;
+      out.solution.throughput[j] = lambda;
+      for (std::size_t m = 0; m < M; ++m) {
+        const double q =
+            lambda * net.visit_ratio(j, m) * out.solution.waiting(j, m);
+        out.solution.queue_length(j, m) = q;
+        const double f = q / nj;
+        delta = std::max(delta, std::fabs(f - out.fractions(j, m)));
+        out.fractions(j, m) = f;
+      }
+    }
+    if (delta < options.tolerance) {
+      converged = true;
+      ++iter;
+      break;
+    }
+  }
+  out.converged = converged;
+  out.iterations = iter;
+  for (std::size_t m = 0; m < M; ++m) {
+    double u = 0.0;
+    for (std::size_t c = 0; c < C; ++c)
+      u += out.solution.throughput[c] * net.demand(c, m);
+    out.solution.utilization[m] = u;
+  }
+  return out;
+}
+
+}  // namespace
+
+MvaSolution solve_linearizer(const ClosedNetwork& net,
+                             const LinearizerOptions& options) {
+  net.validate();
+  LATOL_REQUIRE(options.outer_iterations >= 1,
+                "outer_iterations " << options.outer_iterations);
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+
+  std::vector<long> full(C);
+  for (std::size_t c = 0; c < C; ++c) full[c] = net.population(c);
+
+  // corrections[i](m, j) = D_{i,m,j}; start with the Schweitzer assumption
+  // D = 0 (removing a customer leaves fractions unchanged).
+  std::vector<util::Matrix> corrections(C, util::Matrix(M, C, 0.0));
+
+  CoreResult at_full = solve_core(net, full, corrections, options);
+  long total_iterations = at_full.iterations;
+  for (int outer = 0; outer < options.outer_iterations; ++outer) {
+    // Solve each reduced population N - 1_j with the current corrections.
+    std::vector<CoreResult> reduced;
+    reduced.reserve(C);
+    for (std::size_t j = 0; j < C; ++j) {
+      std::vector<long> pop = full;
+      if (pop[j] > 0) pop[j] -= 1;
+      reduced.push_back(solve_core(net, pop, corrections, options));
+      total_iterations += reduced.back().iterations;
+    }
+    // Update the correction terms from the observed fraction shifts.
+    for (std::size_t i = 0; i < C; ++i) {
+      for (std::size_t m = 0; m < M; ++m) {
+        for (std::size_t j = 0; j < C; ++j) {
+          corrections[i](m, j) =
+              reduced[j].fractions(i, m) - at_full.fractions(i, m);
+        }
+      }
+    }
+    at_full = solve_core(net, full, corrections, options);
+    total_iterations += at_full.iterations;
+  }
+
+  MvaSolution sol = std::move(at_full.solution);
+  sol.converged = at_full.converged;
+  sol.iterations = total_iterations;
+  return sol;
+}
+
+}  // namespace latol::qn

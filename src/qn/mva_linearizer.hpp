@@ -1,0 +1,33 @@
+// Linearizer approximate MVA (Chandy & Neuse, 1982).
+//
+// A higher-accuracy successor to the Bard–Schweitzer scheme the paper
+// uses: instead of assuming the queue-length *fractions* F_{c,m} =
+// n_{c,m}/N_c are unchanged when one customer is removed, Linearizer
+// estimates the change D_{c,m,j} = F_{c,m}(N - 1_j) - F_{c,m}(N) by
+// actually solving the fixed point at the reduced populations, and feeds
+// the corrections back. Typical throughput error drops from a few percent
+// (Schweitzer) to a few tenths of a percent, at roughly (C + 1) x 3 times
+// the cost. Provided as an accuracy upgrade and as an independent check
+// on the Schweitzer solver.
+#pragma once
+
+#include "qn/network.hpp"
+#include "qn/solution.hpp"
+
+namespace latol::qn {
+
+/// Options for the Linearizer iteration.
+struct LinearizerOptions {
+  /// Outer correction updates (2-3 suffice; Chandy & Neuse use 3).
+  int outer_iterations = 3;
+  /// Convergence threshold of each inner (Core) fixed point.
+  double tolerance = 1e-10;
+  /// Iteration budget per Core solve.
+  long max_core_iterations = 100000;
+};
+
+/// Solve `net` with Linearizer. Same contract as solve_amva.
+[[nodiscard]] MvaSolution solve_linearizer(
+    const ClosedNetwork& net, const LinearizerOptions& options = {});
+
+}  // namespace latol::qn

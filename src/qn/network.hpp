@@ -1,0 +1,95 @@
+// Multi-class closed queueing network description.
+//
+// This is the substrate under the paper's analytical framework (§2): a
+// product-form ("BCMP") closed network of single-server FCFS stations with
+// exponentially distributed service, one closed customer class per
+// processor. The description is solver-agnostic: exact MVA, approximate
+// MVA (the paper's Fig. 3 algorithm), convolution, and the brute-force
+// CTMC solver all consume a ClosedNetwork.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace latol::qn {
+
+/// Station service discipline.
+enum class StationKind {
+  /// FCFS queue, exponential service, `Station::servers` parallel servers
+  /// (1 = the paper's stations). Product form requires the service time
+  /// to be class-independent at stations visited by more than one class;
+  /// `ClosedNetwork::is_product_form()` checks this. For servers > 1 the
+  /// MVA solvers use the Seidmann approximation (service s/m plus a fixed
+  /// delay s(m-1)/m); the CTMC solver is exact.
+  kQueueing,
+  /// Infinite-server (pure delay) station: no queueing, per-class delays
+  /// are allowed under product form. Also models pipelined resources
+  /// (e.g. wormhole switches) that never serialize traffic.
+  kDelay,
+};
+
+/// One service center.
+struct Station {
+  std::string name;
+  StationKind kind = StationKind::kQueueing;
+  /// Parallel servers for kQueueing (>= 1); ignored for kDelay. A
+  /// multiported memory is a kQueueing station with servers = ports.
+  int servers = 1;
+};
+
+/// A closed, multi-class queueing network with per-class visit ratios and
+/// service times. Visit ratios are relative to an arbitrary per-class
+/// reference; throughputs reported by the solvers are "cycles per time
+/// unit" where one cycle corresponds to visit ratio 1.
+class ClosedNetwork {
+ public:
+  /// `stations` defines the service centers; `num_classes` closed classes
+  /// are created with population 0, zero visit ratios, and zero service.
+  ClosedNetwork(std::vector<Station> stations, std::size_t num_classes);
+
+  [[nodiscard]] std::size_t num_stations() const { return stations_.size(); }
+  [[nodiscard]] std::size_t num_classes() const { return population_.size(); }
+  [[nodiscard]] const Station& station(std::size_t m) const;
+
+  /// Closed population of class `c` (threads resident on processor `c` in
+  /// the MMS instantiation).
+  void set_population(std::size_t c, long n);
+  [[nodiscard]] long population(std::size_t c) const;
+  [[nodiscard]] long total_population() const;
+
+  /// Mean visits by a class-`c` customer to station `m` per cycle.
+  void set_visit_ratio(std::size_t c, std::size_t m, double v);
+  [[nodiscard]] double visit_ratio(std::size_t c, std::size_t m) const;
+
+  /// Mean service time of a class-`c` customer at station `m`.
+  void set_service_time(std::size_t c, std::size_t m, double s);
+  [[nodiscard]] double service_time(std::size_t c, std::size_t m) const;
+
+  /// Service demand D = visit ratio x service time.
+  [[nodiscard]] double demand(std::size_t c, std::size_t m) const;
+
+  /// Total demand of class `c` over all stations (the zero-contention
+  /// cycle time; the asymptotic-bound denominator).
+  [[nodiscard]] double total_demand(std::size_t c) const;
+
+  /// True when every queueing station visited by two or more classes has
+  /// identical service times across the classes that visit it — the BCMP
+  /// condition under which MVA is exact for this network.
+  [[nodiscard]] bool is_product_form(double rel_tol = 1e-12) const;
+
+  /// Throws InvalidArgument unless populations are non-negative, at least
+  /// one class has customers, and every class with customers has positive
+  /// total demand.
+  void validate() const;
+
+ private:
+  std::vector<Station> stations_;
+  std::vector<long> population_;
+  util::Matrix visits_;   // classes x stations
+  util::Matrix service_;  // classes x stations
+};
+
+}  // namespace latol::qn

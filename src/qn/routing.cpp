@@ -1,0 +1,74 @@
+#include "qn/routing.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace latol::qn {
+
+util::Matrix visits_from_routing(const ClosedNetwork& net,
+                                 const RoutedClosedNetwork& routed) {
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+  LATOL_REQUIRE(routed.routing.size() == C,
+                "routing has " << routed.routing.size() << " classes, network "
+                               << C);
+  LATOL_REQUIRE(routed.reference_station.size() == C,
+                "reference_station size mismatch");
+
+  util::Matrix visits(C, M, 0.0);
+  for (std::size_t c = 0; c < C; ++c) {
+    const util::Matrix& P = routed.routing[c];
+    LATOL_REQUIRE(P.rows() == M && P.cols() == M,
+                  "routing matrix for class " << c << " has wrong shape");
+    const std::size_t ref = routed.reference_station[c];
+    LATOL_REQUIRE(ref < M, "reference station " << ref);
+
+    // Rows must be stochastic for stations the class can leave; rows of
+    // all zeros mark stations the class never occupies.
+    std::vector<bool> occupied(M, false);
+    for (std::size_t m = 0; m < M; ++m) {
+      double row = 0.0;
+      for (std::size_t m2 = 0; m2 < M; ++m2) row += P(m, m2);
+      LATOL_REQUIRE(row == 0.0 || std::fabs(row - 1.0) < 1e-9,
+                    "routing row " << m << " of class " << c << " sums to "
+                                   << row);
+      occupied[m] = row > 0.0;
+    }
+    LATOL_REQUIRE(occupied[ref],
+                  "reference station " << ref << " unused by class " << c);
+
+    // Solve v (I - P) = 0 with v[ref] = 1: transpose to (I - P)^T v^T = 0,
+    // then overwrite the ref-th equation with v[ref] = 1.
+    util::Matrix a(M, M, 0.0);
+    std::vector<double> b(M, 0.0);
+    for (std::size_t m = 0; m < M; ++m) {
+      if (!occupied[m]) {
+        a(m, m) = 1.0;  // forces v_m = 0
+        continue;
+      }
+      a(m, m) = 1.0;
+      for (std::size_t j = 0; j < M; ++j) a(m, j) -= P(j, m);
+    }
+    for (std::size_t j = 0; j < M; ++j) a(ref, j) = (j == ref) ? 1.0 : 0.0;
+    b[ref] = 1.0;
+
+    const std::vector<double> v = util::solve_linear_system(std::move(a), b);
+    for (std::size_t m = 0; m < M; ++m) {
+      LATOL_REQUIRE(v[m] > -1e-9, "negative visit ratio " << v[m]
+                                                          << " at station " << m);
+      visits(c, m) = std::max(0.0, v[m]);
+    }
+  }
+  return visits;
+}
+
+void apply_routing_visits(ClosedNetwork& net,
+                          const RoutedClosedNetwork& routed) {
+  const util::Matrix visits = visits_from_routing(net, routed);
+  for (std::size_t c = 0; c < net.num_classes(); ++c)
+    for (std::size_t m = 0; m < net.num_stations(); ++m)
+      net.set_visit_ratio(c, m, visits(c, m));
+}
+
+}  // namespace latol::qn

@@ -1,0 +1,43 @@
+// Routing-matrix view of a closed network, for the CTMC ground-truth
+// solver and for deriving visit ratios from first-principles routing.
+//
+// The MVA solvers work from visit ratios (the paper's em/ei/eo); the CTMC
+// solver needs the actual Markov routing. This header provides the routed
+// description plus the traffic-equation solve that converts routing
+// probabilities into visit ratios, so both views can be checked against
+// each other in tests.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qn/network.hpp"
+#include "util/matrix.hpp"
+
+namespace latol::qn {
+
+/// A closed network where each class moves between stations according to a
+/// Markov routing matrix. Service times/kinds and populations are carried
+/// by the embedded ClosedNetwork (whose visit ratios may be unset).
+struct RoutedClosedNetwork {
+  /// routing[c](m, m2): probability a class-c customer finishing service at
+  /// station m proceeds to station m2. Each row of each matrix must sum to
+  /// 1 over stations the class can occupy.
+  std::vector<util::Matrix> routing;
+
+  /// Station at which class c's visit ratio is defined to be 1 (cycle
+  /// boundary; throughput is counted as departures from this station).
+  std::vector<std::size_t> reference_station;
+};
+
+/// Solve the traffic equations v_c = v_c P_c with v_c[ref] = 1 and return
+/// the per-class visit ratios (classes x stations). Throws on inconsistent
+/// routing (rows not summing to 1, unreachable reference station).
+[[nodiscard]] util::Matrix visits_from_routing(const ClosedNetwork& net,
+                                               const RoutedClosedNetwork& routed);
+
+/// Copy visit ratios computed from `routed` into `net` (convenience).
+void apply_routing_visits(ClosedNetwork& net,
+                          const RoutedClosedNetwork& routed);
+
+}  // namespace latol::qn

@@ -1,0 +1,52 @@
+// Common result type for the closed-network solvers.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/matrix.hpp"
+
+namespace latol::qn {
+
+/// Steady-state performance measures of a closed network. All solvers
+/// (exact MVA, approximate MVA, CTMC) fill the same structure so results
+/// can be compared field-by-field in tests.
+struct MvaSolution {
+  /// Per-class throughput in cycles per time unit (measured where the
+  /// class's visit ratio is 1).
+  std::vector<double> throughput;
+
+  /// waiting(c, m): mean residence time (queueing + service) of a class-c
+  /// customer per visit to station m.
+  util::Matrix waiting;
+
+  /// queue_length(c, m): time-average number of class-c customers at
+  /// station m (including any in service).
+  util::Matrix queue_length;
+
+  /// Per-station utilization: sum over classes of throughput x demand.
+  std::vector<double> utilization;
+
+  /// Iterations used (approximate solvers; 0 for direct methods).
+  long iterations = 0;
+
+  /// False when an iterative solver hit its iteration budget. The solution
+  /// fields then hold the last iterate.
+  bool converged = true;
+
+  /// Mean cycle (response) time of class c: population / throughput.
+  [[nodiscard]] double cycle_time(std::size_t c, long population) const {
+    return throughput[c] > 0.0 ? static_cast<double>(population) / throughput[c]
+                               : 0.0;
+  }
+
+  /// Total queue length at station m over all classes.
+  [[nodiscard]] double station_queue(std::size_t m) const {
+    double total = 0.0;
+    for (std::size_t c = 0; c < queue_length.rows(); ++c)
+      total += queue_length(c, m);
+    return total;
+  }
+};
+
+}  // namespace latol::qn

@@ -1,0 +1,32 @@
+#include "sim/des.hpp"
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+void Simulator::schedule(SimTime t, std::function<void()> action) {
+  LATOL_REQUIRE(t + 1e-12 >= now_,
+                "cannot schedule in the past: " << t << " < " << now_);
+  LATOL_REQUIRE(action != nullptr, "null event action");
+  calendar_.push(Event{t, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_after(SimTime delay, std::function<void()> action) {
+  LATOL_REQUIRE(delay >= 0.0, "negative delay " << delay);
+  schedule(now_ + delay, std::move(action));
+}
+
+void Simulator::run_until(SimTime horizon) {
+  while (!calendar_.empty() && calendar_.top().time <= horizon) {
+    // top() is const to protect heap order; moving out right before pop()
+    // is safe and avoids copying the closure.
+    Event ev = std::move(const_cast<Event&>(calendar_.top()));
+    calendar_.pop();
+    now_ = ev.time;
+    ++executed_;
+    ev.action();
+  }
+  if (now_ < horizon) now_ = horizon;
+}
+
+}  // namespace latol::sim

@@ -1,0 +1,56 @@
+#include "sim/fcfs_server.hpp"
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+FcfsServer::FcfsServer(Simulator& sim, std::string name, int servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers) {
+  LATOL_REQUIRE(servers >= 1, "server count " << servers);
+}
+
+void FcfsServer::submit(double service_time, std::function<void()> on_done) {
+  LATOL_REQUIRE(service_time >= 0.0, "service time " << service_time);
+  waiting_.push_back(Job{service_time, sim_.now(), std::move(on_done)});
+  qlen_.add(sim_.now(), +1.0);
+  try_start();
+}
+
+void FcfsServer::update_busy() {
+  busy_fraction_.set(sim_.now(), static_cast<double>(in_service_) /
+                                     static_cast<double>(servers_));
+}
+
+void FcfsServer::try_start() {
+  while (in_service_ < servers_ && !waiting_.empty()) {
+    Job job = std::move(waiting_.front());
+    waiting_.pop_front();
+    ++in_service_;
+    update_busy();
+    const double service = job.service;
+    sim_.schedule_after(service, [this, job = std::move(job)]() mutable {
+      --in_service_;
+      update_busy();
+      ++completions_;
+      qlen_.add(sim_.now(), -1.0);
+      residence_.add(sim_.now() - job.arrival);
+      try_start();
+      if (job.on_done) job.on_done();
+    });
+  }
+}
+
+void FcfsServer::reset_stats() {
+  completions_ = 0;
+  busy_fraction_.reset(sim_.now());
+  qlen_.reset(sim_.now());
+  residence_.reset();
+}
+
+double FcfsServer::utilization() const {
+  return busy_fraction_.mean(sim_.now());
+}
+
+double FcfsServer::mean_queue_length() const { return qlen_.mean(sim_.now()); }
+
+}  // namespace latol::sim

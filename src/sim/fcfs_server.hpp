@@ -1,0 +1,66 @@
+// FCFS multi-server queue on top of the DES kernel.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/des.hpp"
+#include "sim/stats.hpp"
+
+namespace latol::sim {
+
+/// An exponential/deterministic service center with a FIFO queue and
+/// `servers` parallel servers (1 = the paper's stations; >1 models e.g. a
+/// multiported memory). Jobs are (service time, completion callback)
+/// pairs; the server tracks utilization (mean fraction of busy servers),
+/// completions, per-job residence time, and time-averaged queue length,
+/// and supports resetting statistics at the end of a warmup period.
+class FcfsServer {
+ public:
+  FcfsServer(Simulator& sim, std::string name, int servers = 1);
+
+  /// Enqueue a job with the given (already sampled) service time; invokes
+  /// `on_done` when service completes.
+  void submit(double service_time, std::function<void()> on_done);
+
+  /// Forget accumulated statistics (for warmup); in-flight jobs keep
+  /// their residence measured from their original arrival.
+  void reset_stats();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] int servers() const { return servers_; }
+  [[nodiscard]] std::uint64_t completions() const { return completions_; }
+  /// Mean fraction of servers busy (busy-time fraction when servers == 1).
+  [[nodiscard]] double utilization() const;
+  [[nodiscard]] double mean_queue_length() const;
+  /// Mean residence (wait + service) per completed job.
+  [[nodiscard]] double mean_residence() const { return residence_.mean(); }
+  /// Jobs present (waiting + in service).
+  [[nodiscard]] std::size_t queue_length() const {
+    return waiting_.size() + static_cast<std::size_t>(in_service_);
+  }
+
+ private:
+  struct Job {
+    double service;
+    double arrival;
+    std::function<void()> on_done;
+  };
+
+  void try_start();
+  void update_busy();
+
+  Simulator& sim_;
+  std::string name_;
+  int servers_;
+  std::deque<Job> waiting_;
+  int in_service_ = 0;
+  std::uint64_t completions_ = 0;
+  TimeAverage busy_fraction_;
+  TimeAverage qlen_;
+  OnlineStats residence_;
+};
+
+}  // namespace latol::sim

@@ -1,0 +1,226 @@
+#include "sim/mms_des.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "sim/des.hpp"
+#include "sim/fcfs_server.hpp"
+#include "sim/stats.hpp"
+#include "topo/topology.hpp"
+#include "topo/traffic.hpp"
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+namespace {
+
+/// Owns the whole simulated machine for one replication.
+class MmsSimulation {
+ public:
+  explicit MmsSimulation(const SimulationConfig& config)
+      : cfg_(config), rng_(config.seed) {
+    cfg_.mms.validate();
+    LATOL_REQUIRE(cfg_.sim_time > 0.0, "sim_time " << cfg_.sim_time);
+    LATOL_REQUIRE(cfg_.warmup_fraction >= 0.0 && cfg_.warmup_fraction < 1.0,
+                  "warmup_fraction " << cfg_.warmup_fraction);
+    topology_ = topo::make_topology(cfg_.mms.topology, cfg_.mms.k);
+    const int P = topology_->num_nodes();
+    if (P >= 2) {
+      traffic_ = std::make_unique<topo::RemoteAccessDistribution>(
+          *topology_, cfg_.mms.traffic);
+      // Per-source cumulative destination distribution for O(log P)
+      // sampling; works for any pattern, topology, and hotspot.
+      cumulative_.resize(static_cast<std::size_t>(P));
+      for (int src = 0; src < P; ++src) {
+        auto& cum = cumulative_[static_cast<std::size_t>(src)];
+        cum.resize(static_cast<std::size_t>(P));
+        double acc = 0.0;
+        for (int dst = 0; dst < P; ++dst) {
+          acc += traffic_->probability(src, dst);
+          cum[static_cast<std::size_t>(dst)] = acc;
+        }
+      }
+    }
+    processors_.reserve(static_cast<std::size_t>(P));
+    memories_.reserve(static_cast<std::size_t>(P));
+    inbound_.reserve(static_cast<std::size_t>(P));
+    outbound_.reserve(static_cast<std::size_t>(P));
+    for (int n = 0; n < P; ++n) {
+      const std::string id = std::to_string(n);
+      processors_.push_back(std::make_unique<FcfsServer>(sim_, "P" + id));
+      memories_.push_back(std::make_unique<FcfsServer>(sim_, "M" + id,
+                                                       cfg_.mms.memory_ports));
+      inbound_.push_back(std::make_unique<FcfsServer>(sim_, "I" + id));
+      outbound_.push_back(std::make_unique<FcfsServer>(sim_, "O" + id));
+    }
+  }
+
+  SimulationResult run() {
+    const int P = topology_->num_nodes();
+    for (int n = 0; n < P; ++n) {
+      for (int t = 0; t < cfg_.mms.threads_per_processor; ++t)
+        start_thread_cycle(n);
+    }
+    const double warmup = cfg_.sim_time * cfg_.warmup_fraction;
+    sim_.schedule(warmup, [this] { reset_statistics(); });
+    sim_.run_until(cfg_.sim_time);
+    return collect(warmup);
+  }
+
+ private:
+  void start_thread_cycle(int home) {
+    const double service = rng_.service(
+        cfg_.runlength_dist,
+        cfg_.mms.runlength + cfg_.mms.context_switch);
+    processors_[static_cast<std::size_t>(home)]->submit(
+        service, [this, home] { issue_access(home); });
+  }
+
+  void issue_access(int home) {
+    if (!rng_.bernoulli(cfg_.mms.p_remote)) {
+      memories_[static_cast<std::size_t>(home)]->submit(
+          rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
+          [this, home] { finish_cycle(home); });
+      return;
+    }
+    ++remote_issued_;
+    const int dst = sample_destination(home);
+    // Request leg: home outbound -> inbound hops -> dst memory.
+    send_leg(home, dst, [this, home, dst] {
+      memories_[static_cast<std::size_t>(dst)]->submit(
+          rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
+          [this, home, dst] {
+            // Response leg: dst outbound -> inbound hops -> home.
+            send_leg(dst, home, [this, home] { finish_cycle(home); });
+          });
+    });
+  }
+
+  /// One switch traversal: a queueing server normally, or a pure delay
+  /// when the machine has pipelined (wormhole-style) switches.
+  void traverse_switch(FcfsServer& server, std::function<void()> done) {
+    const double service =
+        rng_.service(cfg_.switch_dist, cfg_.mms.switch_delay);
+    if (cfg_.mms.pipelined_switches) {
+      sim_.schedule_after(service, std::move(done));
+    } else {
+      server.submit(service, std::move(done));
+    }
+  }
+
+  /// Route one message src -> dst through outbound[src] and the inbound
+  /// switches along a sampled dimension-order path; `on_arrive` fires when
+  /// the message leaves the last inbound switch at dst.
+  void send_leg(int src, int dst, std::function<void()> on_arrive) {
+    const double t0 = sim_.now();
+    auto path = std::make_shared<std::vector<int>>(
+        topology_->route(src, dst, rng_.bernoulli(0.5), rng_.bernoulli(0.5)));
+    traverse_switch(*outbound_[static_cast<std::size_t>(src)],
+                    [this, path, t0,
+                     on_arrive = std::move(on_arrive)]() mutable {
+                      hop(path, 0, t0, std::move(on_arrive));
+                    });
+  }
+
+  void hop(std::shared_ptr<std::vector<int>> path, std::size_t index,
+           double t0, std::function<void()> on_arrive) {
+    if (index >= path->size()) {
+      if (sim_.now() >= stats_epoch_) {
+        network_latency_.add(sim_.now() - t0);
+        ++remote_legs_;
+      }
+      on_arrive();
+      return;
+    }
+    const int node = (*path)[index];
+    traverse_switch(*inbound_[static_cast<std::size_t>(node)],
+                    [this, path = std::move(path), index, t0,
+                     on_arrive = std::move(on_arrive)]() mutable {
+                      hop(std::move(path), index + 1, t0, std::move(on_arrive));
+                    });
+  }
+
+  void finish_cycle(int home) {
+    if (sim_.now() >= stats_epoch_) ++cycles_;
+    start_thread_cycle(home);
+  }
+
+  int sample_destination(int home) {
+    const auto& cum = cumulative_[static_cast<std::size_t>(home)];
+    const double u = rng_.uniform01() * cum.back();
+    // upper_bound (first cum strictly above u) is the correct inverse-CDF
+    // lookup: it can never land on a zero-probability destination (the
+    // home node's cumulative step is flat), even for u == 0.
+    const auto it = std::upper_bound(cum.begin(), cum.end(), u);
+    auto dst = static_cast<int>(it - cum.begin());
+    if (dst >= topology_->num_nodes()) dst = topology_->num_nodes() - 1;
+    LATOL_REQUIRE(dst != home, "sampled the local node as remote target");
+    return dst;
+  }
+
+  void reset_statistics() {
+    stats_epoch_ = sim_.now();
+    cycles_ = 0;
+    remote_issued_ = 0;
+    remote_legs_ = 0;
+    network_latency_ = BatchMeans(20);
+    for (auto& s : processors_) s->reset_stats();
+    for (auto& s : memories_) s->reset_stats();
+    for (auto& s : inbound_) s->reset_stats();
+    for (auto& s : outbound_) s->reset_stats();
+  }
+
+  SimulationResult collect(double warmup) const {
+    const auto P = static_cast<double>(topology_->num_nodes());
+    const double span = sim_.now() - warmup;
+    SimulationResult r;
+    double busy = 0.0;
+    for (const auto& s : processors_) busy += s->utilization();
+    r.processor_utilization = busy / P;
+
+    double mem_time = 0.0;
+    std::uint64_t mem_count = 0;
+    for (const auto& s : memories_) {
+      mem_time += s->mean_residence() * static_cast<double>(s->completions());
+      mem_count += s->completions();
+    }
+    r.memory_latency = mem_count > 0 ? mem_time / static_cast<double>(mem_count)
+                                     : 0.0;
+    r.access_rate = span > 0.0 ? static_cast<double>(cycles_) / span / P : 0.0;
+    r.message_rate =
+        span > 0.0 ? static_cast<double>(remote_issued_) / span / P : 0.0;
+    r.network_latency = network_latency_.mean();
+    r.network_latency_hw95 = network_latency_.half_width_95();
+    r.cycles = cycles_;
+    r.remote_legs = remote_legs_;
+    r.events = sim_.events_executed();
+    return r;
+  }
+
+  SimulationConfig cfg_;
+  Rng rng_;
+  Simulator sim_;
+  std::unique_ptr<topo::Topology> topology_;
+  std::unique_ptr<topo::RemoteAccessDistribution> traffic_;
+  std::vector<std::vector<double>> cumulative_;
+  std::vector<std::unique_ptr<FcfsServer>> processors_;
+  std::vector<std::unique_ptr<FcfsServer>> memories_;
+  std::vector<std::unique_ptr<FcfsServer>> inbound_;
+  std::vector<std::unique_ptr<FcfsServer>> outbound_;
+
+  double stats_epoch_ = 0.0;
+  std::uint64_t cycles_ = 0;
+  std::uint64_t remote_issued_ = 0;
+  std::uint64_t remote_legs_ = 0;
+  BatchMeans network_latency_{20};
+};
+
+}  // namespace
+
+SimulationResult simulate_mms(const SimulationConfig& config) {
+  MmsSimulation simulation(config);
+  return simulation.run();
+}
+
+}  // namespace latol::sim

@@ -1,0 +1,48 @@
+// Direct discrete-event simulation of the MMS (validation substrate, §8).
+//
+// Simulates the machine the CQN abstracts: n_t threads per processor
+// cycling through runlength -> (local | remote) memory access -> ready,
+// with FCFS single servers for processors, memories, and inbound/outbound
+// switches, dimension-order routing with random 50/50 half-ring
+// tie-breaks, and exponential (or deterministic) service draws. The paper
+// validates its analytical predictions against a stochastic timed Petri
+// net simulation of exactly this system; we provide both this direct
+// simulator and an STPN one (mms_petri.hpp) so the model is checked by two
+// independent implementations.
+#pragma once
+
+#include <cstdint>
+
+#include "core/mms_config.hpp"
+#include "sim/rng.hpp"
+
+namespace latol::sim {
+
+/// Simulation run parameters.
+struct SimulationConfig {
+  core::MmsConfig mms{};
+  double sim_time = 100000;      ///< horizon, model time units (paper: 100k)
+  double warmup_fraction = 0.1;  ///< fraction of sim_time discarded
+  std::uint64_t seed = 1;
+  ServiceDistribution runlength_dist = ServiceDistribution::kExponential;
+  ServiceDistribution memory_dist = ServiceDistribution::kExponential;
+  ServiceDistribution switch_dist = ServiceDistribution::kExponential;
+};
+
+/// Point estimates (post-warmup) in the same units as MmsPerformance.
+struct SimulationResult {
+  double processor_utilization = 0;  ///< mean busy fraction over processors
+  double access_rate = 0;            ///< memory accesses per time unit per PE
+  double message_rate = 0;           ///< remote requests per time unit per PE
+  double network_latency = 0;        ///< mean one-way network latency (S_obs)
+  double network_latency_hw95 = 0;   ///< 95% CI half-width (batch means)
+  double memory_latency = 0;         ///< mean memory residence (L_obs)
+  std::uint64_t cycles = 0;          ///< completed thread cycles measured
+  std::uint64_t remote_legs = 0;     ///< one-way network traversals measured
+  std::uint64_t events = 0;          ///< kernel events executed
+};
+
+/// Run one replication.
+[[nodiscard]] SimulationResult simulate_mms(const SimulationConfig& config);
+
+}  // namespace latol::sim

@@ -1,0 +1,237 @@
+#include "sim/mms_petri.hpp"
+
+#include <memory>
+#include <string>
+
+#include "topo/topology.hpp"
+#include "topo/traffic.hpp"
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+namespace {
+
+/// Incremental builder: wires shared-server stages into chains.
+class NetBuilder {
+ public:
+  explicit NetBuilder(const core::MmsConfig& config,
+                      ServiceDistribution memory_dist)
+      : cfg_(config),
+        mem_dist_(memory_dist),
+        topology_(topo::make_topology(config.topology, config.k)) {
+    cfg_.validate();
+    const int P = topology_->num_nodes();
+    model_.p_remote = cfg_.p_remote;
+    model_.processors = P;
+    mem_free_.reserve(static_cast<std::size_t>(P));
+    in_free_.reserve(static_cast<std::size_t>(P));
+    out_free_.reserve(static_cast<std::size_t>(P));
+    ready_.reserve(static_cast<std::size_t>(P));
+    // A multiported memory is the same seize/serve pattern with more
+    // server tokens; pipelined switches get one token per thread in the
+    // machine, which can never all contend, i.e. effectively no queueing.
+    const int switch_tokens =
+        cfg_.pipelined_switches ? P * cfg_.threads_per_processor : 1;
+    for (int n = 0; n < P; ++n) {
+      const std::string id = std::to_string(n);
+      mem_free_.push_back(net().add_place("mfree" + id, cfg_.memory_ports));
+      in_free_.push_back(net().add_place("ifree" + id, switch_tokens));
+      out_free_.push_back(net().add_place("ofree" + id, switch_tokens));
+      ready_.push_back(
+          net().add_place("ready" + id, cfg_.threads_per_processor));
+    }
+  }
+
+  MmsPetriModel build() {
+    const int P = topology_->num_nodes();
+    std::unique_ptr<topo::RemoteAccessDistribution> traffic;
+    if (P >= 2)
+      traffic = std::make_unique<topo::RemoteAccessDistribution>(
+          *topology_, cfg_.traffic);
+
+    for (int i = 0; i < P; ++i) {
+      const std::string id = std::to_string(i);
+      // Thread execution: ready -> exec -> issue.
+      const PlaceId issue = net().add_place("issue" + id);
+      const TransitionId exec = net().add_transition(
+          "exec" + id, TransitionTiming::kExponential,
+          cfg_.runlength + cfg_.context_switch);
+      net().add_input(exec, ready_[static_cast<std::size_t>(i)]);
+      net().add_output(exec, issue);
+      model_.exec.push_back(exec);
+
+      // Local access route.
+      if (cfg_.p_remote < 1.0) {
+        const PlaceId lwait = net().add_place("lmw" + id);
+        const TransitionId route = net().add_transition(
+            "rl" + id, TransitionTiming::kImmediate, 0.0,
+            1.0 - cfg_.p_remote);
+        net().add_input(route, issue);
+        net().add_output(route, lwait);
+        add_memory_stage(i, lwait, ready_[static_cast<std::size_t>(i)],
+                         "lm" + id);
+      }
+
+      // Remote access routes, one chain per destination.
+      if (cfg_.p_remote > 0.0) {
+        for (int dst = 0; dst < P; ++dst) {
+          if (dst == i) continue;
+          const double q = traffic->probability(i, dst);
+          if (q <= 0.0) continue;
+          const PlaceId chain_start = net().add_place(
+              "rw" + id + "_" + std::to_string(dst));
+          const TransitionId route = net().add_transition(
+              "rr" + id + "_" + std::to_string(dst),
+              TransitionTiming::kImmediate, 0.0, cfg_.p_remote * q);
+          net().add_input(route, issue);
+          net().add_output(route, chain_start);
+          model_.remote_route.push_back(route);
+          build_remote_chain(i, dst, chain_start);
+        }
+      }
+    }
+    return std::move(model_);
+  }
+
+ private:
+  StochasticPetriNet& net() { return model_.net; }
+
+  /// wait -> [seize: immediate, takes `free`] -> in-service ->
+  /// [serve: timed, releases `free`] -> next. Both customer-holding places
+  /// are recorded in `census` for Little's-law measurements.
+  void add_stage(PlaceId wait, PlaceId free, PlaceId next,
+                 const std::string& tag, TransitionTiming timing, double mean,
+                 std::vector<PlaceId>& census) {
+    const PlaceId busy = net().add_place("s_" + tag);
+    const TransitionId seize =
+        net().add_transition("z_" + tag, TransitionTiming::kImmediate);
+    net().add_input(seize, wait);
+    net().add_input(seize, free);
+    net().add_output(seize, busy);
+    const TransitionId serve = net().add_transition("v_" + tag, timing, mean);
+    net().add_input(serve, busy);
+    net().add_output(serve, free);
+    net().add_output(serve, next);
+    census.push_back(wait);
+    census.push_back(busy);
+  }
+
+  void add_memory_stage(int node, PlaceId wait, PlaceId next,
+                        const std::string& tag) {
+    const TransitionTiming timing =
+        mem_dist_ == ServiceDistribution::kExponential
+            ? TransitionTiming::kExponential
+            : TransitionTiming::kDeterministic;
+    add_stage(wait, mem_free_[static_cast<std::size_t>(node)], next, tag,
+              timing, cfg_.memory_latency, model_.memory_places);
+  }
+
+  void add_switch_stage(PlaceId free, PlaceId wait, PlaceId next,
+                        const std::string& tag) {
+    add_stage(wait, free, next, tag, TransitionTiming::kExponential,
+              cfg_.switch_delay, model_.switch_places);
+  }
+
+  /// Full round trip i -> dst -> i starting from `start` (already holding
+  /// the message) and ending at ready_i.
+  void build_remote_chain(int i, int dst, PlaceId start) {
+    const std::string tag =
+        std::to_string(i) + "_" + std::to_string(dst) + "_";
+    PlaceId cursor = start;
+    int stage = 0;
+    auto next_place = [&] {
+      return net().add_place("c" + tag + std::to_string(stage++));
+    };
+
+    // Request: out of node i, inbound hops to dst, then memory at dst.
+    PlaceId after = next_place();
+    add_switch_stage(out_free_[static_cast<std::size_t>(i)], cursor, after,
+                     "o" + tag + std::to_string(stage));
+    cursor = after;
+    for (const int hop : topology_->route(i, dst)) {
+      after = next_place();
+      add_switch_stage(in_free_[static_cast<std::size_t>(hop)], cursor, after,
+                       "i" + tag + std::to_string(stage));
+      cursor = after;
+    }
+    after = next_place();
+    add_memory_stage(dst, cursor, after, "m" + tag + std::to_string(stage));
+    cursor = after;
+
+    // Response: out of dst, inbound hops home, thread becomes ready.
+    after = next_place();
+    add_switch_stage(out_free_[static_cast<std::size_t>(dst)], cursor, after,
+                     "p" + tag + std::to_string(stage));
+    cursor = after;
+    const auto back = topology_->route(dst, i);
+    for (std::size_t h = 0; h < back.size(); ++h) {
+      const PlaceId target = (h + 1 == back.size())
+                                 ? ready_[static_cast<std::size_t>(i)]
+                                 : next_place();
+      add_switch_stage(in_free_[static_cast<std::size_t>(back[h])], cursor,
+                       target, "j" + tag + std::to_string(stage++));
+      cursor = target;
+    }
+    if (back.empty()) {
+      // Can't happen (dst != i on a torus with >= 2 nodes) but keep the
+      // chain well-formed if routing ever returns an empty path.
+      const TransitionId hand =
+          net().add_transition("h" + tag, TransitionTiming::kImmediate);
+      net().add_input(hand, cursor);
+      net().add_output(hand, ready_[static_cast<std::size_t>(i)]);
+    }
+  }
+
+  core::MmsConfig cfg_;
+  ServiceDistribution mem_dist_;
+  std::unique_ptr<topo::Topology> topology_;
+  MmsPetriModel model_;
+  std::vector<PlaceId> mem_free_, in_free_, out_free_, ready_;
+};
+
+}  // namespace
+
+MmsPetriModel build_mms_petri(const core::MmsConfig& config,
+                              ServiceDistribution memory_dist) {
+  NetBuilder builder(config, memory_dist);
+  return builder.build();
+}
+
+PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
+                                  double sim_time, double warmup_fraction,
+                                  std::uint64_t seed,
+                                  ServiceDistribution memory_dist) {
+  LATOL_REQUIRE(sim_time > 0.0, "sim_time " << sim_time);
+  LATOL_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+                "warmup_fraction " << warmup_fraction);
+  const MmsPetriModel model = build_mms_petri(config, memory_dist);
+  PetriSimulator sim(model.net, seed);
+  const PetriStats stats = sim.run(sim_time, sim_time * warmup_fraction);
+
+  PetriMmsResult out;
+  out.total_firings = stats.total_firings;
+  const auto P = static_cast<double>(model.processors);
+  double exec_rate = 0.0;
+  for (const TransitionId t : model.exec) exec_rate += stats.firing_rate[t];
+  out.access_rate = exec_rate / P;
+  out.processor_utilization = out.access_rate * config.runlength;
+
+  double remote_rate = 0.0;
+  for (const TransitionId t : model.remote_route)
+    remote_rate += stats.firing_rate[t];
+  out.message_rate = remote_rate / P;
+
+  double mem_tokens = 0.0;
+  for (const PlaceId p : model.memory_places)
+    mem_tokens += stats.mean_tokens[p];
+  out.memory_latency = exec_rate > 0.0 ? mem_tokens / exec_rate : 0.0;
+
+  double switch_tokens = 0.0;
+  for (const PlaceId p : model.switch_places)
+    switch_tokens += stats.mean_tokens[p];
+  const double leg_rate = 2.0 * remote_rate;
+  out.network_latency = leg_rate > 0.0 ? switch_tokens / leg_rate : 0.0;
+  return out;
+}
+
+}  // namespace latol::sim

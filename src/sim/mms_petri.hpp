@@ -1,0 +1,83 @@
+// Stochastic timed Petri net model of the MMS (the paper's §8 validation
+// vehicle).
+//
+// Net structure, per processing element i:
+//
+//   ready_i --(exec_i: exp(R))--> issue_i
+//   issue_i --(route immediates, weights 1-p / p*q(i,dst))--> memory chains
+//
+// Memories and switches are shared single servers: each is modeled with a
+// free-token place plus, per traversing chain, a wait place, an immediate
+// "seize" (contending for the free token), and a timed "serve" transition
+// that releases the token — so only one customer is ever in service and
+// service times never race (a plain shared timed transition per chain
+// would add rates instead of queueing them).
+//
+// A remote access from i to dst follows its canonical dimension-order
+// path: outbound_i, one inbound switch per hop, memory_dst, outbound_dst,
+// the inbound hops home, then the thread returns to ready_i. Half-ring
+// ties use the +1 direction; by translation symmetry this leaves the
+// aggregate per-switch load identical to the analytical 50/50 split.
+//
+// Measurements (Little's law over the net):
+//   lambda    = firing rate of exec_i (averaged over i)
+//   U_p       = lambda * R
+//   lambda_net= lambda * p_remote (also: rate of remote route immediates)
+//   L_obs     = mean tokens in memory wait+service places / (lambda * P)
+//   S_obs     = mean tokens in switch wait+service places / one-way leg rate
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/mms_config.hpp"
+#include "sim/petri.hpp"
+#include "sim/rng.hpp"
+
+namespace latol::sim {
+
+/// The constructed net plus the handles needed to extract MMS measures.
+struct MmsPetriModel {
+  StochasticPetriNet net;
+  std::vector<TransitionId> exec;          ///< one per processor
+  std::vector<TransitionId> remote_route;  ///< all remote routing immediates
+  std::vector<PlaceId> memory_places;      ///< wait + in-service at memories
+  std::vector<PlaceId> switch_places;      ///< wait + in-service at switches
+  double p_remote = 0;
+  int processors = 0;
+};
+
+/// Build the STPN for `config`. `memory_dist` selects exponential or
+/// deterministic memory service (the paper's §8 sensitivity experiment);
+/// processors and switches are always exponential.
+///
+/// Approximation note: multiported memories (and the pipelined-switch
+/// token pools) allow cross-chain parallelism but each chain's serve
+/// transition still fires one token at a time, so two customers of the
+/// *same* (source, destination) chain serialize even when free servers
+/// remain. With n_t threads spread over P-1 chains such collisions are
+/// rare; the DES simulator models multi-server stations exactly and is
+/// the precise comparator for memory_ports > 1.
+[[nodiscard]] MmsPetriModel build_mms_petri(
+    const core::MmsConfig& config,
+    ServiceDistribution memory_dist = ServiceDistribution::kExponential);
+
+/// Aggregate measures from one STPN run, comparable to MmsPerformance and
+/// to the DES SimulationResult.
+struct PetriMmsResult {
+  double processor_utilization = 0;
+  double access_rate = 0;
+  double message_rate = 0;
+  double network_latency = 0;  ///< S_obs via Little's law
+  double memory_latency = 0;   ///< L_obs via Little's law
+  std::uint64_t total_firings = 0;
+};
+
+/// Build, simulate for `sim_time` (discarding `warmup_fraction`), and
+/// derive the measures.
+[[nodiscard]] PetriMmsResult simulate_mms_petri(
+    const core::MmsConfig& config, double sim_time, double warmup_fraction,
+    std::uint64_t seed,
+    ServiceDistribution memory_dist = ServiceDistribution::kExponential);
+
+}  // namespace latol::sim

@@ -1,0 +1,260 @@
+#include "sim/petri.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+// --- StochasticPetriNet ------------------------------------------------------
+
+PlaceId StochasticPetriNet::add_place(std::string name, long initial_tokens) {
+  LATOL_REQUIRE(initial_tokens >= 0, "initial tokens " << initial_tokens);
+  places_.push_back(Place{std::move(name), initial_tokens});
+  return places_.size() - 1;
+}
+
+TransitionId StochasticPetriNet::add_transition(std::string name,
+                                                TransitionTiming timing,
+                                                double mean, double weight) {
+  if (timing != TransitionTiming::kImmediate) {
+    LATOL_REQUIRE(mean >= 0.0 && std::isfinite(mean),
+                  "mean delay " << mean << " for transition " << name);
+  }
+  LATOL_REQUIRE(weight > 0.0, "weight " << weight);
+  transitions_.push_back(
+      Transition{std::move(name), timing, mean, weight, {}, {}});
+  return transitions_.size() - 1;
+}
+
+void StochasticPetriNet::add_input(TransitionId t, PlaceId p, long weight) {
+  LATOL_REQUIRE(t < transitions_.size() && p < places_.size(),
+                "arc endpoints out of range");
+  LATOL_REQUIRE(weight >= 1, "arc weight " << weight);
+  transitions_[t].inputs.push_back(Arc{p, weight});
+}
+
+void StochasticPetriNet::add_output(TransitionId t, PlaceId p, long weight) {
+  LATOL_REQUIRE(t < transitions_.size() && p < places_.size(),
+                "arc endpoints out of range");
+  LATOL_REQUIRE(weight >= 1, "arc weight " << weight);
+  transitions_[t].outputs.push_back(Arc{p, weight});
+}
+
+const std::string& StochasticPetriNet::place_name(PlaceId p) const {
+  LATOL_REQUIRE(p < places_.size(), "place " << p);
+  return places_[p].name;
+}
+
+const std::string& StochasticPetriNet::transition_name(TransitionId t) const {
+  LATOL_REQUIRE(t < transitions_.size(), "transition " << t);
+  return transitions_[t].name;
+}
+
+long StochasticPetriNet::initial_tokens(PlaceId p) const {
+  LATOL_REQUIRE(p < places_.size(), "place " << p);
+  return places_[p].initial;
+}
+
+void StochasticPetriNet::validate() const {
+  LATOL_REQUIRE(!places_.empty(), "net has no places");
+  LATOL_REQUIRE(!transitions_.empty(), "net has no transitions");
+  for (const Transition& t : transitions_) {
+    LATOL_REQUIRE(!t.inputs.empty(),
+                  "transition " << t.name
+                                << " has no inputs (would fire forever)");
+  }
+}
+
+// --- PetriSimulator ----------------------------------------------------------
+
+PetriSimulator::PetriSimulator(const StochasticPetriNet& net,
+                               std::uint64_t seed)
+    : net_(net), rng_(seed) {
+  net_.validate();
+  const std::size_t P = net_.num_places();
+  const std::size_t T = net_.num_transitions();
+  marking_.resize(P);
+  for (std::size_t p = 0; p < P; ++p) marking_[p] = net_.places_[p].initial;
+  clock_.assign(T, std::numeric_limits<double>::infinity());
+  epoch_.assign(T, 0);
+  firings_.assign(T, 0);
+  token_avg_.reserve(P);
+  for (std::size_t p = 0; p < P; ++p)
+    token_avg_.emplace_back(0.0, static_cast<double>(marking_[p]));
+  affected_.resize(P);
+  for (std::size_t t = 0; t < T; ++t)
+    for (const auto& arc : net_.transitions_[t].inputs)
+      affected_[arc.place].push_back(t);
+  // Every immediate transition is a candidate at time zero.
+  in_pool_.assign(T, 0);
+  for (std::size_t t = 0; t < T; ++t) {
+    if (net_.transitions_[t].timing == TransitionTiming::kImmediate) {
+      immediate_pool_.push_back(t);
+      in_pool_[t] = 1;
+    }
+  }
+}
+
+bool PetriSimulator::enabled(TransitionId t) const {
+  for (const auto& arc : net_.transitions_[t].inputs)
+    if (marking_[arc.place] < arc.weight) return false;
+  return true;
+}
+
+void PetriSimulator::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const HeapEntry& a, const HeapEntry& b) {
+                   return a.time > b.time;
+                 });
+}
+
+bool PetriSimulator::heap_pop(HeapEntry& out) {
+  const auto later = [](const HeapEntry& a, const HeapEntry& b) {
+    return a.time > b.time;
+  };
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    const HeapEntry e = heap_.back();
+    heap_.pop_back();
+    if (e.epoch == epoch_[e.t] && std::isfinite(clock_[e.t]) &&
+        clock_[e.t] == e.time) {
+      out = e;
+      return true;
+    }
+  }
+  return false;
+}
+
+void PetriSimulator::refresh_clock(TransitionId t, double now) {
+  const auto& tr = net_.transitions_[t];
+  if (tr.timing == TransitionTiming::kImmediate) return;
+  const bool en = enabled(t);
+  const bool armed = std::isfinite(clock_[t]);
+  if (en && !armed) {
+    const double delay = tr.timing == TransitionTiming::kExponential
+                             ? rng_.exponential(tr.mean)
+                             : tr.mean;
+    clock_[t] = now + delay;
+    ++epoch_[t];
+    heap_push(HeapEntry{clock_[t], t, epoch_[t]});
+  } else if (!en && armed) {
+    clock_[t] = std::numeric_limits<double>::infinity();
+    ++epoch_[t];
+  }
+}
+
+void PetriSimulator::fire(TransitionId t, double now) {
+  const auto& tr = net_.transitions_[t];
+  ++firings_[t];
+  ++total_firings_;
+  // Consume, produce, and re-check every transition fed by a changed place.
+  for (const auto& arc : tr.inputs) {
+    marking_[arc.place] -= arc.weight;
+    LATOL_REQUIRE(marking_[arc.place] >= 0,
+                  "negative marking at " << net_.place_name(arc.place));
+    token_avg_[arc.place].set(now, static_cast<double>(marking_[arc.place]));
+  }
+  for (const auto& arc : tr.outputs) {
+    marking_[arc.place] += arc.weight;
+    token_avg_[arc.place].set(now, static_cast<double>(marking_[arc.place]));
+  }
+  // The fired transition's clock is spent.
+  clock_[t] = std::numeric_limits<double>::infinity();
+  ++epoch_[t];
+  auto touch = [&](TransitionId u) {
+    if (net_.transitions_[u].timing == TransitionTiming::kImmediate) {
+      if (!in_pool_[u]) {
+        immediate_pool_.push_back(u);
+        in_pool_[u] = 1;
+      }
+    } else {
+      refresh_clock(u, now);
+    }
+  };
+  for (const auto& arc : tr.inputs)
+    for (const TransitionId u : affected_[arc.place]) touch(u);
+  for (const auto& arc : tr.outputs)
+    for (const TransitionId u : affected_[arc.place]) touch(u);
+  touch(t);
+}
+
+void PetriSimulator::drain_immediates(double now) {
+  // Fire enabled immediates (weighted random among the enabled frontier)
+  // until none remain. Disabled candidates drop out of the pool — a later
+  // marking change re-adds them via fire()'s touch().
+  for (std::uint64_t guard = 0;; ++guard) {
+    LATOL_REQUIRE(guard < 10000000,
+                  "immediate-transition livelock: check net structure");
+    std::vector<TransitionId> ready;
+    std::vector<double> weights;
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < immediate_pool_.size(); ++i) {
+      const TransitionId t = immediate_pool_[i];
+      if (enabled(t)) {
+        immediate_pool_[keep++] = t;
+        ready.push_back(t);
+        weights.push_back(net_.transitions_[t].weight);
+      } else {
+        in_pool_[t] = 0;
+      }
+    }
+    immediate_pool_.resize(keep);
+    if (ready.empty()) return;
+    fire(ready[rng_.discrete(weights)], now);
+  }
+}
+
+PetriStats PetriSimulator::run(double horizon, double warmup) {
+  LATOL_REQUIRE(horizon > 0.0 && warmup >= 0.0 && warmup < horizon,
+                "bad horizon/warmup: " << horizon << '/' << warmup);
+  double now = 0.0;
+  // Arm all timed transitions and settle initial immediates.
+  drain_immediates(now);
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t)
+    refresh_clock(t, now);
+
+  bool stats_reset = false;
+  auto maybe_reset = [&](double time) {
+    if (!stats_reset && time >= warmup) {
+      for (std::size_t p = 0; p < net_.num_places(); ++p)
+        token_avg_[p].reset(warmup);
+      std::fill(firings_.begin(), firings_.end(), 0);
+      stats_reset = true;
+    }
+  };
+  if (warmup == 0.0) maybe_reset(0.0);
+
+  HeapEntry next{};
+  while (heap_pop(next)) {
+    if (next.time > horizon) {
+      // Not fired: restore the entry's validity for a hypothetical
+      // continuation, then stop (we only report up to the horizon anyway).
+      heap_push(next);
+      break;
+    }
+    now = next.time;
+    maybe_reset(now);
+    fire(next.t, now);
+    drain_immediates(now);
+  }
+  now = horizon;
+  maybe_reset(now);
+
+  PetriStats stats;
+  stats.firings = firings_;
+  stats.total_firings = total_firings_;
+  stats.observed_time = horizon - warmup;
+  stats.firing_rate.resize(net_.num_transitions());
+  for (std::size_t t = 0; t < net_.num_transitions(); ++t)
+    stats.firing_rate[t] =
+        static_cast<double>(firings_[t]) / stats.observed_time;
+  stats.mean_tokens.resize(net_.num_places());
+  for (std::size_t p = 0; p < net_.num_places(); ++p)
+    stats.mean_tokens[p] = token_avg_[p].mean(horizon);
+  return stats;
+}
+
+}  // namespace latol::sim

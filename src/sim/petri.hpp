@@ -1,0 +1,149 @@
+// Generic stochastic timed Petri net (STPN) engine.
+//
+// The paper validates its analytical model "using the simulations of
+// Stochastic Timed Petri Net (STPN) model for the MMS" (§8). This module
+// provides the substrate: places, immediate/exponential/deterministic
+// transitions with arc weights, race semantics with single-server firing
+// and restart (resampling) memory policy, weighted random resolution of
+// immediate conflicts, and time-averaged token statistics.
+//
+// Semantics notes:
+//  - A timed transition owns one firing clock (single-server semantics):
+//    when it becomes enabled a delay is sampled; if it becomes disabled
+//    the clock is discarded; after firing, a new delay is sampled if it is
+//    still enabled. For exponential delays this is indistinguishable from
+//    age memory; deterministic transitions in the MMS nets are never
+//    preempted, so restart policy is exact there too.
+//  - Immediate transitions fire before any timed one, conflicts resolved
+//    by weight (uniformly at random when weights are equal) — this makes
+//    shared servers "random order" rather than FCFS, which has the same
+//    stationary token counts for exponential service (BCMP insensitivity).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+
+namespace latol::sim {
+
+using PlaceId = std::size_t;
+using TransitionId = std::size_t;
+
+/// Transition delay family.
+enum class TransitionTiming {
+  kImmediate,      // fires in zero time, priority over timed transitions
+  kExponential,    // delay ~ Exp(mean)
+  kDeterministic,  // delay = mean
+};
+
+/// A stochastic timed Petri net: structure only, no dynamic state.
+class StochasticPetriNet {
+ public:
+  /// Add a place with an initial marking.
+  PlaceId add_place(std::string name, long initial_tokens = 0);
+
+  /// Add a transition. `mean` is the mean delay (ignored for immediate);
+  /// `weight` resolves conflicts among simultaneously enabled immediate
+  /// transitions.
+  TransitionId add_transition(std::string name, TransitionTiming timing,
+                              double mean = 0.0, double weight = 1.0);
+
+  /// Arc from place to transition (consumes `weight` tokens on firing).
+  void add_input(TransitionId t, PlaceId p, long weight = 1);
+
+  /// Arc from transition to place (produces `weight` tokens on firing).
+  void add_output(TransitionId t, PlaceId p, long weight = 1);
+
+  [[nodiscard]] std::size_t num_places() const { return places_.size(); }
+  [[nodiscard]] std::size_t num_transitions() const {
+    return transitions_.size();
+  }
+  [[nodiscard]] const std::string& place_name(PlaceId p) const;
+  [[nodiscard]] const std::string& transition_name(TransitionId t) const;
+  [[nodiscard]] long initial_tokens(PlaceId p) const;
+
+  /// Throws InvalidArgument on structural problems (transition without
+  /// inputs, nonpositive delays on timed transitions, ...).
+  void validate() const;
+
+ private:
+  friend class PetriSimulator;
+
+  struct Arc {
+    PlaceId place;
+    long weight;
+  };
+  struct Place {
+    std::string name;
+    long initial;
+  };
+  struct Transition {
+    std::string name;
+    TransitionTiming timing;
+    double mean;
+    double weight;
+    std::vector<Arc> inputs;
+    std::vector<Arc> outputs;
+  };
+
+  std::vector<Place> places_;
+  std::vector<Transition> transitions_;
+};
+
+/// Post-warmup statistics of one simulation run.
+struct PetriStats {
+  std::vector<std::uint64_t> firings;   ///< per transition
+  std::vector<double> firing_rate;      ///< firings / observed time
+  std::vector<double> mean_tokens;      ///< time-averaged marking per place
+  double observed_time = 0;             ///< horizon - warmup
+  std::uint64_t total_firings = 0;      ///< including warmup
+};
+
+/// Token-game simulator over a StochasticPetriNet.
+class PetriSimulator {
+ public:
+  PetriSimulator(const StochasticPetriNet& net, std::uint64_t seed);
+
+  /// Run from time 0 to `horizon`, discarding statistics before `warmup`.
+  [[nodiscard]] PetriStats run(double horizon, double warmup);
+
+  /// Current marking of a place (valid after run()).
+  [[nodiscard]] long tokens(PlaceId p) const { return marking_[p]; }
+
+ private:
+  [[nodiscard]] bool enabled(TransitionId t) const;
+  void fire(TransitionId t, double now);
+  void refresh_clock(TransitionId t, double now);
+  /// Fire enabled immediate transitions until none remain.
+  void drain_immediates(double now);
+
+  const StochasticPetriNet& net_;
+  Rng rng_;
+  std::vector<long> marking_;
+  std::vector<double> clock_;          // +inf when disabled / immediate
+  std::vector<std::uint64_t> epoch_;   // invalidates stale heap entries
+  std::vector<std::vector<TransitionId>> affected_;  // place -> transitions
+  std::vector<TimeAverage> token_avg_;
+  std::vector<std::uint64_t> firings_;
+  std::uint64_t total_firings_ = 0;
+
+  // Frontier of immediate transitions that may have become enabled; keeps
+  // drain_immediates() O(local changes) instead of O(all transitions).
+  std::vector<TransitionId> immediate_pool_;
+  std::vector<char> in_pool_;
+
+  struct HeapEntry {
+    double time;
+    TransitionId t;
+    std::uint64_t epoch;
+  };
+  std::vector<HeapEntry> heap_;  // binary min-heap with lazy invalidation
+  void heap_push(HeapEntry e);
+  [[nodiscard]] bool heap_pop(HeapEntry& out);
+};
+
+}  // namespace latol::sim

@@ -1,0 +1,84 @@
+// Random-number utilities for the simulators.
+//
+// All stochastic components draw from an explicitly seeded 64-bit Mersenne
+// twister so every simulation is reproducible from (config, seed).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+/// Service-time distribution families used by the paper: exponential by
+/// default; deterministic for the §8 sensitivity check ("we also studied a
+/// change in the service time distribution for memory access time from
+/// exponential to deterministic").
+enum class ServiceDistribution {
+  kExponential,
+  kDeterministic,
+};
+
+/// Seeded random source with the draws the simulators need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform01() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Exponential with the given mean (mean 0 returns 0).
+  [[nodiscard]] double exponential(double mean) {
+    LATOL_REQUIRE(mean >= 0.0, "exponential mean " << mean);
+    if (mean == 0.0) return 0.0;
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// A service-time draw from `dist` with the given mean.
+  [[nodiscard]] double service(ServiceDistribution dist, double mean) {
+    return dist == ServiceDistribution::kExponential ? exponential(mean)
+                                                     : mean;
+  }
+
+  /// Bernoulli with success probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    LATOL_REQUIRE(p >= 0.0 && p <= 1.0, "bernoulli p " << p);
+    return uniform01() < p;
+  }
+
+  /// Uniform integer in [0, n).
+  [[nodiscard]] std::size_t uniform_index(std::size_t n) {
+    LATOL_REQUIRE(n > 0, "uniform_index over empty range");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Sample an index from an unnormalized discrete distribution.
+  [[nodiscard]] std::size_t discrete(std::span<const double> weights);
+
+  /// Derive an independent stream (for per-component generators).
+  [[nodiscard]] Rng split() { return Rng(engine_()); }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+inline std::size_t Rng::discrete(std::span<const double> weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    LATOL_REQUIRE(w >= 0.0, "negative weight " << w);
+    total += w;
+  }
+  LATOL_REQUIRE(total > 0.0, "discrete distribution with zero mass");
+  double u = uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical tail
+}
+
+}  // namespace latol::sim

@@ -1,0 +1,91 @@
+#include "sim/stats.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+void OnlineStats::add(double x) {
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::reset() {
+  count_ = 0;
+  mean_ = 0.0;
+  m2_ = 0.0;
+}
+
+double OnlineStats::variance() const {
+  return count_ >= 2 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void TimeAverage::set(double now, double v) {
+  LATOL_REQUIRE(now + 1e-12 >= last_change_,
+                "time went backwards: " << now << " < " << last_change_);
+  weighted_sum_ += value_ * (now - last_change_);
+  value_ = v;
+  last_change_ = now;
+}
+
+void TimeAverage::add(double now, double delta) { set(now, value_ + delta); }
+
+void TimeAverage::reset(double now) {
+  weighted_sum_ = 0.0;
+  last_change_ = now;
+  start_ = now;
+}
+
+double TimeAverage::mean(double now) const {
+  const double span = now - start_;
+  if (span <= 0.0) return value_;
+  return (weighted_sum_ + value_ * (now - last_change_)) / span;
+}
+
+BatchMeans::BatchMeans(std::size_t num_batches)
+    : sums_(num_batches, 0.0), counts_(num_batches, 0) {
+  LATOL_REQUIRE(num_batches >= 2, "need at least 2 batches");
+}
+
+void BatchMeans::add(double x) {
+  // Round-robin assignment keeps batches equally sized without knowing the
+  // stream length in advance; for a stationary stream this is equivalent
+  // to contiguous batching up to autocorrelation, which we accept for the
+  // coarse CI this is used for.
+  sums_[count_ % sums_.size()] += x;
+  counts_[count_ % sums_.size()] += 1;
+  ++count_;
+}
+
+double BatchMeans::mean() const {
+  double s = 0.0;
+  for (const double b : sums_) s += b;
+  return count_ > 0 ? s / static_cast<double>(count_) : 0.0;
+}
+
+double BatchMeans::half_width_95() const {
+  std::size_t filled = 0;
+  double mean_of_means = 0.0;
+  std::vector<double> means;
+  means.reserve(sums_.size());
+  for (std::size_t b = 0; b < sums_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    means.push_back(sums_[b] / static_cast<double>(counts_[b]));
+    mean_of_means += means.back();
+    ++filled;
+  }
+  if (filled < 2) return 0.0;
+  mean_of_means /= static_cast<double>(filled);
+  double var = 0.0;
+  for (const double m : means) var += (m - mean_of_means) * (m - mean_of_means);
+  var /= static_cast<double>(filled - 1);
+  // 1.96: normal approximation; fine for the >= 20 batches we use.
+  return 1.96 * std::sqrt(var / static_cast<double>(filled));
+}
+
+}  // namespace latol::sim

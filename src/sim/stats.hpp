@@ -1,0 +1,78 @@
+// Online statistics for simulation output analysis.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace latol::sim {
+
+/// Welford online mean/variance accumulator for i.i.d.-ish samples
+/// (per-access latencies and similar tallies).
+class OnlineStats {
+ public:
+  void add(double x);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 with fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths,
+/// busy indicators). Call `set` whenever the value changes; `mean(now)`
+/// integrates up to `now`.
+class TimeAverage {
+ public:
+  explicit TimeAverage(double start_time = 0.0, double initial = 0.0)
+      : value_(initial), last_change_(start_time), start_(start_time) {}
+
+  /// Record that the signal takes value `v` from time `now` on.
+  void set(double now, double v);
+
+  /// Add `delta` to the current value at time `now`.
+  void add(double now, double delta);
+
+  /// Restart integration at `now`, keeping the current value.
+  void reset(double now);
+
+  [[nodiscard]] double value() const { return value_; }
+
+  /// Time-average over [reset_time, now].
+  [[nodiscard]] double mean(double now) const;
+
+ private:
+  double value_;
+  double weighted_sum_ = 0.0;
+  double last_change_;
+  double start_;
+};
+
+/// Batch-means confidence intervals: split a stream of samples into `b`
+/// equal batches and treat batch means as i.i.d. normal. Standard output
+/// analysis for steady-state simulations.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t num_batches = 20);
+
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double mean() const;
+
+  /// Half-width of the (approximately) 95% confidence interval on the
+  /// mean. Returns 0 until at least two batches have data.
+  [[nodiscard]] double half_width_95() const;
+
+ private:
+  std::vector<double> sums_;
+  std::vector<std::size_t> counts_;
+  std::size_t count_ = 0;
+};
+
+}  // namespace latol::sim

@@ -1,0 +1,44 @@
+#include "topo/hypercube.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace latol::topo {
+
+Hypercube::Hypercube(int dimension) : dimension_(dimension) {
+  LATOL_REQUIRE(dimension >= 0 && dimension <= 20,
+                "hypercube dimension " << dimension);
+}
+
+int Hypercube::distance(int a, int b) const {
+  LATOL_REQUIRE(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+                "nodes " << a << ',' << b);
+  return std::popcount(static_cast<unsigned>(a ^ b));
+}
+
+std::vector<int> Hypercube::route(int src, int dst, bool, bool) const {
+  LATOL_REQUIRE(src >= 0 && src < num_nodes() && dst >= 0 &&
+                    dst < num_nodes(),
+                "nodes " << src << ',' << dst);
+  std::vector<int> nodes;
+  int at = src;
+  for (int bit = 0; bit < dimension_; ++bit) {
+    const int mask = 1 << bit;
+    if ((at & mask) != (dst & mask)) {
+      at ^= mask;
+      nodes.push_back(at);
+    }
+  }
+  return nodes;
+}
+
+std::vector<std::pair<int, double>> Hypercube::inbound_visits(
+    int src, int dst) const {
+  std::vector<std::pair<int, double>> visits;
+  for (const int node : route(src, dst, true, true))
+    visits.emplace_back(node, 1.0);
+  return visits;
+}
+
+}  // namespace latol::topo

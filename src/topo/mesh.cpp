@@ -1,0 +1,45 @@
+#include "topo/mesh.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace latol::topo {
+
+Mesh2D::Mesh2D(int side) : side_(side) {
+  LATOL_REQUIRE(side >= 1, "mesh side must be >= 1, got " << side);
+}
+
+int Mesh2D::distance(int a, int b) const {
+  LATOL_REQUIRE(a >= 0 && a < num_nodes() && b >= 0 && b < num_nodes(),
+                "nodes " << a << ',' << b);
+  return std::abs(x_of(a) - x_of(b)) + std::abs(y_of(a) - y_of(b));
+}
+
+std::vector<int> Mesh2D::route(int src, int dst, bool, bool) const {
+  LATOL_REQUIRE(src >= 0 && src < num_nodes() && dst >= 0 &&
+                    dst < num_nodes(),
+                "nodes " << src << ',' << dst);
+  std::vector<int> nodes;
+  int x = x_of(src), y = y_of(src);
+  const int dx = x_of(dst), dy = y_of(dst);
+  while (x != dx) {
+    x += (dx > x) ? 1 : -1;
+    nodes.push_back(y * side_ + x);
+  }
+  while (y != dy) {
+    y += (dy > y) ? 1 : -1;
+    nodes.push_back(y * side_ + x);
+  }
+  return nodes;
+}
+
+std::vector<std::pair<int, double>> Mesh2D::inbound_visits(int src,
+                                                           int dst) const {
+  std::vector<std::pair<int, double>> visits;
+  for (const int node : route(src, dst, true, true))
+    visits.emplace_back(node, 1.0);
+  return visits;
+}
+
+}  // namespace latol::topo

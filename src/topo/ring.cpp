@@ -1,0 +1,61 @@
+#include "topo/ring.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace latol::topo {
+
+Ring::Ring(int nodes) : nodes_(nodes) {
+  LATOL_REQUIRE(nodes >= 1, "ring needs >= 1 node, got " << nodes);
+}
+
+int Ring::distance(int a, int b) const {
+  LATOL_REQUIRE(a >= 0 && a < nodes_ && b >= 0 && b < nodes_,
+                "nodes " << a << ',' << b);
+  const int d = std::abs(a - b);
+  return std::min(d, nodes_ - d);
+}
+
+std::vector<int> Ring::route(int src, int dst, bool tie_a, bool) const {
+  LATOL_REQUIRE(src >= 0 && src < nodes_ && dst >= 0 && dst < nodes_,
+                "nodes " << src << ',' << dst);
+  std::vector<int> nodes;
+  if (src == dst) return nodes;
+  const int forward = ((dst - src) % nodes_ + nodes_) % nodes_;
+  const int backward = nodes_ - forward;
+  int step;
+  if (forward < backward) {
+    step = +1;
+  } else if (backward < forward) {
+    step = -1;
+  } else {
+    step = tie_a ? +1 : -1;
+  }
+  int at = src;
+  while (at != dst) {
+    at = ((at + step) % nodes_ + nodes_) % nodes_;
+    nodes.push_back(at);
+  }
+  return nodes;
+}
+
+std::vector<std::pair<int, double>> Ring::inbound_visits(int src,
+                                                         int dst) const {
+  std::vector<std::pair<int, double>> visits;
+  if (src == dst) return visits;
+  const int forward = ((dst - src) % nodes_ + nodes_) % nodes_;
+  const int backward = nodes_ - forward;
+  if (forward != backward) {
+    for (const int node : route(src, dst, true, true))
+      visits.emplace_back(node, 1.0);
+    return visits;
+  }
+  for (const int node : route(src, dst, /*tie_a=*/true, true))
+    visits.emplace_back(node, 0.5);
+  for (const int node : route(src, dst, /*tie_a=*/false, true))
+    visits.emplace_back(node, 0.5);
+  return visits;
+}
+
+}  // namespace latol::topo

@@ -1,0 +1,122 @@
+#include "topo/torus.hpp"
+
+#include <cstdlib>
+
+#include "util/error.hpp"
+
+namespace latol::topo {
+
+namespace {
+
+/// Ring distance between positions a and b on a ring of size k.
+int ring_distance(int a, int b, int k) {
+  const int d = std::abs(a - b);
+  return std::min(d, k - d);
+}
+
+}  // namespace
+
+Torus2D::Torus2D(int side) : side_(side) {
+  LATOL_REQUIRE(side >= 1, "torus side must be >= 1, got " << side);
+  distance_profile_.assign(static_cast<std::size_t>(max_distance()) + 1, 0);
+  for (int n = 0; n < num_nodes(); ++n)
+    ++distance_profile_[static_cast<std::size_t>(distance(0, n))];
+}
+
+int Torus2D::x_of(int node) const {
+  LATOL_REQUIRE(node >= 0 && node < num_nodes(), "node " << node);
+  return node % side_;
+}
+
+int Torus2D::y_of(int node) const {
+  LATOL_REQUIRE(node >= 0 && node < num_nodes(), "node " << node);
+  return node / side_;
+}
+
+int Torus2D::node_at(int x, int y) const {
+  LATOL_REQUIRE(x >= 0 && x < side_ && y >= 0 && y < side_,
+                "coordinates (" << x << ',' << y << ") outside " << side_
+                                << 'x' << side_);
+  return y * side_ + x;
+}
+
+int Torus2D::distance(int a, int b) const {
+  return ring_distance(x_of(a), x_of(b), side_) +
+         ring_distance(y_of(a), y_of(b), side_);
+}
+
+int Torus2D::max_distance() const { return 2 * (side_ / 2); }
+
+std::vector<std::pair<int, double>> Torus2D::ring_directions(int from,
+                                                             int to) const {
+  if (from == to) return {};
+  const int forward = ((to - from) % side_ + side_) % side_;
+  const int backward = side_ - forward;
+  if (forward < backward) return {{+1, 1.0}};
+  if (backward < forward) return {{-1, 1.0}};
+  return {{+1, 0.5}, {-1, 0.5}};  // half-ring tie: split both ways
+}
+
+std::vector<std::pair<int, double>> Torus2D::inbound_visits(int src,
+                                                            int dst) const {
+  std::vector<std::pair<int, double>> visits;
+  if (src == dst) return visits;
+  const int sx = x_of(src), sy = y_of(src);
+  const int dx = x_of(dst), dy = y_of(dst);
+  const auto x_dirs = ring_directions(sx, dx);
+  const auto y_dirs = ring_directions(sy, dy);
+
+  auto walk = [&](int x_step, int y_step, double weight) {
+    int x = sx, y = sy;
+    while (x != dx) {
+      x = ((x + x_step) % side_ + side_) % side_;
+      visits.emplace_back(node_at(x, y), weight);
+    }
+    while (y != dy) {
+      y = ((y + y_step) % side_ + side_) % side_;
+      visits.emplace_back(node_at(x, y), weight);
+    }
+  };
+
+  if (x_dirs.empty()) {
+    for (const auto& [ys, yw] : y_dirs) walk(0, ys, yw);
+  } else if (y_dirs.empty()) {
+    for (const auto& [xs, xw] : x_dirs) walk(xs, 0, xw);
+  } else {
+    for (const auto& [xs, xw] : x_dirs)
+      for (const auto& [ys, yw] : y_dirs) walk(xs, ys, xw * yw);
+  }
+  return visits;
+}
+
+std::vector<int> Torus2D::path(int src, int dst, bool x_tie_positive,
+                               bool y_tie_positive) const {
+  std::vector<int> nodes;
+  if (src == dst) return nodes;
+  const int sx = x_of(src), sy = y_of(src);
+  const int dx = x_of(dst), dy = y_of(dst);
+
+  auto direction = [&](int from, int to, bool tie_positive) {
+    if (from == to) return 0;
+    const int forward = ((to - from) % side_ + side_) % side_;
+    const int backward = side_ - forward;
+    if (forward < backward) return +1;
+    if (backward < forward) return -1;
+    return tie_positive ? +1 : -1;
+  };
+
+  int x = sx, y = sy;
+  const int x_step = direction(sx, dx, x_tie_positive);
+  while (x != dx) {
+    x = ((x + x_step) % side_ + side_) % side_;
+    nodes.push_back(node_at(x, y));
+  }
+  const int y_step = direction(sy, dy, y_tie_positive);
+  while (y != dy) {
+    y = ((y + y_step) % side_ + side_) % side_;
+    nodes.push_back(node_at(x, y));
+  }
+  return nodes;
+}
+
+}  // namespace latol::topo

@@ -1,0 +1,104 @@
+#include "topo/traffic.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace latol::topo {
+
+double geometric_average_distance(int d_max, double p_sw) {
+  LATOL_REQUIRE(d_max >= 1, "d_max " << d_max);
+  LATOL_REQUIRE(p_sw > 0.0 && p_sw <= 1.0, "p_sw " << p_sw);
+  double num = 0.0, den = 0.0;
+  double ph = 1.0;
+  for (int h = 1; h <= d_max; ++h) {
+    ph *= p_sw;
+    num += static_cast<double>(h) * ph;
+    den += ph;
+  }
+  return num / den;
+}
+
+RemoteAccessDistribution::RemoteAccessDistribution(const Topology& topology,
+                                                   const TrafficConfig& config)
+    : topology_(topology), config_(config) {
+  const int P = topology.num_nodes();
+  LATOL_REQUIRE(P >= 2, "remote accesses need at least two nodes");
+  if (config.pattern == AccessPattern::kGeometric) {
+    LATOL_REQUIRE(config.p_sw > 0.0 && config.p_sw <= 1.0,
+                  "p_sw " << config.p_sw);
+  }
+  if (config.hotspot_node >= 0 || config.hotspot_fraction != 0.0) {
+    LATOL_REQUIRE(config.hotspot_node >= 0 && config.hotspot_node < P,
+                  "hotspot node " << config.hotspot_node);
+    LATOL_REQUIRE(
+        config.hotspot_fraction >= 0.0 && config.hotspot_fraction <= 1.0,
+        "hotspot_fraction " << config.hotspot_fraction);
+  }
+
+  prob_ = util::Matrix(static_cast<std::size_t>(P),
+                       static_cast<std::size_t>(P), 0.0);
+  davg_from_.assign(static_cast<std::size_t>(P), 0.0);
+  class_prob_.assign(static_cast<std::size_t>(topology.max_distance()) + 1,
+                     0.0);
+
+  for (int src = 0; src < P; ++src) {
+    const auto s = static_cast<std::size_t>(src);
+    const std::vector<int> profile = topology.distance_profile_from(src);
+
+    // Base (pattern) weights, then per-source normalization.
+    double total = 0.0;
+    for (int dst = 0; dst < P; ++dst) {
+      if (dst == src) continue;
+      const int h = topology.distance(src, dst);
+      double w = 0.0;
+      switch (config.pattern) {
+        case AccessPattern::kUniform:
+          w = 1.0;
+          break;
+        case AccessPattern::kGeometric:
+          if (config.mode == GeometricMode::kPerModule) {
+            w = std::pow(config.p_sw, h);
+          } else {
+            // Distance-class convention: the class carries p_sw^h, shared
+            // equally by the N_h(src) modules in it.
+            w = std::pow(config.p_sw, h) /
+                static_cast<double>(profile[static_cast<std::size_t>(h)]);
+          }
+          break;
+      }
+      prob_(s, static_cast<std::size_t>(dst)) = w;
+      total += w;
+    }
+    LATOL_REQUIRE(total > 0.0, "no reachable destinations from " << src);
+    for (int dst = 0; dst < P; ++dst)
+      prob_(s, static_cast<std::size_t>(dst)) /= total;
+
+    // Record the base distance-class distribution from node 0 before any
+    // hotspot redistribution (API compatibility + DES sanity checks).
+    if (src == 0) {
+      for (int dst = 0; dst < P; ++dst) {
+        if (dst == 0) continue;
+        class_prob_[static_cast<std::size_t>(topology.distance(0, dst))] +=
+            prob_(0, static_cast<std::size_t>(dst));
+      }
+    }
+
+    // Hotspot redirection on top of the base pattern.
+    if (has_hotspot() && src != config.hotspot_node) {
+      const double f = config.hotspot_fraction;
+      for (int dst = 0; dst < P; ++dst)
+        prob_(s, static_cast<std::size_t>(dst)) *= (1.0 - f);
+      prob_(s, static_cast<std::size_t>(config.hotspot_node)) += f;
+    }
+
+    for (int dst = 0; dst < P; ++dst) {
+      davg_from_[s] += prob_(s, static_cast<std::size_t>(dst)) *
+                       topology.distance(src, dst);
+    }
+    d_avg_ += davg_from_[s];
+  }
+  d_avg_ /= static_cast<double>(P);
+}
+
+}  // namespace latol::topo

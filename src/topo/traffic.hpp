@@ -1,0 +1,109 @@
+// Remote-access traffic patterns over an interconnect (the paper's
+// em_{i,j}).
+//
+// The paper studies two destination distributions for remote memory
+// accesses:
+//  - geometric with locality factor p_sw: the probability of touching a
+//    module at distance h shrinks by p_sw per hop; small p_sw = strong
+//    locality. The paper's d_avg formula (sum_h h p^h / sum_h p^h) assigns
+//    p_sw^h/a to the *distance class* h — with equal weight for each of
+//    the N_h modules in the class. (Weighting classes by N_h instead is
+//    the kPerModule variant; it gives d_avg = 1.66 instead of the paper's
+//    1.733 at k = 4, p_sw = 0.5, which is how we know kDistanceClass is
+//    the paper's reading.)
+//  - uniform over the P-1 remote modules.
+//
+// Distributions are tabulated per source node, so non-vertex-transitive
+// topologies (2-D mesh) and the hotspot extension work uniformly.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+#include "util/matrix.hpp"
+
+namespace latol::topo {
+
+/// Destination distribution family for remote accesses.
+enum class AccessPattern {
+  kGeometric,
+  kUniform,
+};
+
+/// Normalization convention for the geometric pattern (see file comment).
+enum class GeometricMode {
+  kDistanceClass,  // paper's convention: P(distance = h) proportional to p_sw^h
+  kPerModule,      // P(module at distance h) proportional to p_sw^h
+};
+
+/// Parameters of a remote-access pattern.
+///
+/// The optional hotspot models shared data concentrated on one node (an
+/// extension beyond the paper's SPMD symmetry): a fraction
+/// `hotspot_fraction` of every other node's remote accesses is redirected
+/// to `hotspot_node`, the rest follows the base pattern. The hotspot
+/// node's own accesses follow the base pattern unchanged.
+struct TrafficConfig {
+  AccessPattern pattern = AccessPattern::kGeometric;
+  double p_sw = 0.5;
+  GeometricMode mode = GeometricMode::kDistanceClass;
+  int hotspot_node = -1;          ///< -1 disables the hotspot
+  double hotspot_fraction = 0.0;  ///< in [0, 1]
+};
+
+/// The per-destination probability distribution q(src -> dst) of a remote
+/// access, plus derived quantities (d_avg).
+class RemoteAccessDistribution {
+ public:
+  RemoteAccessDistribution(const Topology& topology,
+                           const TrafficConfig& config);
+
+  /// Probability that a remote access from `src` targets module `dst`.
+  /// Zero when dst == src. Sums to 1 over all dst != src.
+  [[nodiscard]] double probability(int src, int dst) const {
+    return prob_(static_cast<std::size_t>(src),
+                 static_cast<std::size_t>(dst));
+  }
+
+  /// P(distance class == h) of the *base* pattern as seen from node 0,
+  /// h = 1..max_distance (index 0 unused = 0). Exact for every source on
+  /// vertex-transitive topologies without a hotspot; use probability()
+  /// for the general case.
+  [[nodiscard]] const std::vector<double>& distance_class_probability() const {
+    return class_prob_;
+  }
+
+  /// Average hops traveled by a remote access (the paper's d_avg), as the
+  /// mean over all source nodes.
+  [[nodiscard]] double average_distance() const { return d_avg_; }
+
+  /// Average hops for remote accesses issued by one source node.
+  [[nodiscard]] double average_distance_from(int src) const {
+    return davg_from_[static_cast<std::size_t>(src)];
+  }
+
+  /// True when a hotspot redirection is active.
+  [[nodiscard]] bool has_hotspot() const {
+    return config_.hotspot_node >= 0 && config_.hotspot_fraction > 0.0;
+  }
+
+  [[nodiscard]] const Topology& topology() const { return topology_; }
+  [[nodiscard]] const TrafficConfig& config() const { return config_; }
+
+ private:
+  const Topology& topology_;
+  TrafficConfig config_;
+  util::Matrix prob_;              // P x P destination probabilities
+  std::vector<double> class_prob_; // base pattern by distance, from node 0
+  std::vector<double> davg_from_;  // per-source average distance
+  double d_avg_ = 0.0;
+};
+
+/// The paper's closed-form d_avg for the geometric distance-class pattern:
+/// sum_h h p_sw^h / sum_h p_sw^h over h = 1..d_max. Matches
+/// RemoteAccessDistribution::average_distance() on vertex-transitive
+/// topologies and exists mainly so tests can pin the 1.733 constant
+/// independently of the class above.
+[[nodiscard]] double geometric_average_distance(int d_max, double p_sw);
+
+}  // namespace latol::topo

@@ -1,0 +1,41 @@
+#include "util/csv.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace latol::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  LATOL_REQUIRE(out_.good(), "cannot open CSV file `" << path << "`");
+  LATOL_REQUIRE(!header.empty(), "CSV header must not be empty");
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream os;
+    os.precision(std::numeric_limits<double>::max_digits10);
+    os << v;
+    cells.push_back(os.str());
+  }
+  add_row(cells);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  LATOL_REQUIRE(cells.size() == columns_,
+                "CSV row has " << cells.size() << " cells, expected "
+                               << columns_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace latol::util

@@ -1,0 +1,28 @@
+// CSV writer for bench output intended for plotting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace latol::util {
+
+/// Streams rows of doubles/strings to a CSV file. The writer is append-only
+/// and flushes on destruction; failures to open throw.
+class CsvWriter {
+ public:
+  /// Open `path` for writing and emit the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Append a numeric row (formatted with max round-trip precision).
+  void add_row(const std::vector<double>& values);
+
+  /// Append a row of preformatted cells.
+  void add_row(const std::vector<std::string>& cells);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+}  // namespace latol::util

@@ -1,0 +1,55 @@
+// Error-handling helpers shared across latol modules.
+//
+// Configuration objects validate eagerly (throwing latol::InvalidArgument
+// from constructors / factory functions); numerical routines validate their
+// preconditions with LATOL_REQUIRE so a misuse fails loudly instead of
+// producing quietly-wrong performance numbers.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace latol {
+
+/// Thrown when a model or solver is constructed from inconsistent inputs
+/// (negative service times, probabilities outside [0,1], empty networks...).
+class InvalidArgument : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an iterative solver fails to converge within its budget.
+class ConvergenceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement_failure(
+    const char* expr, const std::string& message,
+    const std::source_location loc = std::source_location::current()) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": requirement `" << expr
+     << "` failed";
+  if (!message.empty()) os << ": " << message;
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace latol
+
+/// Precondition check that survives in release builds. `msg` may use
+/// stream syntax: LATOL_REQUIRE(x > 0, "x=" << x).
+#define LATOL_REQUIRE(cond, msg)                                       \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      std::ostringstream latol_require_os_;                            \
+      latol_require_os_ << msg; /* NOLINT */                           \
+      ::latol::detail::throw_requirement_failure(#cond,                \
+                                                 latol_require_os_.str()); \
+    }                                                                  \
+  } while (false)

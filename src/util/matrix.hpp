@@ -1,0 +1,87 @@
+// Small dense row-major matrix plus a partial-pivoting linear solver.
+//
+// The queueing library needs only modest dense algebra: visit-ratio traffic
+// equations (M x M with M = 4P <= 400) and stationary CTMC solves on tiny
+// state spaces. No BLAS dependency is warranted at these sizes.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace latol::util {
+
+/// Dense row-major matrix of doubles with bounds-checked element access.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized (or filled with `fill`).
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    LATOL_REQUIRE(r < rows_ && c < cols_,
+                  "matrix index (" << r << ',' << c << ") out of " << rows_
+                                   << 'x' << cols_);
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    LATOL_REQUIRE(r < rows_ && c < cols_,
+                  "matrix index (" << r << ',' << c << ") out of " << rows_
+                                   << 'x' << cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw storage, row-major; useful for whole-matrix updates.
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve A x = b by Gaussian elimination with partial pivoting. A is
+/// consumed by value (it is modified in place). Throws InvalidArgument on a
+/// numerically singular system.
+inline std::vector<double> solve_linear_system(Matrix a,
+                                               std::vector<double> b) {
+  const std::size_t n = a.rows();
+  LATOL_REQUIRE(a.cols() == n, "solve_linear_system needs a square matrix");
+  LATOL_REQUIRE(b.size() == n, "rhs size mismatch");
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    LATOL_REQUIRE(std::fabs(a(pivot, col)) > 1e-300,
+                  "singular linear system at column " << col);
+    if (pivot != col) {
+      for (std::size_t c = col; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double sum = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) sum -= a(ri, c) * x[c];
+    x[ri] = sum / a(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace latol::util

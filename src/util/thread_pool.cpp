@@ -1,0 +1,113 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+#include "util/error.hpp"
+
+namespace latol::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  task_ready_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  LATOL_REQUIRE(task != nullptr, "cannot submit an empty task");
+  {
+    const std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      task_ready_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      const std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+namespace {
+
+// Shared between the submitting thread and every worker task; owned by
+// shared_ptr because queued tasks may start after parallel_for returned
+// (the call returns as soon as all *indices* are done, not all tasks).
+struct ParallelForState {
+  explicit ParallelForState(std::size_t total,
+                            std::function<void(std::size_t)> fn)
+      : n(total), body(std::move(fn)) {}
+  const std::size_t n;
+  const std::function<void(std::size_t)> body;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex mutex;
+  std::condition_variable cv;
+};
+
+}  // namespace
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  auto state = std::make_shared<ParallelForState>(n, body);
+  const std::size_t tasks = std::min(
+      n, pool.worker_count() == 0 ? std::size_t{1} : pool.worker_count());
+  for (std::size_t t = 0; t < tasks; ++t) {
+    pool.submit([state] {
+      for (;;) {
+        const std::size_t i = state->next.fetch_add(1);
+        if (i >= state->n) break;
+        state->body(i);
+        if (state->done.fetch_add(1) + 1 == state->n) {
+          const std::lock_guard lock(state->mutex);
+          state->cv.notify_all();
+        }
+      }
+    });
+  }
+  std::unique_lock lock(state->mutex);
+  state->cv.wait(lock, [&] { return state->done.load() == state->n; });
+}
+
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t workers) {
+  ThreadPool pool(workers);
+  parallel_for(pool, n, body);
+}
+
+}  // namespace latol::util

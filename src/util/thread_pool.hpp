@@ -1,0 +1,61 @@
+// Fixed-size worker pool plus a deterministic parallel_for.
+//
+// The reproduction figures are dense 2-D parameter sweeps; each grid point
+// is an independent AMVA solve, so the sweep layer fans work out over a
+// pool. Results are written to pre-sized slots indexed by the loop
+// variable, so output is bit-identical regardless of worker count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace latol::util {
+
+/// A plain fixed-size thread pool with a FIFO task queue. Tasks must not
+/// throw (exceptions escaping a task terminate, per std::thread rules);
+/// sweep users capture errors into their result slots instead.
+class ThreadPool {
+ public:
+  /// Spawn `workers` threads (0 selects hardware_concurrency, min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue one task.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t worker_count() const { return threads_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable idle_;
+  std::queue<std::function<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  std::size_t in_flight_ = 0;
+  bool stopping_ = false;
+};
+
+/// Run `body(i)` for i in [0, n), distributing iterations over `pool`.
+/// Blocks until all iterations complete. `body` must be safe to invoke
+/// concurrently for distinct indices.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& body);
+
+/// Convenience overload with a transient pool (0 = hardware concurrency).
+void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                  std::size_t workers = 0);
+
+}  // namespace latol::util

@@ -1,0 +1,167 @@
+#include "cli/options.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace latol::cli {
+namespace {
+
+TEST(CliParse, EmptyDefaultsToHelp) {
+  const CliOptions opts = parse_command_line({});
+  EXPECT_EQ(opts.command, "help");
+}
+
+TEST(CliParse, UnknownCommandThrows) {
+  EXPECT_THROW((void)parse_command_line({"frobnicate"}), InvalidArgument);
+}
+
+TEST(CliParse, MachineFlagsApply) {
+  const CliOptions opts = parse_command_line(
+      {"analyze", "--k", "8", "--topology", "mesh", "--threads", "4",
+       "--runlength", "20", "--p-remote", "0.3", "--pattern", "uniform",
+       "--memory-latency", "15", "--switch-delay", "5", "--context-switch",
+       "2"});
+  EXPECT_EQ(opts.command, "analyze");
+  EXPECT_EQ(opts.config.k, 8);
+  EXPECT_EQ(opts.config.topology, topo::TopologyKind::kMesh2D);
+  EXPECT_EQ(opts.config.threads_per_processor, 4);
+  EXPECT_DOUBLE_EQ(opts.config.runlength, 20.0);
+  EXPECT_DOUBLE_EQ(opts.config.p_remote, 0.3);
+  EXPECT_EQ(opts.config.traffic.pattern, topo::AccessPattern::kUniform);
+  EXPECT_DOUBLE_EQ(opts.config.memory_latency, 15.0);
+  EXPECT_DOUBLE_EQ(opts.config.switch_delay, 5.0);
+  EXPECT_DOUBLE_EQ(opts.config.context_switch, 2.0);
+}
+
+TEST(CliParse, ExtensionFlagsApply) {
+  const CliOptions opts = parse_command_line(
+      {"analyze", "--memory-ports", "2", "--pipelined-switches",
+       "--hotspot-node", "3", "--hotspot-fraction", "0.4"});
+  EXPECT_EQ(opts.config.memory_ports, 2);
+  EXPECT_TRUE(opts.config.pipelined_switches);
+  EXPECT_EQ(opts.config.traffic.hotspot_node, 3);
+  EXPECT_DOUBLE_EQ(opts.config.traffic.hotspot_fraction, 0.4);
+}
+
+TEST(CliRun, SweepSupportsExtensionParameters) {
+  struct Case {
+    const char* param;
+    const char* from;
+    const char* to;
+  };
+  for (const Case c : {Case{"p_sw", "0.2", "0.8"},
+                       Case{"context_switch", "0", "5"},
+                       Case{"memory_ports", "1", "2"}}) {
+    std::ostringstream out;
+    const CliOptions opts = parse_command_line(
+        {"sweep", "--param", c.param, "--from", c.from, "--to", c.to,
+         "--steps", "2"});
+    EXPECT_EQ(run_command(opts, out), 0) << c.param;
+  }
+}
+
+TEST(CliParse, SweepAndSimulateFlags) {
+  const CliOptions sweep = parse_command_line(
+      {"sweep", "--param", "threads", "--from", "1", "--to", "8", "--steps",
+       "8"});
+  EXPECT_EQ(sweep.sweep_param, "threads");
+  EXPECT_DOUBLE_EQ(sweep.sweep_from, 1.0);
+  EXPECT_DOUBLE_EQ(sweep.sweep_to, 8.0);
+  EXPECT_EQ(sweep.sweep_steps, 8);
+
+  const CliOptions sim = parse_command_line(
+      {"simulate", "--time", "5000", "--seed", "7", "--petri"});
+  EXPECT_DOUBLE_EQ(sim.sim_time, 5000.0);
+  EXPECT_EQ(sim.seed, 7u);
+  EXPECT_TRUE(sim.use_petri);
+}
+
+TEST(CliParse, RejectsBadValues) {
+  EXPECT_THROW((void)parse_command_line({"analyze", "--k", "four"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"analyze", "--p-remote"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"analyze", "--topology", "star"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"analyze", "--bogus", "1"}),
+               InvalidArgument);
+}
+
+TEST(CliRun, HelpPrintsUsage) {
+  std::ostringstream out;
+  CliOptions opts;
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("usage: latol"), std::string::npos);
+}
+
+TEST(CliRun, AnalyzeReportsHeadlineNumbers) {
+  std::ostringstream out;
+  const CliOptions opts = parse_command_line({"analyze"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("U_p"), std::string::npos);
+  EXPECT_NE(out.str().find("S_obs"), std::string::npos);
+  EXPECT_NE(out.str().find("0.81"), std::string::npos);  // default U_p
+}
+
+TEST(CliRun, ToleranceReportsZones) {
+  std::ostringstream out;
+  const CliOptions opts = parse_command_line({"tolerance"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("tol_network"), std::string::npos);
+  EXPECT_NE(out.str().find("tolerated"), std::string::npos);
+  EXPECT_NE(out.str().find("tune first"), std::string::npos);
+}
+
+TEST(CliRun, BottleneckPrintsClosedForms) {
+  std::ostringstream out;
+  const CliOptions opts = parse_command_line({"bottleneck"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("Eq.4"), std::string::npos);
+  EXPECT_NE(out.str().find("1.73"), std::string::npos);  // d_avg
+}
+
+TEST(CliRun, SweepProducesRequestedRows) {
+  std::ostringstream out;
+  const CliOptions opts = parse_command_line(
+      {"sweep", "--param", "threads", "--from", "1", "--to", "4", "--steps",
+       "4"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  // Header + rule + 4 rows appear in the table.
+  EXPECT_NE(out.str().find("1.000"), std::string::npos);
+  EXPECT_NE(out.str().find("4.000"), std::string::npos);
+}
+
+TEST(CliRun, SweepRejectsUnknownParameter) {
+  std::ostringstream out;
+  CliOptions opts = parse_command_line({"sweep", "--param", "voltage"});
+  EXPECT_THROW((void)run_command(opts, out), InvalidArgument);
+}
+
+TEST(CliRun, SimulateComparesAgainstModel) {
+  std::ostringstream out;
+  const CliOptions opts =
+      parse_command_line({"simulate", "--time", "20000", "--seed", "3"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("dev%"), std::string::npos);
+  EXPECT_NE(out.str().find("discrete-event"), std::string::npos);
+}
+
+TEST(CliRun, SimulatePetriVariant) {
+  std::ostringstream out;
+  CliOptions opts = parse_command_line(
+      {"simulate", "--time", "10000", "--k", "2", "--petri"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("Petri"), std::string::npos);
+}
+
+TEST(CliRun, InvalidConfigSurfacesAsError) {
+  std::ostringstream out;
+  CliOptions opts = parse_command_line({"analyze", "--p-remote", "1.5"});
+  EXPECT_THROW((void)run_command(opts, out), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace latol::cli

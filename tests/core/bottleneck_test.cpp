@@ -1,0 +1,91 @@
+#include "core/bottleneck.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/mms_model.hpp"
+
+namespace latol::core {
+namespace {
+
+TEST(Bottleneck, PaperConstantsAtDefaults) {
+  const BottleneckAnalysis bn = bottleneck_analysis(MmsConfig::paper_defaults());
+  EXPECT_NEAR(bn.d_avg, 1.7333, 1e-4);
+  // Eq. 4: 1/(2 * 1.733 * 10) = 0.0288 (paper prints 0.029).
+  EXPECT_NEAR(bn.lambda_net_sat, 0.0288, 5e-4);
+  // Network saturation point for R=10: ~0.29 (paper: "0.3").
+  EXPECT_NEAR(bn.p_remote_sat, 0.288, 5e-3);
+  // Eq. 5 at R=10: ~0.18.
+  EXPECT_NEAR(bn.p_remote_critical, 0.183, 5e-3);
+  EXPECT_NEAR(bn.unloaded_one_way, 27.33, 0.05);
+  EXPECT_NEAR(bn.unloaded_round_trip, 54.67, 0.1);
+  EXPECT_NEAR(bn.memory_service_rate, 0.1, 1e-12);
+}
+
+TEST(Bottleneck, DoubledRunlengthMatchesPaper) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.runlength = 20.0;
+  const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+  // Paper: lambda_net saturates at p_remote ~0.6 for R=20...
+  EXPECT_NEAR(bn.p_remote_sat, 0.577, 5e-3);
+  // ...and the critical p_remote is ~0.68.
+  EXPECT_NEAR(bn.p_remote_critical, 0.683, 5e-3);
+}
+
+TEST(Bottleneck, ZeroSwitchDelayMeansNoNetworkBottleneck) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.switch_delay = 0.0;
+  const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+  EXPECT_TRUE(std::isinf(bn.lambda_net_sat));
+  EXPECT_DOUBLE_EQ(bn.p_remote_sat, 1.0);
+  EXPECT_DOUBLE_EQ(bn.p_remote_critical, 1.0);
+  EXPECT_DOUBLE_EQ(bn.unloaded_one_way, 0.0);
+}
+
+TEST(Bottleneck, ZeroMemoryLatency) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.memory_latency = 0.0;
+  const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+  EXPECT_TRUE(std::isinf(bn.memory_service_rate));
+  // With L = 0, Eq. 5 reduces to p_crit = 1 (clamped).
+  EXPECT_DOUBLE_EQ(bn.p_remote_critical, 1.0);
+}
+
+TEST(Bottleneck, CriticalPointClampsToZeroForSlowMemory) {
+  // L >> R: the memory alone starves the processor; p_crit clamps at 0.
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.memory_latency = 1000.0;
+  const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+  EXPECT_DOUBLE_EQ(bn.p_remote_critical, 0.0);
+}
+
+TEST(Bottleneck, SaturationRateScalesInverselyWithSwitchDelay) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  const double base = bottleneck_analysis(cfg).lambda_net_sat;
+  cfg.switch_delay = 20.0;
+  EXPECT_NEAR(bottleneck_analysis(cfg).lambda_net_sat, base / 2.0, 1e-12);
+}
+
+TEST(Bottleneck, UniformPatternLowersSaturation) {
+  MmsConfig geo = MmsConfig::paper_defaults();
+  MmsConfig uni = geo;
+  uni.traffic.pattern = topo::AccessPattern::kUniform;
+  // Uniform traffic travels farther, so the network saturates earlier.
+  EXPECT_LT(bottleneck_analysis(uni).lambda_net_sat,
+            bottleneck_analysis(geo).lambda_net_sat);
+}
+
+TEST(Bottleneck, SaturationPredictsModelBehavior) {
+  // Integration: the AMVA-computed message rate must never exceed Eq. 4's
+  // closed-form cap (and should come close at very high p_remote).
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  const double cap = bottleneck_analysis(cfg).lambda_net_sat;
+  cfg.p_remote = 0.8;
+  const double rate = analyze(cfg).message_rate;
+  EXPECT_LE(rate, cap * 1.001);
+  EXPECT_GT(rate, cap * 0.85);
+}
+
+}  // namespace
+}  // namespace latol::core

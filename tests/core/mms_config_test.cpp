@@ -1,0 +1,110 @@
+#include "core/mms_config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace latol::core {
+namespace {
+
+TEST(MmsConfig, PaperDefaultsMatchTableOne) {
+  const MmsConfig c = MmsConfig::paper_defaults();
+  EXPECT_EQ(c.k, 4);
+  EXPECT_EQ(c.num_processors(), 16);
+  EXPECT_EQ(c.threads_per_processor, 8);
+  EXPECT_DOUBLE_EQ(c.runlength, 10.0);
+  EXPECT_DOUBLE_EQ(c.context_switch, 0.0);
+  EXPECT_DOUBLE_EQ(c.p_remote, 0.2);
+  EXPECT_DOUBLE_EQ(c.memory_latency, 10.0);
+  EXPECT_DOUBLE_EQ(c.switch_delay, 10.0);
+  EXPECT_EQ(c.traffic.pattern, topo::AccessPattern::kGeometric);
+  EXPECT_DOUBLE_EQ(c.traffic.p_sw, 0.5);
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(MmsConfig, ValidationCatchesBadValues) {
+  const MmsConfig base = MmsConfig::paper_defaults();
+
+  MmsConfig c = base;
+  c.k = 0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.runlength = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.memory_latency = -1.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.switch_delay = -0.5;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.p_remote = 1.2;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.threads_per_processor = 0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.traffic.p_sw = 0.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.context_switch = -1.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(MmsConfig, ExtensionDefaultsArePaperFaithful) {
+  const MmsConfig c = MmsConfig::paper_defaults();
+  EXPECT_EQ(c.topology, topo::TopologyKind::kTorus2D);
+  EXPECT_EQ(c.memory_ports, 1);
+  EXPECT_FALSE(c.pipelined_switches);
+  EXPECT_TRUE(c.count_source_outbound);
+  EXPECT_EQ(c.traffic.hotspot_node, -1);
+}
+
+TEST(MmsConfig, ProcessorCountPerTopology) {
+  MmsConfig c = MmsConfig::paper_defaults();
+  c.k = 4;
+  c.topology = topo::TopologyKind::kTorus2D;
+  EXPECT_EQ(c.num_processors(), 16);
+  c.topology = topo::TopologyKind::kMesh2D;
+  EXPECT_EQ(c.num_processors(), 16);
+  c.topology = topo::TopologyKind::kRing;
+  EXPECT_EQ(c.num_processors(), 4);
+  c.topology = topo::TopologyKind::kHypercube;
+  EXPECT_EQ(c.num_processors(), 16);
+}
+
+TEST(MmsConfig, ValidatesExtensionKnobs) {
+  MmsConfig c = MmsConfig::paper_defaults();
+  c.memory_ports = 0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c = MmsConfig::paper_defaults();
+  c.topology = topo::TopologyKind::kHypercube;
+  c.k = 13;  // above the 2^12 cap
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(MmsConfig, SingleNodeNeedsAllLocalAccesses) {
+  MmsConfig c = MmsConfig::paper_defaults();
+  c.k = 1;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+  c.p_remote = 0.0;
+  EXPECT_NO_THROW(c.validate());
+}
+
+TEST(MmsConfig, ZeroDelaysAreLegalIdealSystems) {
+  MmsConfig c = MmsConfig::paper_defaults();
+  c.switch_delay = 0.0;
+  EXPECT_NO_THROW(c.validate());
+  c.memory_latency = 0.0;
+  EXPECT_NO_THROW(c.validate());
+}
+
+}  // namespace
+}  // namespace latol::core

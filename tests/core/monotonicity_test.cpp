@@ -1,0 +1,133 @@
+// Monotonicity property suite: physical sanity constraints the model must
+// satisfy across its whole parameter space. Closed product-form networks
+// are provably monotone in service demands; these tests pin that down for
+// the assembled MMS model (any visit-ratio or extraction bug breaks them).
+#include <gtest/gtest.h>
+
+#include "core/latol.hpp"
+
+namespace latol::core {
+namespace {
+
+double up(const MmsConfig& cfg) { return analyze(cfg).processor_utilization; }
+
+class MonotoneInLoad : public ::testing::TestWithParam<double> {};
+
+TEST_P(MonotoneInLoad, UtilizationFallsWithSwitchDelay) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = GetParam();
+  double prev = 2.0;
+  for (const double s : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+    cfg.switch_delay = s;
+    const double u = up(cfg);
+    EXPECT_LE(u, prev + 1e-9) << "S=" << s;
+    prev = u;
+  }
+}
+
+TEST_P(MonotoneInLoad, UtilizationFallsWithMemoryLatency) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = GetParam();
+  double prev = 2.0;
+  for (const double l : {0.0, 5.0, 10.0, 20.0, 40.0}) {
+    cfg.memory_latency = l;
+    const double u = up(cfg);
+    EXPECT_LE(u, prev + 1e-9) << "L=" << l;
+    prev = u;
+  }
+}
+
+TEST_P(MonotoneInLoad, UtilizationRisesWithThreads) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = GetParam();
+  double prev = 0.0;
+  for (const int n : {1, 2, 4, 8, 16}) {
+    cfg.threads_per_processor = n;
+    const double u = up(cfg);
+    EXPECT_GE(u, prev - 1e-9) << "n_t=" << n;
+    prev = u;
+  }
+}
+
+TEST_P(MonotoneInLoad, UtilizationRisesWithMemoryPorts) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = GetParam();
+  cfg.runlength = 5.0;  // memory matters
+  double prev = 0.0;
+  for (const int ports : {1, 2, 3, 4}) {
+    cfg.memory_ports = ports;
+    const double u = up(cfg);
+    EXPECT_GE(u, prev - 1e-9) << "ports=" << ports;
+    prev = u;
+  }
+}
+
+TEST_P(MonotoneInLoad, UtilizationFallsWithContextSwitchOverhead) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = GetParam();
+  double prev = 2.0;
+  for (const double c : {0.0, 2.0, 5.0, 10.0}) {
+    cfg.context_switch = c;
+    const double u = up(cfg);
+    EXPECT_LE(u, prev + 1e-9) << "C=" << c;
+    prev = u;
+  }
+}
+
+TEST_P(MonotoneInLoad, PipeliningNeverHurts) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = GetParam();
+  const double queued = up(cfg);
+  cfg.pipelined_switches = true;
+  EXPECT_GE(up(cfg), queued - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RemoteFractions, MonotoneInLoad,
+                         ::testing::Values(0.05, 0.2, 0.5));
+
+TEST(Monotonicity, ObservedLatenciesGrowWithThreads) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  double prev_s = 0.0, prev_l = 0.0;
+  for (const int n : {1, 2, 4, 8}) {
+    cfg.threads_per_processor = n;
+    const MmsPerformance perf = analyze(cfg);
+    EXPECT_GE(perf.network_latency, prev_s - 1e-9);
+    EXPECT_GE(perf.memory_latency, prev_l - 1e-9);
+    prev_s = perf.network_latency;
+    prev_l = perf.memory_latency;
+  }
+}
+
+TEST(Monotonicity, BetterLocalityNeverHurtsOnLargeMachines) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.k = 8;
+  double prev = 0.0;
+  for (const double p_sw : {0.9, 0.7, 0.5, 0.3, 0.1}) {
+    cfg.traffic.p_sw = p_sw;
+    const double u = up(cfg);
+    EXPECT_GE(u, prev - 1e-9) << "p_sw=" << p_sw;
+    prev = u;
+  }
+}
+
+TEST(Monotonicity, UtilizationBoundedByClosedForms) {
+  // U_p can never beat either the memory-bound or the network-bound caps
+  // implied by the bottleneck analysis.
+  for (const double p : {0.1, 0.3, 0.6}) {
+    for (const double r : {5.0, 10.0, 20.0}) {
+      MmsConfig cfg = MmsConfig::paper_defaults();
+      cfg.p_remote = p;
+      cfg.runlength = r;
+      const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+      const MmsPerformance perf = analyze(cfg);
+      // Network cap: lambda * p <= lambda_net_sat.
+      EXPECT_LE(perf.message_rate, bn.lambda_net_sat * (1.0 + 1e-9));
+      // Memory cap: every memory serves rate lambda <= 1/L.
+      EXPECT_LE(perf.access_rate, bn.memory_service_rate * (1.0 + 1e-9));
+      EXPECT_LE(perf.processor_utilization, 1.0 + 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace latol::core

@@ -1,0 +1,98 @@
+#include "core/sweep.hpp"
+
+#include <gtest/gtest.h>
+
+namespace latol::core {
+namespace {
+
+std::vector<MmsConfig> small_grid() {
+  std::vector<MmsConfig> grid;
+  for (const int n_t : {1, 4, 8}) {
+    for (const double p : {0.1, 0.4}) {
+      MmsConfig cfg = MmsConfig::paper_defaults();
+      cfg.threads_per_processor = n_t;
+      cfg.p_remote = p;
+      grid.push_back(cfg);
+    }
+  }
+  return grid;
+}
+
+TEST(Sweep, MatchesSerialAnalysis) {
+  const auto grid = small_grid();
+  const auto results = sweep(grid, {});
+  ASSERT_EQ(results.size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    ASSERT_FALSE(results[i].error.has_value());
+    const MmsPerformance serial = analyze(grid[i]);
+    EXPECT_NEAR(results[i].perf.processor_utilization,
+                serial.processor_utilization, 1e-12)
+        << "grid point " << i;
+  }
+}
+
+TEST(Sweep, DeterministicAcrossWorkerCounts) {
+  const auto grid = small_grid();
+  SweepOptions one;
+  one.workers = 1;
+  SweepOptions many;
+  many.workers = 8;
+  const auto a = sweep(grid, one);
+  const auto b = sweep(grid, many);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(a[i].perf.processor_utilization,
+              b[i].perf.processor_utilization);
+  }
+}
+
+TEST(Sweep, ToleranceFieldsOnlyWhenRequested) {
+  const auto grid = small_grid();
+  const auto plain = sweep(grid, {});
+  EXPECT_FALSE(plain[0].tol_network.has_value());
+  EXPECT_FALSE(plain[0].tol_memory.has_value());
+
+  SweepOptions opts;
+  opts.network_tolerance = true;
+  opts.memory_tolerance = true;
+  const auto full = sweep(grid, opts);
+  for (const auto& r : full) {
+    ASSERT_TRUE(r.tol_network.has_value());
+    ASSERT_TRUE(r.tol_memory.has_value());
+    EXPECT_GT(*r.tol_network, 0.0);
+    EXPECT_LE(*r.tol_network, 1.2);
+    EXPECT_GT(*r.tol_memory, 0.0);
+  }
+}
+
+TEST(Sweep, CapturesPerPointErrors) {
+  std::vector<MmsConfig> grid = small_grid();
+  grid[1].runlength = -1.0;  // invalid
+  const auto results = sweep(grid, {});
+  EXPECT_FALSE(results[0].error.has_value());
+  ASSERT_TRUE(results[1].error.has_value());
+  EXPECT_NE(results[1].error->find("R="), std::string::npos);
+  EXPECT_FALSE(results[2].error.has_value());
+}
+
+TEST(Sweep, EmptyGridYieldsEmptyResults) {
+  EXPECT_TRUE(sweep({}, {}).empty());
+}
+
+TEST(Sweep, NetworkMethodIsRespected) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = 0.3;
+  const std::vector<MmsConfig> grid{cfg};
+  SweepOptions workload;
+  workload.network_tolerance = true;
+  workload.network_method = IdealMethod::kModifyWorkload;
+  SweepOptions zerodelay;
+  zerodelay.network_tolerance = true;
+  zerodelay.network_method = IdealMethod::kZeroDelay;
+  const double a = *sweep(grid, workload)[0].tol_network;
+  const double b = *sweep(grid, zerodelay)[0].tol_network;
+  // Two different ideals -> generally different indices.
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace latol::core

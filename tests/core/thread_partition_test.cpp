@@ -1,0 +1,81 @@
+#include "core/thread_partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace latol::core {
+namespace {
+
+TEST(ThreadPartition, ValidatesInputs) {
+  const MmsConfig base = MmsConfig::paper_defaults();
+  EXPECT_THROW((void)evaluate_partitions(base, 0.0, {1, 2}), InvalidArgument);
+  EXPECT_THROW((void)evaluate_partitions(base, 40.0, {}), InvalidArgument);
+  EXPECT_THROW((void)evaluate_partitions(base, 40.0, {0}), InvalidArgument);
+  EXPECT_THROW((void)best_partition({}), InvalidArgument);
+}
+
+TEST(ThreadPartition, KeepsWorkBudgetConstant) {
+  const auto points = evaluate_partitions(MmsConfig::paper_defaults(), 40.0,
+                                          {1, 2, 4, 8});
+  ASSERT_EQ(points.size(), 4u);
+  for (const auto& pt : points) {
+    EXPECT_NEAR(pt.runlength * pt.n_t, 40.0, 1e-12);
+    EXPECT_GT(pt.perf.processor_utilization, 0.0);
+    EXPECT_GT(pt.tol_network, 0.0);
+    EXPECT_GT(pt.tol_memory, 0.0);
+  }
+}
+
+TEST(ThreadPartition, FewThreadsWithLongRunlengthsWinForModerateBudgets) {
+  // Paper §5: "a high R (than a high n_t) provides better latency
+  // tolerance, as long as n_t is more than 1" — with n_t x R = 40 and
+  // p_remote = 0.2, n_t = 2 (R = 20) should beat n_t = 8 (R = 5).
+  const auto points = evaluate_partitions(MmsConfig::paper_defaults(), 40.0,
+                                          {1, 2, 4, 8});
+  const auto& one = points[0];
+  const auto& two = points[1];
+  const auto& eight = points[3];
+  EXPECT_GT(two.perf.processor_utilization,
+            eight.perf.processor_utilization);
+  // ...but a single thread cannot overlap anything and loses to two.
+  EXPECT_GT(two.perf.processor_utilization, one.perf.processor_utilization);
+}
+
+TEST(ThreadPartition, BestPartitionMaximizesUtilization) {
+  const auto points = evaluate_partitions(MmsConfig::paper_defaults(), 40.0,
+                                          {1, 2, 4, 5, 8, 10});
+  const PartitionPoint best = best_partition(points);
+  for (const auto& pt : points) {
+    EXPECT_GE(best.perf.processor_utilization,
+              pt.perf.processor_utilization - 1e-12);
+  }
+}
+
+TEST(ThreadPartition, TieBreaksTowardFewerThreads) {
+  PartitionPoint a;
+  a.n_t = 4;
+  a.perf.processor_utilization = 0.9;
+  PartitionPoint b;
+  b.n_t = 2;
+  b.perf.processor_utilization = 0.9;
+  const PartitionPoint best = best_partition({a, b});
+  EXPECT_EQ(best.n_t, 2);
+}
+
+TEST(ThreadPartition, ToleranceRoughlyConstantAtFixedBudgetLowRemote) {
+  // Paper Table 3 observation 2: at fixed p_remote = 0.2 and fixed n_t x R,
+  // tol_network stays fairly flat across splits (both U_p and the ideal
+  // scale together). Allow a generous band.
+  const auto points = evaluate_partitions(MmsConfig::paper_defaults(), 40.0,
+                                          {2, 4, 8});
+  double lo = 2.0, hi = 0.0;
+  for (const auto& pt : points) {
+    lo = std::min(lo, pt.tol_network);
+    hi = std::max(hi, pt.tol_network);
+  }
+  EXPECT_LT(hi - lo, 0.15);
+}
+
+}  // namespace
+}  // namespace latol::core

@@ -1,0 +1,137 @@
+#include "core/tolerance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace latol::core {
+namespace {
+
+TEST(ToleranceZones, PaperThresholds) {
+  EXPECT_EQ(classify_tolerance(1.0), ToleranceZone::kTolerated);
+  EXPECT_EQ(classify_tolerance(0.8), ToleranceZone::kTolerated);
+  EXPECT_EQ(classify_tolerance(0.79), ToleranceZone::kPartiallyTolerated);
+  EXPECT_EQ(classify_tolerance(0.5), ToleranceZone::kPartiallyTolerated);
+  EXPECT_EQ(classify_tolerance(0.49), ToleranceZone::kNotTolerated);
+  EXPECT_EQ(classify_tolerance(1.05), ToleranceZone::kTolerated);
+}
+
+TEST(ToleranceZones, NamesAreHumanReadable)
+{
+  EXPECT_STREQ(zone_name(ToleranceZone::kTolerated), "tolerated");
+  EXPECT_STREQ(zone_name(ToleranceZone::kPartiallyTolerated),
+               "partially tolerated");
+  EXPECT_STREQ(zone_name(ToleranceZone::kNotTolerated), "not tolerated");
+}
+
+TEST(IdealConfig, NetworkZeroDelayClearsSwitchDelay) {
+  const MmsConfig base = MmsConfig::paper_defaults();
+  const MmsConfig ideal =
+      ideal_config(base, Subsystem::kNetwork, IdealMethod::kZeroDelay);
+  EXPECT_DOUBLE_EQ(ideal.switch_delay, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.p_remote, base.p_remote);
+}
+
+TEST(IdealConfig, NetworkWorkloadMethodClearsPRemote) {
+  const MmsConfig base = MmsConfig::paper_defaults();
+  const MmsConfig ideal =
+      ideal_config(base, Subsystem::kNetwork, IdealMethod::kModifyWorkload);
+  EXPECT_DOUBLE_EQ(ideal.p_remote, 0.0);
+  EXPECT_DOUBLE_EQ(ideal.switch_delay, base.switch_delay);
+}
+
+TEST(IdealConfig, MemoryZeroDelayClearsLatency) {
+  const MmsConfig base = MmsConfig::paper_defaults();
+  const MmsConfig ideal =
+      ideal_config(base, Subsystem::kMemory, IdealMethod::kZeroDelay);
+  EXPECT_DOUBLE_EQ(ideal.memory_latency, 0.0);
+}
+
+TEST(IdealConfig, MemoryWorkloadMethodIsRejected) {
+  EXPECT_THROW((void)ideal_config(MmsConfig::paper_defaults(), Subsystem::kMemory,
+                            IdealMethod::kModifyWorkload),
+               InvalidArgument);
+}
+
+TEST(ToleranceIndex, DefaultMethodsMatchPaperPreference) {
+  EXPECT_EQ(default_method(Subsystem::kNetwork), IdealMethod::kModifyWorkload);
+  EXPECT_EQ(default_method(Subsystem::kMemory), IdealMethod::kZeroDelay);
+}
+
+TEST(ToleranceIndex, AllLocalWorkloadFullyToleratesNetwork) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = 0.0;
+  const ToleranceResult t = tolerance_index(cfg, Subsystem::kNetwork);
+  EXPECT_NEAR(t.index, 1.0, 1e-9);
+  EXPECT_EQ(t.zone(), ToleranceZone::kTolerated);
+}
+
+TEST(ToleranceIndex, ZeroDelayNetworkScoresOneUnderZeroDelayMethod) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.switch_delay = 0.0;
+  const ToleranceResult t =
+      tolerance_index(cfg, Subsystem::kNetwork, IdealMethod::kZeroDelay);
+  EXPECT_NEAR(t.index, 1.0, 1e-9);
+}
+
+TEST(ToleranceIndex, ZeroLatencyMemoryScoresOne) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.memory_latency = 0.0;
+  const ToleranceResult t = tolerance_index(cfg, Subsystem::kMemory);
+  EXPECT_NEAR(t.index, 1.0, 1e-9);
+}
+
+TEST(ToleranceIndex, DecreasesWithRemoteFraction) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  double prev = 2.0;
+  for (const double p : {0.1, 0.3, 0.5, 0.7}) {
+    cfg.p_remote = p;
+    const double idx = tolerance_index(cfg, Subsystem::kNetwork).index;
+    EXPECT_LT(idx, prev) << "p_remote=" << p;
+    prev = idx;
+  }
+}
+
+TEST(ToleranceIndex, ImprovesWithMoreThreads) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = 0.2;
+  cfg.threads_per_processor = 1;
+  const double one = tolerance_index(cfg, Subsystem::kNetwork).index;
+  cfg.threads_per_processor = 8;
+  const double eight = tolerance_index(cfg, Subsystem::kNetwork).index;
+  EXPECT_GT(eight, one);
+}
+
+TEST(ToleranceIndex, LongerRunlengthToleratesBetter) {
+  // Paper: increasing R improves tol_network (fewer messages per unit of
+  // computation).
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = 0.4;
+  cfg.runlength = 10.0;
+  const double r10 = tolerance_index(cfg, Subsystem::kNetwork).index;
+  cfg.runlength = 20.0;
+  const double r20 = tolerance_index(cfg, Subsystem::kNetwork).index;
+  EXPECT_GT(r20, r10);
+}
+
+TEST(ToleranceIndex, ResultCarriesBothAnalyses) {
+  const ToleranceResult t =
+      tolerance_index(MmsConfig::paper_defaults(), Subsystem::kNetwork);
+  EXPECT_GT(t.actual.processor_utilization, 0.0);
+  EXPECT_GT(t.ideal.processor_utilization, t.actual.processor_utilization);
+  EXPECT_NEAR(t.index, t.actual.processor_utilization /
+                           t.ideal.processor_utilization,
+              1e-12);
+}
+
+TEST(ToleranceIndex, MemoryToleranceSaturatesForLongRunlengths) {
+  // Paper §6: for R >= 2L and n_t >= 6, tol_memory ~= 1.
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.runlength = 40.0;
+  cfg.threads_per_processor = 6;
+  const ToleranceResult t = tolerance_index(cfg, Subsystem::kMemory);
+  EXPECT_GT(t.index, 0.95);
+}
+
+}  // namespace
+}  // namespace latol::core

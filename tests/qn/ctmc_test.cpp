@@ -1,0 +1,169 @@
+#include "qn/ctmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qn/mva_exact.hpp"
+#include "util/error.hpp"
+
+namespace latol::qn {
+namespace {
+
+/// Single-class cyclic network a -> b -> a with routing attached.
+struct CyclicFixture {
+  ClosedNetwork net;
+  RoutedClosedNetwork routed;
+};
+
+CyclicFixture cyclic(long n, double da, double db) {
+  ClosedNetwork net({{"a", StationKind::kQueueing},
+                     {"b", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, n);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 1.0);
+  net.set_service_time(0, 0, da);
+  net.set_service_time(0, 1, db);
+  RoutedClosedNetwork routed;
+  util::Matrix p(2, 2);
+  p(0, 1) = 1.0;
+  p(1, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+  return {std::move(net), std::move(routed)};
+}
+
+TEST(Ctmc, StateCountIsCompositionProduct) {
+  const auto fx = cyclic(3, 1.0, 1.0);
+  // 3 customers over 2 stations: 4 compositions.
+  EXPECT_EQ(ctmc_state_count(fx.net), 4u);
+}
+
+TEST(Ctmc, MatchesExactMvaOnCyclicNetwork) {
+  for (const long n : {1L, 2L, 5L}) {
+    const auto fx = cyclic(n, 4.0, 6.0);
+    const auto ctmc = solve_ctmc(fx.net, fx.routed);
+    const auto mva = solve_mva_exact(fx.net);
+    EXPECT_NEAR(ctmc.throughput[0], mva.throughput[0], 1e-9) << "N=" << n;
+    for (std::size_t m = 0; m < 2; ++m) {
+      EXPECT_NEAR(ctmc.queue_length(0, m), mva.queue_length(0, m), 1e-8);
+      EXPECT_NEAR(ctmc.utilization[m], mva.utilization[m], 1e-9);
+    }
+  }
+}
+
+TEST(Ctmc, MatchesExactMvaOnBranchingNetwork) {
+  // a -> b (0.25) | c (0.75); b,c -> a. Visit ratios 1, .25, .75.
+  ClosedNetwork net({{"a", StationKind::kQueueing},
+                     {"b", StationKind::kQueueing},
+                     {"c", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, 4);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 0.25);
+  net.set_visit_ratio(0, 2, 0.75);
+  net.set_service_time(0, 0, 2.0);
+  net.set_service_time(0, 1, 8.0);
+  net.set_service_time(0, 2, 3.0);
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 0.25;
+  p(0, 2) = 0.75;
+  p(1, 0) = 1.0;
+  p(2, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+
+  const auto ctmc = solve_ctmc(net, routed);
+  const auto mva = solve_mva_exact(net);
+  EXPECT_NEAR(ctmc.throughput[0], mva.throughput[0], 1e-9);
+  for (std::size_t m = 0; m < 3; ++m)
+    EXPECT_NEAR(ctmc.queue_length(0, m), mva.queue_length(0, m), 1e-8);
+}
+
+TEST(Ctmc, MatchesExactMvaOnTwoClassNetwork) {
+  // Two classes with private processors sharing one memory — the essential
+  // structure of the paper's MMS, small enough to solve exactly.
+  ClosedNetwork net({{"p0", StationKind::kQueueing},
+                     {"p1", StationKind::kQueueing},
+                     {"mem", StationKind::kQueueing}},
+                    2);
+  RoutedClosedNetwork routed;
+  routed.reference_station = {0, 1};
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, 2);
+    net.set_visit_ratio(c, c, 1.0);
+    net.set_visit_ratio(c, 2, 1.0);
+    net.set_service_time(c, c, 5.0);
+    net.set_service_time(c, 2, 3.0);
+    util::Matrix p(3, 3);
+    p(c, 2) = 1.0;
+    p(2, c) = 1.0;
+    routed.routing.push_back(p);
+  }
+  const auto ctmc = solve_ctmc(net, routed);
+  const auto mva = solve_mva_exact(net);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(ctmc.throughput[c], mva.throughput[c], 1e-8);
+    for (std::size_t m = 0; m < 3; ++m)
+      EXPECT_NEAR(ctmc.queue_length(c, m), mva.queue_length(c, m), 1e-7);
+  }
+}
+
+TEST(Ctmc, AsymmetricClassesDiffer) {
+  // Same structure, different populations: throughput must differ and the
+  // CTMC (ground truth) and MVA (product form) must still agree.
+  ClosedNetwork net({{"p0", StationKind::kQueueing},
+                     {"p1", StationKind::kQueueing},
+                     {"mem", StationKind::kQueueing}},
+                    2);
+  RoutedClosedNetwork routed;
+  routed.reference_station = {0, 1};
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, c == 0 ? 1 : 3);
+    net.set_visit_ratio(c, c, 1.0);
+    net.set_visit_ratio(c, 2, 1.0);
+    net.set_service_time(c, c, 4.0);
+    net.set_service_time(c, 2, 2.0);
+    util::Matrix p(3, 3);
+    p(c, 2) = 1.0;
+    p(2, c) = 1.0;
+    routed.routing.push_back(p);
+  }
+  const auto ctmc = solve_ctmc(net, routed);
+  const auto mva = solve_mva_exact(net);
+  EXPECT_LT(ctmc.throughput[0], ctmc.throughput[1]);
+  for (std::size_t c = 0; c < 2; ++c)
+    EXPECT_NEAR(ctmc.throughput[c], mva.throughput[c], 1e-8);
+}
+
+TEST(Ctmc, EnforcesStateBudget) {
+  const auto fx = cyclic(100, 1.0, 1.0);
+  CtmcOptions opts;
+  opts.max_states = 10;
+  EXPECT_THROW(solve_ctmc(fx.net, fx.routed, opts), InvalidArgument);
+}
+
+TEST(Ctmc, RejectsNonProductForm) {
+  ClosedNetwork net({{"shared", StationKind::kQueueing},
+                     {"p0", StationKind::kQueueing},
+                     {"p1", StationKind::kQueueing}},
+                    2);
+  RoutedClosedNetwork routed;
+  routed.reference_station = {1, 2};
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, 1);
+    net.set_visit_ratio(c, 0, 1.0);
+    net.set_visit_ratio(c, c + 1, 1.0);
+    net.set_service_time(c, c + 1, 1.0);
+    util::Matrix p(3, 3);
+    p(c + 1, 0) = 1.0;
+    p(0, c + 1) = 1.0;
+    routed.routing.push_back(p);
+  }
+  net.set_service_time(0, 0, 1.0);
+  net.set_service_time(1, 0, 2.0);
+  EXPECT_THROW(solve_ctmc(net, routed), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace latol::qn

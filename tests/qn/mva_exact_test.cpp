@@ -1,0 +1,134 @@
+#include "qn/mva_exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "qn/bounds.hpp"
+#include "util/error.hpp"
+
+namespace latol::qn {
+namespace {
+
+ClosedNetwork cyclic(long n, double d0, double d1) {
+  ClosedNetwork net({{"a", StationKind::kQueueing},
+                     {"b", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, n);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 1.0);
+  net.set_service_time(0, 0, d0);
+  net.set_service_time(0, 1, d1);
+  return net;
+}
+
+TEST(ExactMva, SingleCustomerSeesNoQueueing) {
+  const auto sol = solve_mva_exact(cyclic(1, 3.0, 7.0));
+  EXPECT_DOUBLE_EQ(sol.throughput[0], 1.0 / 10.0);
+  EXPECT_DOUBLE_EQ(sol.waiting(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(sol.waiting(0, 1), 7.0);
+}
+
+TEST(ExactMva, BalancedCyclicPairHasKnownUtilization) {
+  // Two identical exponential stations in a cycle: U = N / (N + 1).
+  for (long n = 1; n <= 10; ++n) {
+    const auto sol = solve_mva_exact(cyclic(n, 5.0, 5.0));
+    EXPECT_NEAR(sol.utilization[0],
+                static_cast<double>(n) / static_cast<double>(n + 1), 1e-12)
+        << "N=" << n;
+    EXPECT_NEAR(sol.utilization[1], sol.utilization[0], 1e-12);
+  }
+}
+
+TEST(ExactMva, PopulationIsConserved) {
+  const auto net = cyclic(6, 2.0, 9.0);
+  const auto sol = solve_mva_exact(net);
+  EXPECT_NEAR(sol.station_queue(0) + sol.station_queue(1), 6.0, 1e-10);
+}
+
+TEST(ExactMva, LittleLawHoldsPerStation) {
+  const auto net = cyclic(4, 2.0, 9.0);
+  const auto sol = solve_mva_exact(net);
+  for (std::size_t m = 0; m < 2; ++m) {
+    EXPECT_NEAR(sol.queue_length(0, m),
+                sol.throughput[0] * net.visit_ratio(0, m) * sol.waiting(0, m),
+                1e-12);
+  }
+}
+
+TEST(ExactMva, SaturatedStationDominates) {
+  // With a strongly dominant station the bottleneck law becomes tight.
+  const auto sol = solve_mva_exact(cyclic(20, 10.0, 0.1));
+  EXPECT_NEAR(sol.throughput[0], 1.0 / 10.0, 1e-4);
+  EXPECT_GT(sol.queue_length(0, 0), 18.0);
+}
+
+TEST(ExactMva, DelayStationNeverQueues) {
+  ClosedNetwork net({{"think", StationKind::kDelay},
+                     {"cpu", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, 8);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 1.0);
+  net.set_service_time(0, 0, 50.0);
+  net.set_service_time(0, 1, 1.0);
+  const auto sol = solve_mva_exact(net);
+  // Waiting at a delay station is exactly its service time.
+  EXPECT_DOUBLE_EQ(sol.waiting(0, 0), 50.0);
+  // Machine-repairman sanity: utilization below 8/51 bound region.
+  EXPECT_LE(sol.utilization[1], 1.0);
+  EXPECT_GT(sol.utilization[1], 0.14);
+}
+
+TEST(ExactMva, TwoClassSymmetricSharedStation) {
+  // Two classes, each with its own "processor" plus one shared memory;
+  // complete symmetry means identical per-class throughput.
+  ClosedNetwork net({{"p0", StationKind::kQueueing},
+                     {"p1", StationKind::kQueueing},
+                     {"mem", StationKind::kQueueing}},
+                    2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, 3);
+    net.set_visit_ratio(c, c, 1.0);
+    net.set_visit_ratio(c, 2, 1.0);
+    net.set_service_time(c, c, 4.0);
+    net.set_service_time(c, 2, 2.0);
+  }
+  const auto sol = solve_mva_exact(net);
+  EXPECT_NEAR(sol.throughput[0], sol.throughput[1], 1e-12);
+  EXPECT_NEAR(sol.station_queue(0) + sol.station_queue(1) + sol.station_queue(2),
+              6.0, 1e-10);
+  // The shared station sees both classes: its utilization is the sum.
+  EXPECT_NEAR(sol.utilization[2], 2.0 * sol.throughput[0] * 2.0, 1e-12);
+}
+
+TEST(ExactMva, ThroughputRespectsAsymptoticBounds) {
+  for (const double d1 : {0.5, 2.0, 8.0}) {
+    const auto net = cyclic(5, 3.0, d1);
+    const auto sol = solve_mva_exact(net);
+    EXPECT_LE(sol.throughput[0], asymptotic_throughput_bound(net, 0) + 1e-12);
+    EXPECT_GE(sol.throughput[0], pessimistic_throughput_bound(net, 0) - 1e-12);
+  }
+}
+
+TEST(ExactMva, RejectsNonProductForm) {
+  ClosedNetwork net({{"shared", StationKind::kQueueing},
+                     {"p0", StationKind::kQueueing},
+                     {"p1", StationKind::kQueueing}},
+                    2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, 1);
+    net.set_visit_ratio(c, 0, 1.0);
+    net.set_visit_ratio(c, c + 1, 1.0);
+    net.set_service_time(c, c + 1, 1.0);
+  }
+  net.set_service_time(0, 0, 1.0);
+  net.set_service_time(1, 0, 2.0);  // class-dependent at shared FCFS
+  EXPECT_THROW(solve_mva_exact(net), InvalidArgument);
+}
+
+TEST(ExactMva, RejectsOversizedLattice) {
+  auto net = cyclic(1000000, 1.0, 1.0);
+  EXPECT_THROW(solve_mva_exact(net, 1000), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace latol::qn

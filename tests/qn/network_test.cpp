@@ -1,0 +1,110 @@
+#include "qn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace latol::qn {
+namespace {
+
+ClosedNetwork two_station_net() {
+  ClosedNetwork net({{"cpu", StationKind::kQueueing},
+                     {"disk", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, 3);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 2.0);
+  net.set_service_time(0, 0, 5.0);
+  net.set_service_time(0, 1, 4.0);
+  return net;
+}
+
+TEST(ClosedNetwork, RequiresStationsAndClasses) {
+  EXPECT_THROW(ClosedNetwork({}, 1), InvalidArgument);
+  EXPECT_THROW(ClosedNetwork({{"s", StationKind::kQueueing}}, 0),
+               InvalidArgument);
+}
+
+TEST(ClosedNetwork, StoresShape) {
+  const auto net = two_station_net();
+  EXPECT_EQ(net.num_stations(), 2u);
+  EXPECT_EQ(net.num_classes(), 1u);
+  EXPECT_EQ(net.station(0).name, "cpu");
+  EXPECT_THROW((void)net.station(2), InvalidArgument);
+}
+
+TEST(ClosedNetwork, PopulationAccounting) {
+  auto net = two_station_net();
+  EXPECT_EQ(net.population(0), 3);
+  EXPECT_EQ(net.total_population(), 3);
+  EXPECT_THROW(net.set_population(0, -1), InvalidArgument);
+  EXPECT_THROW(net.set_population(5, 1), InvalidArgument);
+}
+
+TEST(ClosedNetwork, DemandIsVisitTimesService) {
+  const auto net = two_station_net();
+  EXPECT_DOUBLE_EQ(net.demand(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(net.demand(0, 1), 8.0);
+  EXPECT_DOUBLE_EQ(net.total_demand(0), 13.0);
+}
+
+TEST(ClosedNetwork, RejectsNegativeInputs) {
+  auto net = two_station_net();
+  EXPECT_THROW(net.set_visit_ratio(0, 0, -0.1), InvalidArgument);
+  EXPECT_THROW(net.set_service_time(0, 0, -1.0), InvalidArgument);
+}
+
+TEST(ClosedNetwork, ValidateRejectsEmptyPopulation) {
+  ClosedNetwork net({{"s", StationKind::kQueueing}}, 1);
+  EXPECT_THROW(net.validate(), InvalidArgument);
+}
+
+TEST(ClosedNetwork, ValidateRejectsZeroDemandClass) {
+  ClosedNetwork net({{"s", StationKind::kQueueing}}, 1);
+  net.set_population(0, 2);
+  EXPECT_THROW(net.validate(), InvalidArgument);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_service_time(0, 0, 1.0);
+  EXPECT_NO_THROW(net.validate());
+}
+
+TEST(ClosedNetwork, ProductFormHoldsForSingleClass) {
+  EXPECT_TRUE(two_station_net().is_product_form());
+}
+
+TEST(ClosedNetwork, ProductFormDetectsClassDependentFcfsService) {
+  ClosedNetwork net({{"shared", StationKind::kQueueing}}, 2);
+  net.set_population(0, 1);
+  net.set_population(1, 1);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(1, 0, 1.0);
+  net.set_service_time(0, 0, 1.0);
+  net.set_service_time(1, 0, 2.0);
+  EXPECT_FALSE(net.is_product_form());
+  net.set_service_time(1, 0, 1.0);
+  EXPECT_TRUE(net.is_product_form());
+}
+
+TEST(ClosedNetwork, ProductFormIgnoresDelayStations) {
+  ClosedNetwork net({{"think", StationKind::kDelay}}, 2);
+  net.set_population(0, 1);
+  net.set_population(1, 1);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(1, 0, 1.0);
+  net.set_service_time(0, 0, 1.0);
+  net.set_service_time(1, 0, 9.0);  // per-class delay is fine under BCMP
+  EXPECT_TRUE(net.is_product_form());
+}
+
+TEST(ClosedNetwork, ProductFormIgnoresUnvisitedClasses) {
+  ClosedNetwork net({{"shared", StationKind::kQueueing}}, 2);
+  net.set_population(0, 1);
+  net.set_population(1, 1);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_service_time(0, 0, 1.0);
+  net.set_service_time(1, 0, 99.0);  // class 1 never visits: irrelevant
+  EXPECT_TRUE(net.is_product_form());
+}
+
+}  // namespace
+}  // namespace latol::qn

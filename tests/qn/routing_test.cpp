@@ -1,0 +1,103 @@
+#include "qn/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace latol::qn {
+namespace {
+
+ClosedNetwork three_station_net() {
+  ClosedNetwork net({{"a", StationKind::kQueueing},
+                     {"b", StationKind::kQueueing},
+                     {"c", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, 1);
+  for (std::size_t m = 0; m < 3; ++m) net.set_service_time(0, m, 1.0);
+  return net;
+}
+
+TEST(Routing, CycleGivesUnitVisitRatios) {
+  auto net = three_station_net();
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 2) = 1.0;
+  p(2, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+  const auto v = visits_from_routing(net, routed);
+  EXPECT_NEAR(v(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(v(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(v(0, 2), 1.0, 1e-12);
+}
+
+TEST(Routing, ProbabilisticBranchSplitsVisits) {
+  // a -> b (0.3) | c (0.7); b -> a; c -> a.
+  auto net = three_station_net();
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 0.3;
+  p(0, 2) = 0.7;
+  p(1, 0) = 1.0;
+  p(2, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+  const auto v = visits_from_routing(net, routed);
+  EXPECT_NEAR(v(0, 1), 0.3, 1e-12);
+  EXPECT_NEAR(v(0, 2), 0.7, 1e-12);
+}
+
+TEST(Routing, FeedbackLoopAmplifiesVisits) {
+  // a -> b; b -> b (0.5) | a (0.5): expected visits to b per cycle = 2.
+  auto net = three_station_net();
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 1) = 0.5;
+  p(1, 0) = 0.5;
+  p(2, 2) = 0.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+  const auto v = visits_from_routing(net, routed);
+  EXPECT_NEAR(v(0, 1), 2.0, 1e-12);
+  EXPECT_NEAR(v(0, 2), 0.0, 1e-12);
+}
+
+TEST(Routing, RejectsNonStochasticRow) {
+  auto net = three_station_net();
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 0.6;  // row sums to 0.6
+  p(1, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+  EXPECT_THROW(visits_from_routing(net, routed), InvalidArgument);
+}
+
+TEST(Routing, RejectsUnusedReferenceStation) {
+  auto net = three_station_net();
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {2};  // station c is never left
+  EXPECT_THROW(visits_from_routing(net, routed), InvalidArgument);
+}
+
+TEST(Routing, ApplyWritesIntoNetwork) {
+  auto net = three_station_net();
+  RoutedClosedNetwork routed;
+  util::Matrix p(3, 3);
+  p(0, 1) = 1.0;
+  p(1, 2) = 1.0;
+  p(2, 0) = 1.0;
+  routed.routing = {p};
+  routed.reference_station = {0};
+  apply_routing_visits(net, routed);
+  EXPECT_NEAR(net.visit_ratio(0, 2), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace latol::qn

@@ -1,0 +1,217 @@
+#include "sim/mms_des.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mms_model.hpp"
+#include "util/error.hpp"
+
+namespace latol::sim {
+namespace {
+
+SimulationConfig quick(const core::MmsConfig& mms, std::uint64_t seed = 1) {
+  SimulationConfig cfg;
+  cfg.mms = mms;
+  cfg.sim_time = 30000.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(MmsDes, DeterministicForSameSeed) {
+  const auto cfg = quick(core::MmsConfig::paper_defaults(), 7);
+  const SimulationResult a = simulate_mms(cfg);
+  const SimulationResult b = simulate_mms(cfg);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_DOUBLE_EQ(a.network_latency, b.network_latency);
+}
+
+TEST(MmsDes, SeedChangesTheSamplePath) {
+  const auto a = simulate_mms(quick(core::MmsConfig::paper_defaults(), 1));
+  const auto b = simulate_mms(quick(core::MmsConfig::paper_defaults(), 2));
+  EXPECT_NE(a.cycles, b.cycles);
+}
+
+TEST(MmsDes, AllLocalWorkloadMatchesClosedFormUtilization) {
+  // p_remote = 0, R = L: the per-node system is two balanced exponential
+  // stations in a cycle -> U_p = n_t / (n_t + 1).
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.p_remote = 0.0;
+  mms.threads_per_processor = 4;
+  auto cfg = quick(mms);
+  cfg.sim_time = 100000.0;
+  const SimulationResult r = simulate_mms(cfg);
+  EXPECT_NEAR(r.processor_utilization, 4.0 / 5.0, 0.02);
+  EXPECT_EQ(r.remote_legs, 0u);
+  EXPECT_DOUBLE_EQ(r.message_rate, 0.0);
+}
+
+TEST(MmsDes, AgreesWithAnalyticalModelAtDefaults) {
+  // Paper §8: model predictions within a few percent of simulation.
+  const core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  auto cfg = quick(mms);
+  cfg.sim_time = 150000.0;
+  const SimulationResult sim = simulate_mms(cfg);
+  const core::MmsPerformance model = core::analyze(mms);
+  EXPECT_NEAR(sim.processor_utilization, model.processor_utilization,
+              0.05 * model.processor_utilization);
+  EXPECT_NEAR(sim.message_rate, model.message_rate,
+              0.06 * model.message_rate);
+  EXPECT_NEAR(sim.network_latency, model.network_latency,
+              0.10 * model.network_latency);
+  EXPECT_NEAR(sim.memory_latency, model.memory_latency,
+              0.10 * model.memory_latency);
+}
+
+TEST(MmsDes, HighRemoteLoadSaturatesNearEqFour) {
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.p_remote = 0.6;
+  auto cfg = quick(mms);
+  cfg.sim_time = 100000.0;
+  const SimulationResult r = simulate_mms(cfg);
+  // Eq. 4 cap: 1 / (2 * 1.733 * 10) = 0.0288.
+  EXPECT_LT(r.message_rate, 0.0288 * 1.05);
+  EXPECT_GT(r.message_rate, 0.0288 * 0.75);
+}
+
+TEST(MmsDes, DeterministicMemoryServiceIsCloseToExponential) {
+  // Paper §8: swapping the memory service distribution from exponential to
+  // deterministic moves S_obs by less than ~10%.
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.p_remote = 0.5;
+  auto expo = quick(mms);
+  expo.sim_time = 100000.0;
+  auto det = expo;
+  det.memory_dist = ServiceDistribution::kDeterministic;
+  const double s_expo = simulate_mms(expo).network_latency;
+  const double s_det = simulate_mms(det).network_latency;
+  EXPECT_NEAR(s_det, s_expo, 0.10 * s_expo);
+}
+
+TEST(MmsDes, CollectsConfidenceIntervals) {
+  const SimulationResult r =
+      simulate_mms(quick(core::MmsConfig::paper_defaults()));
+  EXPECT_GT(r.remote_legs, 100u);
+  EXPECT_GT(r.network_latency_hw95, 0.0);
+  EXPECT_LT(r.network_latency_hw95, r.network_latency);
+}
+
+TEST(MmsDes, ValidatesRunParameters) {
+  auto cfg = quick(core::MmsConfig::paper_defaults());
+  cfg.sim_time = 0.0;
+  EXPECT_THROW((void)simulate_mms(cfg), InvalidArgument);
+  cfg = quick(core::MmsConfig::paper_defaults());
+  cfg.warmup_fraction = 1.0;
+  EXPECT_THROW((void)simulate_mms(cfg), InvalidArgument);
+  cfg = quick(core::MmsConfig::paper_defaults());
+  cfg.mms.runlength = -2.0;
+  EXPECT_THROW((void)simulate_mms(cfg), InvalidArgument);
+}
+
+TEST(MmsDes, SingleNodeMachineRuns) {
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.k = 1;
+  mms.p_remote = 0.0;
+  const SimulationResult r = simulate_mms(quick(mms));
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(r.remote_legs, 0u);
+}
+
+TEST(MmsDes, AgreesWithModelOnAlternateTopologies) {
+  for (const auto kind :
+       {topo::TopologyKind::kMesh2D, topo::TopologyKind::kRing,
+        topo::TopologyKind::kHypercube}) {
+    core::MmsConfig mms = core::MmsConfig::paper_defaults();
+    mms.topology = kind;
+    mms.k = kind == topo::TopologyKind::kRing
+                ? 8
+                : (kind == topo::TopologyKind::kHypercube ? 3 : 3);
+    auto cfg = quick(mms);
+    cfg.sim_time = 80000.0;
+    const SimulationResult sim = simulate_mms(cfg);
+    const core::MmsPerformance model = core::analyze(mms);
+    EXPECT_NEAR(sim.processor_utilization, model.processor_utilization,
+                0.06 * model.processor_utilization)
+        << topo::topology_kind_name(kind);
+    EXPECT_NEAR(sim.network_latency, model.network_latency,
+                0.12 * model.network_latency)
+        << topo::topology_kind_name(kind);
+  }
+}
+
+TEST(MmsDes, HotspotMatchesModelTrend) {
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.traffic.hotspot_node = 0;
+  mms.traffic.hotspot_fraction = 0.5;
+  auto cfg = quick(mms);
+  cfg.sim_time = 80000.0;
+  const SimulationResult sim = simulate_mms(cfg);
+  // Mean per-node model prediction (DES reports machine-wide averages).
+  const auto per_node = core::analyze_per_node(mms);
+  double model_up = 0.0;
+  for (const auto& p : per_node) model_up += p.processor_utilization;
+  model_up /= static_cast<double>(per_node.size());
+  EXPECT_NEAR(sim.processor_utilization, model_up, 0.07 * model_up);
+}
+
+TEST(MmsDes, MemoryPortsMatchModelPrediction) {
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.runlength = 4.0;  // memory-bound
+  mms.memory_ports = 2;
+  auto cfg = quick(mms);
+  cfg.sim_time = 100000.0;
+  const SimulationResult sim = simulate_mms(cfg);
+  const core::MmsPerformance model = core::analyze(mms);
+  // Seidmann is pessimistic; allow a one-sided band around the DES truth.
+  EXPECT_NEAR(sim.processor_utilization, model.processor_utilization,
+              0.12 * sim.processor_utilization);
+  // Ports must help in the simulator too.
+  core::MmsConfig one_port = mms;
+  one_port.memory_ports = 1;
+  auto base_cfg = quick(one_port);
+  base_cfg.sim_time = 100000.0;
+  EXPECT_GT(sim.processor_utilization,
+            simulate_mms(base_cfg).processor_utilization);
+}
+
+TEST(MmsDes, PipelinedSwitchesMatchModelExactly) {
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.p_remote = 0.5;
+  mms.pipelined_switches = true;
+  auto cfg = quick(mms);
+  cfg.sim_time = 100000.0;
+  const SimulationResult sim = simulate_mms(cfg);
+  const core::MmsPerformance model = core::analyze(mms);
+  EXPECT_NEAR(sim.network_latency, model.network_latency,
+              0.03 * model.network_latency);
+  EXPECT_NEAR(sim.processor_utilization, model.processor_utilization,
+              0.05 * model.processor_utilization);
+}
+
+TEST(MmsDes, InsensitiveToWarmupChoice) {
+  // Output analysis sanity: doubling the warmup fraction must not move
+  // the steady-state estimates beyond sampling noise.
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  auto a = quick(mms, 5);
+  a.sim_time = 120000.0;
+  a.warmup_fraction = 0.1;
+  auto b = a;
+  b.warmup_fraction = 0.2;
+  const SimulationResult ra = simulate_mms(a);
+  const SimulationResult rb = simulate_mms(b);
+  EXPECT_NEAR(ra.processor_utilization, rb.processor_utilization,
+              0.02 * ra.processor_utilization);
+  EXPECT_NEAR(ra.network_latency, rb.network_latency,
+              0.05 * ra.network_latency);
+}
+
+TEST(MmsDes, UniformTrafficTravelsFartherThanGeometric) {
+  core::MmsConfig geo = core::MmsConfig::paper_defaults();
+  core::MmsConfig uni = geo;
+  uni.traffic.pattern = topo::AccessPattern::kUniform;
+  const double s_geo = simulate_mms(quick(geo)).network_latency;
+  const double s_uni = simulate_mms(quick(uni)).network_latency;
+  EXPECT_GT(s_uni, s_geo);
+}
+
+}  // namespace
+}  // namespace latol::sim

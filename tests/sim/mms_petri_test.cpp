@@ -1,0 +1,110 @@
+#include "sim/mms_petri.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mms_model.hpp"
+#include "sim/mms_des.hpp"
+#include "util/error.hpp"
+
+namespace latol::sim {
+namespace {
+
+core::MmsConfig small_machine() {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.k = 2;  // 4 PEs keeps the net small for unit tests
+  return cfg;
+}
+
+TEST(MmsPetri, BuildsExpectedHandles) {
+  const MmsPetriModel model = build_mms_petri(small_machine());
+  EXPECT_EQ(model.processors, 4);
+  EXPECT_EQ(model.exec.size(), 4u);
+  // 3 destinations per source on a 2x2 torus.
+  EXPECT_EQ(model.remote_route.size(), 12u);
+  EXPECT_GT(model.net.num_places(), 20u);
+  EXPECT_GT(model.net.num_transitions(), 20u);
+  EXPECT_NO_THROW(model.net.validate());
+}
+
+TEST(MmsPetri, AllLocalMachineMatchesClosedForm) {
+  core::MmsConfig cfg = small_machine();
+  cfg.p_remote = 0.0;
+  cfg.threads_per_processor = 4;
+  const PetriMmsResult r = simulate_mms_petri(cfg, 100000.0, 0.1, 3);
+  // R = L: U_p = n/(n+1) = 0.8.
+  EXPECT_NEAR(r.processor_utilization, 0.8, 0.02);
+  EXPECT_DOUBLE_EQ(r.message_rate, 0.0);
+  // Balanced 2-station cycle: residence N/(2*lambda) = 25 per station.
+  EXPECT_NEAR(r.memory_latency, 25.0, 1.5);
+}
+
+TEST(MmsPetri, AgreesWithAnalyticalModel) {
+  const core::MmsConfig cfg = small_machine();
+  const PetriMmsResult petri = simulate_mms_petri(cfg, 120000.0, 0.1, 5);
+  const core::MmsPerformance model = core::analyze(cfg);
+  EXPECT_NEAR(petri.processor_utilization, model.processor_utilization,
+              0.05 * model.processor_utilization);
+  EXPECT_NEAR(petri.message_rate, model.message_rate,
+              0.06 * model.message_rate);
+  EXPECT_NEAR(petri.network_latency, model.network_latency,
+              0.12 * model.network_latency);
+  EXPECT_NEAR(petri.memory_latency, model.memory_latency,
+              0.12 * model.memory_latency);
+}
+
+TEST(MmsPetri, AgreesWithDirectEventSimulator) {
+  // Two independent implementations of the same machine: STPN vs DES.
+  const core::MmsConfig cfg = small_machine();
+  const PetriMmsResult petri = simulate_mms_petri(cfg, 120000.0, 0.1, 7);
+  SimulationConfig des_cfg;
+  des_cfg.mms = cfg;
+  des_cfg.sim_time = 120000.0;
+  des_cfg.seed = 8;
+  const SimulationResult des = simulate_mms(des_cfg);
+  EXPECT_NEAR(petri.processor_utilization, des.processor_utilization,
+              0.05 * des.processor_utilization);
+  EXPECT_NEAR(petri.network_latency, des.network_latency,
+              0.12 * des.network_latency);
+}
+
+TEST(MmsPetri, DeterministicMemoryVariantRuns) {
+  const core::MmsConfig cfg = small_machine();
+  const PetriMmsResult expo =
+      simulate_mms_petri(cfg, 60000.0, 0.1, 11,
+                         ServiceDistribution::kExponential);
+  const PetriMmsResult det =
+      simulate_mms_petri(cfg, 60000.0, 0.1, 11,
+                         ServiceDistribution::kDeterministic);
+  // §8: deterministic memory service moves S_obs by < ~10%.
+  EXPECT_NEAR(det.network_latency, expo.network_latency,
+              0.12 * expo.network_latency);
+}
+
+TEST(MmsPetri, SeedReproducibility) {
+  const core::MmsConfig cfg = small_machine();
+  const PetriMmsResult a = simulate_mms_petri(cfg, 20000.0, 0.1, 42);
+  const PetriMmsResult b = simulate_mms_petri(cfg, 20000.0, 0.1, 42);
+  EXPECT_EQ(a.total_firings, b.total_firings);
+  EXPECT_DOUBLE_EQ(a.network_latency, b.network_latency);
+}
+
+TEST(MmsPetri, ValidatesRunParameters) {
+  EXPECT_THROW((void)simulate_mms_petri(small_machine(), 0.0, 0.1, 1),
+               InvalidArgument);
+  EXPECT_THROW((void)simulate_mms_petri(small_machine(), 100.0, 1.0, 1),
+               InvalidArgument);
+}
+
+TEST(MmsPetri, PaperMachineNetIsBuildable) {
+  // The 4x4 validation machine (§8) builds to a few thousand nodes.
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.p_remote = 0.5;
+  const MmsPetriModel model = build_mms_petri(cfg);
+  EXPECT_EQ(model.processors, 16);
+  EXPECT_EQ(model.remote_route.size(), 16u * 15u);
+  EXPECT_GT(model.net.num_places(), 1000u);
+  EXPECT_NO_THROW(model.net.validate());
+}
+
+}  // namespace
+}  // namespace latol::sim

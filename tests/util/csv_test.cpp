@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace latol::util {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("latol_csv_test_" +
+              std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+              "_" + ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name() +
+              ".csv"))
+                .string();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string read_all() {
+    std::ifstream in(path_);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_, {"a", "b"});
+    csv.add_row(std::vector<double>{1.5, 2.0});
+    csv.add_row(std::vector<std::string>{"x", "y"});
+  }
+  EXPECT_EQ(read_all(), "a,b\n1.5,2\nx,y\n");
+}
+
+TEST_F(CsvTest, RejectsWrongArity) {
+  CsvWriter csv(path_, {"a", "b"});
+  EXPECT_THROW(csv.add_row(std::vector<double>{1.0}), InvalidArgument);
+}
+
+TEST_F(CsvTest, RejectsEmptyHeader) {
+  EXPECT_THROW(CsvWriter(path_, {}), InvalidArgument);
+}
+
+TEST_F(CsvTest, ThrowsOnUnwritablePath) {
+  EXPECT_THROW(CsvWriter("/nonexistent_dir_zz/x.csv", {"a"}), InvalidArgument);
+}
+
+TEST_F(CsvTest, RoundTripsDoublesAtFullPrecision) {
+  const double value = 0.028846153846153848;
+  {
+    CsvWriter csv(path_, {"v"});
+    csv.add_row(std::vector<double>{value});
+  }
+  std::ifstream in(path_);
+  std::string header, cell;
+  std::getline(in, header);
+  std::getline(in, cell);
+  EXPECT_DOUBLE_EQ(std::stod(cell), value);
+}
+
+}  // namespace
+}  // namespace latol::util

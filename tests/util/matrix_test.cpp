@@ -1,0 +1,82 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+namespace latol::util {
+namespace {
+
+TEST(Matrix, ZeroInitializedWithShape) {
+  const Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+}
+
+TEST(Matrix, FillValue) {
+  const Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(Matrix, ElementWriteAndRead) {
+  Matrix m(2, 2);
+  m(0, 1) = 3.0;
+  EXPECT_EQ(m(0, 1), 3.0);
+  EXPECT_EQ(m(1, 0), 0.0);
+}
+
+TEST(Matrix, BoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m(2, 0) = 1.0, InvalidArgument);
+  EXPECT_THROW(m(0, 2) = 1.0, InvalidArgument);
+  const Matrix& cm = m;
+  EXPECT_THROW((void)cm(5, 5), InvalidArgument);
+}
+
+TEST(LinearSolve, SolvesIdentity) {
+  Matrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(1, 1) = 1.0;
+  const auto x = solve_linear_system(a, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(x[0], 3.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+}
+
+TEST(LinearSolve, Solves3x3System) {
+  // A = [[2,1,0],[1,3,1],[0,1,4]], x = [1,-2,3] -> b = [0,-2,10].
+  Matrix a(3, 3);
+  a(0, 0) = 2; a(0, 1) = 1; a(0, 2) = 0;
+  a(1, 0) = 1; a(1, 1) = 3; a(1, 2) = 1;
+  a(2, 0) = 0; a(2, 1) = 1; a(2, 2) = 4;
+  const auto x = solve_linear_system(a, {0.0, -2.0, 10.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+  EXPECT_NEAR(x[2], 3.0, 1e-12);
+}
+
+TEST(LinearSolve, RequiresPivoting) {
+  // Zero on the initial diagonal; only partial pivoting solves this.
+  Matrix a(2, 2);
+  a(0, 0) = 0; a(0, 1) = 1;
+  a(1, 0) = 1; a(1, 1) = 0;
+  const auto x = solve_linear_system(a, {5.0, 6.0});
+  EXPECT_DOUBLE_EQ(x[0], 6.0);
+  EXPECT_DOUBLE_EQ(x[1], 5.0);
+}
+
+TEST(LinearSolve, ThrowsOnSingular) {
+  Matrix a(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2;
+  a(1, 0) = 2; a(1, 1) = 4;
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), InvalidArgument);
+}
+
+TEST(LinearSolve, ThrowsOnShapeMismatch) {
+  Matrix a(2, 3);
+  EXPECT_THROW(solve_linear_system(a, {1.0, 2.0}), InvalidArgument);
+  Matrix b(2, 2);
+  EXPECT_THROW(solve_linear_system(b, {1.0}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace latol::util

@@ -1,0 +1,73 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace latol::util {
+namespace {
+
+TEST(ThreadPool, SpawnsRequestedWorkers) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.worker_count(), 3u);
+}
+
+TEST(ThreadPool, ZeroSelectsHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.worker_count(), 1u);
+}
+
+TEST(ThreadPool, RejectsEmptyTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), InvalidArgument);
+}
+
+TEST(ThreadPool, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) pool.submit([&] { ++counter; });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(hits.size(), [&](std::size_t i) { ++hits[i]; }, 4);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, HandlesZeroIterations) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not run"; }, 2);
+}
+
+TEST(ParallelFor, HandlesFewerIterationsThanWorkers) {
+  std::atomic<int> counter{0};
+  parallel_for(2, [&](std::size_t) { ++counter; }, 8);
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ParallelFor, ResultsIndependentOfWorkerCount) {
+  auto run = [](std::size_t workers) {
+    std::vector<double> out(500);
+    parallel_for(out.size(),
+                 [&](std::size_t i) { out[i] = static_cast<double>(i) * 1.5; },
+                 workers);
+    return out;
+  };
+  EXPECT_EQ(run(1), run(7));
+}
+
+TEST(ParallelFor, ReusablePool) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  parallel_for(pool, 100, [&](std::size_t i) { sum += static_cast<long>(i); });
+  parallel_for(pool, 100, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum.load(), 2 * (99 * 100) / 2);
+}
+
+}  // namespace
+}  // namespace latol::util
