@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_context_switch.dir/ext_context_switch.cpp.o"
+  "CMakeFiles/ext_context_switch.dir/ext_context_switch.cpp.o.d"
+  "ext_context_switch"
+  "ext_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

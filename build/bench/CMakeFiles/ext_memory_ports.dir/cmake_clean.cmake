@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_memory_ports.dir/ext_memory_ports.cpp.o"
+  "CMakeFiles/ext_memory_ports.dir/ext_memory_ports.cpp.o.d"
+  "ext_memory_ports"
+  "ext_memory_ports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_ports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_topology_study.dir/ext_topology_study.cpp.o"
+  "CMakeFiles/ext_topology_study.dir/ext_topology_study.cpp.o.d"
+  "ext_topology_study"
+  "ext_topology_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_topology_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

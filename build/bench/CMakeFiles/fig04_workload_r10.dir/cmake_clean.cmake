@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_workload_r10.dir/fig04_workload_r10.cpp.o"
+  "CMakeFiles/fig04_workload_r10.dir/fig04_workload_r10.cpp.o.d"
+  "fig04_workload_r10"
+  "fig04_workload_r10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_workload_r10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

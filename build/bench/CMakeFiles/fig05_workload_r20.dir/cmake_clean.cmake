@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_workload_r20.dir/fig05_workload_r20.cpp.o"
+  "CMakeFiles/fig05_workload_r20.dir/fig05_workload_r20.cpp.o.d"
+  "fig05_workload_r20"
+  "fig05_workload_r20.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_workload_r20.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_workload_r20.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_partitioning_surface.dir/fig06_partitioning_surface.cpp.o"
+  "CMakeFiles/fig06_partitioning_surface.dir/fig06_partitioning_surface.cpp.o.d"
+  "fig06_partitioning_surface"
+  "fig06_partitioning_surface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_partitioning_surface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

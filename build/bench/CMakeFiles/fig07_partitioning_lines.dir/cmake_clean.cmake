@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_partitioning_lines.dir/fig07_partitioning_lines.cpp.o"
+  "CMakeFiles/fig07_partitioning_lines.dir/fig07_partitioning_lines.cpp.o.d"
+  "fig07_partitioning_lines"
+  "fig07_partitioning_lines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_partitioning_lines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_memory_tolerance.dir/fig08_memory_tolerance.cpp.o"
+  "CMakeFiles/fig08_memory_tolerance.dir/fig08_memory_tolerance.cpp.o.d"
+  "fig08_memory_tolerance"
+  "fig08_memory_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_memory_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

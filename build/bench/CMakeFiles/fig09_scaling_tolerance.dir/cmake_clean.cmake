@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_scaling_tolerance.dir/fig09_scaling_tolerance.cpp.o"
+  "CMakeFiles/fig09_scaling_tolerance.dir/fig09_scaling_tolerance.cpp.o.d"
+  "fig09_scaling_tolerance"
+  "fig09_scaling_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_scaling_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

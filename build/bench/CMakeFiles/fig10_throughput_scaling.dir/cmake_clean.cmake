@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_throughput_scaling.dir/fig10_throughput_scaling.cpp.o"
+  "CMakeFiles/fig10_throughput_scaling.dir/fig10_throughput_scaling.cpp.o.d"
+  "fig10_throughput_scaling"
+  "fig10_throughput_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_throughput_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_validation.dir/fig11_validation.cpp.o"
+  "CMakeFiles/fig11_validation.dir/fig11_validation.cpp.o.d"
+  "fig11_validation"
+  "fig11_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mva.dir/perf_mva.cpp.o"
+  "CMakeFiles/perf_mva.dir/perf_mva.cpp.o.d"
+  "perf_mva"
+  "perf_mva.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mva.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_network_tolerance.dir/table2_network_tolerance.cpp.o"
+  "CMakeFiles/table2_network_tolerance.dir/table2_network_tolerance.cpp.o.d"
+  "table2_network_tolerance"
+  "table2_network_tolerance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_network_tolerance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

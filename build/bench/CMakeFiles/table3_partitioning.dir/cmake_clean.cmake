@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_partitioning.dir/table3_partitioning.cpp.o"
+  "CMakeFiles/table3_partitioning.dir/table3_partitioning.cpp.o.d"
+  "table3_partitioning"
+  "table3_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

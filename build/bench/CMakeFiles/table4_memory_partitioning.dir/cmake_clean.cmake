@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_memory_partitioning.dir/table4_memory_partitioning.cpp.o"
+  "CMakeFiles/table4_memory_partitioning.dir/table4_memory_partitioning.cpp.o.d"
+  "table4_memory_partitioning"
+  "table4_memory_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_memory_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

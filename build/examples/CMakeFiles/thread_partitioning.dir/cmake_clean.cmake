@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_partitioning.dir/thread_partitioning.cpp.o"
+  "CMakeFiles/thread_partitioning.dir/thread_partitioning.cpp.o.d"
+  "thread_partitioning"
+  "thread_partitioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_partitioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

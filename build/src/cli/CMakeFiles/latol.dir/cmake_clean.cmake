@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol.dir/main.cpp.o"
+  "CMakeFiles/latol.dir/main.cpp.o.d"
+  "latol"
+  "latol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol_cli_lib.dir/commands.cpp.o"
+  "CMakeFiles/latol_cli_lib.dir/commands.cpp.o.d"
+  "CMakeFiles/latol_cli_lib.dir/options.cpp.o"
+  "CMakeFiles/latol_cli_lib.dir/options.cpp.o.d"
+  "liblatol_cli_lib.a"
+  "liblatol_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

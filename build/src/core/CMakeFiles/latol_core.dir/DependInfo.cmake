@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bottleneck.cpp" "src/core/CMakeFiles/latol_core.dir/bottleneck.cpp.o" "gcc" "src/core/CMakeFiles/latol_core.dir/bottleneck.cpp.o.d"
+  "/root/repo/src/core/mms_config.cpp" "src/core/CMakeFiles/latol_core.dir/mms_config.cpp.o" "gcc" "src/core/CMakeFiles/latol_core.dir/mms_config.cpp.o.d"
+  "/root/repo/src/core/mms_model.cpp" "src/core/CMakeFiles/latol_core.dir/mms_model.cpp.o" "gcc" "src/core/CMakeFiles/latol_core.dir/mms_model.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/latol_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/latol_core.dir/sweep.cpp.o.d"
+  "/root/repo/src/core/thread_partition.cpp" "src/core/CMakeFiles/latol_core.dir/thread_partition.cpp.o" "gcc" "src/core/CMakeFiles/latol_core.dir/thread_partition.cpp.o.d"
+  "/root/repo/src/core/tolerance.cpp" "src/core/CMakeFiles/latol_core.dir/tolerance.cpp.o" "gcc" "src/core/CMakeFiles/latol_core.dir/tolerance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/qn/CMakeFiles/latol_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/latol_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol_core.dir/bottleneck.cpp.o"
+  "CMakeFiles/latol_core.dir/bottleneck.cpp.o.d"
+  "CMakeFiles/latol_core.dir/mms_config.cpp.o"
+  "CMakeFiles/latol_core.dir/mms_config.cpp.o.d"
+  "CMakeFiles/latol_core.dir/mms_model.cpp.o"
+  "CMakeFiles/latol_core.dir/mms_model.cpp.o.d"
+  "CMakeFiles/latol_core.dir/sweep.cpp.o"
+  "CMakeFiles/latol_core.dir/sweep.cpp.o.d"
+  "CMakeFiles/latol_core.dir/thread_partition.cpp.o"
+  "CMakeFiles/latol_core.dir/thread_partition.cpp.o.d"
+  "CMakeFiles/latol_core.dir/tolerance.cpp.o"
+  "CMakeFiles/latol_core.dir/tolerance.cpp.o.d"
+  "liblatol_core.a"
+  "liblatol_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

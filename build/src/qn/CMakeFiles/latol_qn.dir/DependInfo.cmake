@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/qn/convolution.cpp" "src/qn/CMakeFiles/latol_qn.dir/convolution.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/convolution.cpp.o.d"
+  "/root/repo/src/qn/ctmc.cpp" "src/qn/CMakeFiles/latol_qn.dir/ctmc.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/ctmc.cpp.o.d"
+  "/root/repo/src/qn/mva_approx.cpp" "src/qn/CMakeFiles/latol_qn.dir/mva_approx.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/mva_approx.cpp.o.d"
+  "/root/repo/src/qn/mva_exact.cpp" "src/qn/CMakeFiles/latol_qn.dir/mva_exact.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/mva_exact.cpp.o.d"
+  "/root/repo/src/qn/mva_linearizer.cpp" "src/qn/CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o.d"
+  "/root/repo/src/qn/network.cpp" "src/qn/CMakeFiles/latol_qn.dir/network.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/network.cpp.o.d"
+  "/root/repo/src/qn/routing.cpp" "src/qn/CMakeFiles/latol_qn.dir/routing.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/routing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/latol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

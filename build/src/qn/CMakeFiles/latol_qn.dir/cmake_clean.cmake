@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol_qn.dir/convolution.cpp.o"
+  "CMakeFiles/latol_qn.dir/convolution.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/ctmc.cpp.o"
+  "CMakeFiles/latol_qn.dir/ctmc.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/mva_approx.cpp.o"
+  "CMakeFiles/latol_qn.dir/mva_approx.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/mva_exact.cpp.o"
+  "CMakeFiles/latol_qn.dir/mva_exact.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o"
+  "CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/network.cpp.o"
+  "CMakeFiles/latol_qn.dir/network.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/routing.cpp.o"
+  "CMakeFiles/latol_qn.dir/routing.cpp.o.d"
+  "liblatol_qn.a"
+  "liblatol_qn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol_qn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/des.cpp" "src/sim/CMakeFiles/latol_sim.dir/des.cpp.o" "gcc" "src/sim/CMakeFiles/latol_sim.dir/des.cpp.o.d"
+  "/root/repo/src/sim/fcfs_server.cpp" "src/sim/CMakeFiles/latol_sim.dir/fcfs_server.cpp.o" "gcc" "src/sim/CMakeFiles/latol_sim.dir/fcfs_server.cpp.o.d"
+  "/root/repo/src/sim/mms_des.cpp" "src/sim/CMakeFiles/latol_sim.dir/mms_des.cpp.o" "gcc" "src/sim/CMakeFiles/latol_sim.dir/mms_des.cpp.o.d"
+  "/root/repo/src/sim/mms_petri.cpp" "src/sim/CMakeFiles/latol_sim.dir/mms_petri.cpp.o" "gcc" "src/sim/CMakeFiles/latol_sim.dir/mms_petri.cpp.o.d"
+  "/root/repo/src/sim/petri.cpp" "src/sim/CMakeFiles/latol_sim.dir/petri.cpp.o" "gcc" "src/sim/CMakeFiles/latol_sim.dir/petri.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/sim/CMakeFiles/latol_sim.dir/stats.cpp.o" "gcc" "src/sim/CMakeFiles/latol_sim.dir/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/latol_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latol_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/qn/CMakeFiles/latol_qn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol_sim.dir/des.cpp.o"
+  "CMakeFiles/latol_sim.dir/des.cpp.o.d"
+  "CMakeFiles/latol_sim.dir/fcfs_server.cpp.o"
+  "CMakeFiles/latol_sim.dir/fcfs_server.cpp.o.d"
+  "CMakeFiles/latol_sim.dir/mms_des.cpp.o"
+  "CMakeFiles/latol_sim.dir/mms_des.cpp.o.d"
+  "CMakeFiles/latol_sim.dir/mms_petri.cpp.o"
+  "CMakeFiles/latol_sim.dir/mms_petri.cpp.o.d"
+  "CMakeFiles/latol_sim.dir/petri.cpp.o"
+  "CMakeFiles/latol_sim.dir/petri.cpp.o.d"
+  "CMakeFiles/latol_sim.dir/stats.cpp.o"
+  "CMakeFiles/latol_sim.dir/stats.cpp.o.d"
+  "liblatol_sim.a"
+  "liblatol_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

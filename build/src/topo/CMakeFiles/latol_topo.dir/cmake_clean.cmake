@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol_topo.dir/hypercube.cpp.o"
+  "CMakeFiles/latol_topo.dir/hypercube.cpp.o.d"
+  "CMakeFiles/latol_topo.dir/mesh.cpp.o"
+  "CMakeFiles/latol_topo.dir/mesh.cpp.o.d"
+  "CMakeFiles/latol_topo.dir/ring.cpp.o"
+  "CMakeFiles/latol_topo.dir/ring.cpp.o.d"
+  "CMakeFiles/latol_topo.dir/topology.cpp.o"
+  "CMakeFiles/latol_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/latol_topo.dir/torus.cpp.o"
+  "CMakeFiles/latol_topo.dir/torus.cpp.o.d"
+  "CMakeFiles/latol_topo.dir/traffic.cpp.o"
+  "CMakeFiles/latol_topo.dir/traffic.cpp.o.d"
+  "liblatol_topo.a"
+  "liblatol_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/latol_util.dir/csv.cpp.o"
+  "CMakeFiles/latol_util.dir/csv.cpp.o.d"
+  "CMakeFiles/latol_util.dir/table.cpp.o"
+  "CMakeFiles/latol_util.dir/table.cpp.o.d"
+  "CMakeFiles/latol_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/latol_util.dir/thread_pool.cpp.o.d"
+  "liblatol_util.a"
+  "liblatol_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/latol_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/bottleneck_test.cpp" "tests/CMakeFiles/test_core.dir/core/bottleneck_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/bottleneck_test.cpp.o.d"
+  "/root/repo/tests/core/mms_config_test.cpp" "tests/CMakeFiles/test_core.dir/core/mms_config_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mms_config_test.cpp.o.d"
+  "/root/repo/tests/core/mms_model_test.cpp" "tests/CMakeFiles/test_core.dir/core/mms_model_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/mms_model_test.cpp.o.d"
+  "/root/repo/tests/core/monotonicity_test.cpp" "tests/CMakeFiles/test_core.dir/core/monotonicity_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/monotonicity_test.cpp.o.d"
+  "/root/repo/tests/core/paper_results_test.cpp" "tests/CMakeFiles/test_core.dir/core/paper_results_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/paper_results_test.cpp.o.d"
+  "/root/repo/tests/core/sweep_test.cpp" "tests/CMakeFiles/test_core.dir/core/sweep_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/sweep_test.cpp.o.d"
+  "/root/repo/tests/core/thread_partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/thread_partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/thread_partition_test.cpp.o.d"
+  "/root/repo/tests/core/tolerance_test.cpp" "tests/CMakeFiles/test_core.dir/core/tolerance_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/tolerance_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qn/CMakeFiles/latol_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/latol_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/latol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

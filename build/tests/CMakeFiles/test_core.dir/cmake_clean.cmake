@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/bottleneck_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/bottleneck_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mms_config_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mms_config_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/mms_model_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/mms_model_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/monotonicity_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/monotonicity_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/paper_results_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/paper_results_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/sweep_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/sweep_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/thread_partition_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/thread_partition_test.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/tolerance_test.cpp.o"
+  "CMakeFiles/test_core.dir/core/tolerance_test.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

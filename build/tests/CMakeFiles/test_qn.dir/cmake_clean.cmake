@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qn.dir/qn/convolution_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/convolution_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/ctmc_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/ctmc_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/multiserver_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/multiserver_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/mva_approx_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/mva_approx_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/mva_exact_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/mva_exact_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/mva_linearizer_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/mva_linearizer_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/network_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/network_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/robustness_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/robustness_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/routing_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/routing_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/solver_agreement_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/solver_agreement_test.cpp.o.d"
+  "test_qn"
+  "test_qn.pdb"
+  "test_qn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

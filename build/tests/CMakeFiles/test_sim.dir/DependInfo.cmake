@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/des_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/des_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/des_test.cpp.o.d"
+  "/root/repo/tests/sim/fcfs_server_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/fcfs_server_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/fcfs_server_test.cpp.o.d"
+  "/root/repo/tests/sim/mms_des_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/mms_des_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/mms_des_test.cpp.o.d"
+  "/root/repo/tests/sim/mms_petri_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/mms_petri_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/mms_petri_test.cpp.o.d"
+  "/root/repo/tests/sim/petri_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/petri_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/petri_test.cpp.o.d"
+  "/root/repo/tests/sim/petri_vs_ctmc_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/petri_vs_ctmc_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/petri_vs_ctmc_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/stats_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/latol_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/qn/CMakeFiles/latol_qn.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/latol_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/latol_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/latol_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/sim/des_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/des_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/fcfs_server_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/fcfs_server_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/mms_des_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/mms_des_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/mms_petri_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/mms_petri_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/petri_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/petri_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/petri_vs_ctmc_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/petri_vs_ctmc_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/rng_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/rng_test.cpp.o.d"
+  "CMakeFiles/test_sim.dir/sim/stats_test.cpp.o"
+  "CMakeFiles/test_sim.dir/sim/stats_test.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
