@@ -8,9 +8,12 @@
 #pragma once
 
 #include <iostream>
+#include <limits>
 #include <memory>
 #include <optional>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/latol.hpp"
 #include "util/csv.hpp"
@@ -59,6 +62,64 @@ inline void print_header(const std::string& experiment,
 /// Shorthand used across benches.
 inline std::string zone_tag(double tol) {
   return core::zone_name(core::classify_tolerance(tol));
+}
+
+/// Marker appended next to a reported number that did not come from a
+/// clean, converged solve of the requested solver; empty when clean.
+inline std::string convergence_marker(const core::MmsPerformance& perf) {
+  if (!perf.converged) return " [not converged]";
+  if (perf.degraded)
+    return std::string(" [degraded: ") + qn::solver_kind_name(perf.solver) +
+           "]";
+  return "";
+}
+
+/// Print one `[not converged]`/`[solve failed]` line per unhealthy sweep
+/// grid point and return how many there were (0 = all results clean). Every
+/// reproduction bench calls this after its tables so a diverged point can
+/// never silently pose as a paper result.
+inline int report_sweep_health(const std::vector<core::SweepResult>& results,
+                               const std::string& context) {
+  int unhealthy = 0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SweepResult& r = results[i];
+    if (r.healthy()) continue;
+    ++unhealthy;
+    if (r.error) {
+      std::cout << "[solve failed] " << context << " point " << i << ": "
+                << *r.error << '\n';
+    } else {
+      std::cout << "[not converged] " << context << " point " << i
+                << ": answered by " << qn::solver_kind_name(r.perf.solver)
+                << (r.perf.converged ? "" : ", iteration budget exhausted")
+                << '\n';
+    }
+  }
+  return unhealthy;
+}
+
+/// CSV cell values for the `solver` / `converged` columns every sweep CSV
+/// carries (a failed point reports solver "error").
+inline std::string csv_solver(const core::SweepResult& r) {
+  return r.error ? "error" : qn::solver_kind_name(r.perf.solver);
+}
+inline std::string csv_converged(const core::SweepResult& r) {
+  return (!r.error && r.perf.converged) ? "1" : "0";
+}
+inline std::string csv_solver(const core::MmsPerformance& perf) {
+  return qn::solver_kind_name(perf.solver);
+}
+inline std::string csv_converged(const core::MmsPerformance& perf) {
+  return perf.converged ? "1" : "0";
+}
+
+/// Format a double the way CsvWriter's numeric overload does, for rows
+/// that mix numbers with the solver/converged string cells.
+inline std::string csv_num(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  return os.str();
 }
 
 }  // namespace latol::bench

@@ -17,8 +17,8 @@ int main(int argc, char** argv) {
 
   const std::vector<int> thread_counts{1, 2, 3, 4, 6, 8, 10};
   const std::vector<double> runlengths{2, 5, 10, 15, 20, 30, 40};
-  auto csv =
-      sink.open("fig06", {"p_remote", "n_t", "R", "tol_network", "U_p"});
+  auto csv = sink.open("fig06", {"p_remote", "n_t", "R", "tol_network", "U_p",
+                                 "solver", "converged"});
 
   for (const double p : {0.2, 0.4}) {
     std::vector<MmsConfig> grid;
@@ -42,17 +42,22 @@ int main(int argc, char** argv) {
     for (const int n_t : thread_counts) {
       std::vector<std::string> row{std::to_string(n_t)};
       for (std::size_t j = 0; j < runlengths.size(); ++j) {
-        const double tol = results[idx + j].tol_network.value_or(0.0);
+        const SweepResult& r = results[idx + j];
+        const double tol = r.tol_network.value_or(0.0);
         row.push_back(util::Table::num(tol, 3));
         if (csv) {
-          csv->add_row({p, static_cast<double>(n_t), runlengths[j], tol,
-                        results[idx + j].perf.processor_utilization});
+          csv->add_row({bench::csv_num(p), bench::csv_num(n_t),
+                        bench::csv_num(runlengths[j]), bench::csv_num(tol),
+                        bench::csv_num(r.perf.processor_utilization),
+                        bench::csv_solver(r), bench::csv_converged(r)});
         }
       }
       idx += runlengths.size();
       table.add_row(std::move(row));
     }
     std::cout << "(p_remote = " << p << ")\n" << table << '\n';
+    bench::report_sweep_health(results, "fig06 p_remote=" +
+                                            util::Table::num(p, 1));
   }
   std::cout << "Reading: moving right (higher R) lifts tolerance faster than "
                "moving down (more threads),\nonce at least 2 threads exist "

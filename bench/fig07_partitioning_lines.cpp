@@ -18,8 +18,8 @@ int main(int argc, char** argv) {
 
   const std::vector<double> budgets{20, 40, 60, 80, 100};
   const std::vector<int> splits{1, 2, 4, 5, 10, 20};
-  auto csv = sink.open(
-      "fig07", {"p_remote", "budget", "n_t", "R", "tol_network", "U_p"});
+  auto csv = sink.open("fig07", {"p_remote", "budget", "n_t", "R",
+                                 "tol_network", "U_p", "solver", "converged"});
 
   for (const double p : {0.2, 0.4}) {
     std::cout << "(p_remote = " << p << ")\n";
@@ -32,10 +32,15 @@ int main(int argc, char** argv) {
                        util::Table::num(pt.runlength, 1),
                        util::Table::num(pt.tol_network, 4),
                        util::Table::num(pt.perf.processor_utilization, 4),
-                       bench::zone_tag(pt.tol_network)});
+                       bench::zone_tag(pt.tol_network) +
+                           bench::convergence_marker(pt.perf)});
         if (csv) {
-          csv->add_row({p, work, static_cast<double>(pt.n_t), pt.runlength,
-                        pt.tol_network, pt.perf.processor_utilization});
+          csv->add_row({bench::csv_num(p), bench::csv_num(work),
+                        bench::csv_num(pt.n_t), bench::csv_num(pt.runlength),
+                        bench::csv_num(pt.tol_network),
+                        bench::csv_num(pt.perf.processor_utilization),
+                        bench::csv_solver(pt.perf),
+                        bench::csv_converged(pt.perf)});
         }
       }
     }

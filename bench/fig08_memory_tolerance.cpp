@@ -17,7 +17,8 @@ int main(int argc, char** argv) {
 
   const std::vector<int> thread_counts{1, 2, 4, 6, 8, 10};
   const std::vector<double> runlengths{2, 5, 10, 20, 30, 40};
-  auto csv = sink.open("fig08", {"L", "n_t", "R", "tol_memory", "U_p"});
+  auto csv = sink.open("fig08", {"L", "n_t", "R", "tol_memory", "U_p",
+                                 "solver", "converged"});
 
   for (const double L : {10.0, 20.0}) {
     std::vector<MmsConfig> grid;
@@ -41,17 +42,21 @@ int main(int argc, char** argv) {
     for (const int n_t : thread_counts) {
       std::vector<std::string> row{std::to_string(n_t)};
       for (std::size_t j = 0; j < runlengths.size(); ++j) {
-        const double tol = results[idx + j].tol_memory.value_or(0.0);
+        const SweepResult& r = results[idx + j];
+        const double tol = r.tol_memory.value_or(0.0);
         row.push_back(util::Table::num(tol, 3));
         if (csv) {
-          csv->add_row({L, static_cast<double>(n_t), runlengths[j], tol,
-                        results[idx + j].perf.processor_utilization});
+          csv->add_row({bench::csv_num(L), bench::csv_num(n_t),
+                        bench::csv_num(runlengths[j]), bench::csv_num(tol),
+                        bench::csv_num(r.perf.processor_utilization),
+                        bench::csv_solver(r), bench::csv_converged(r)});
         }
       }
       idx += runlengths.size();
       table.add_row(std::move(row));
     }
     std::cout << "(L = " << L << ")\n" << table << '\n';
+    bench::report_sweep_health(results, "fig08 L=" + util::Table::num(L, 0));
   }
   return 0;
 }

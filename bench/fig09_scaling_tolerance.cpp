@@ -21,8 +21,8 @@ int main(int argc, char** argv) {
 
   const std::vector<int> sides{2, 4, 6, 8, 10};
   const std::vector<int> thread_counts{1, 2, 4, 6, 8, 12, 16};
-  auto csv = sink.open(
-      "fig09", {"R", "k", "pattern", "n_t", "tol_network", "d_avg"});
+  auto csv = sink.open("fig09", {"R", "k", "pattern", "n_t", "tol_network",
+                                 "d_avg", "solver", "converged"});
 
   for (const double R : {10.0, 20.0}) {
     std::cout << "(R = " << R << ")\n";
@@ -54,12 +54,19 @@ int main(int argc, char** argv) {
           const double tol = results[i].tol_network.value_or(0.0);
           row.push_back(util::Table::num(tol, 3));
           if (csv) {
-            csv->add_row({R, static_cast<double>(k), geo ? 1.0 : 0.0,
-                          static_cast<double>(thread_counts[i]), tol,
-                          results[i].perf.average_distance});
+            csv->add_row({bench::csv_num(R), bench::csv_num(k),
+                          geo ? "1" : "0", bench::csv_num(thread_counts[i]),
+                          bench::csv_num(tol),
+                          bench::csv_num(results[i].perf.average_distance),
+                          bench::csv_solver(results[i]),
+                          bench::csv_converged(results[i])});
           }
         }
         table.add_row(std::move(row));
+        bench::report_sweep_health(
+            results, "fig09 R=" + util::Table::num(R, 0) + " k=" +
+                         std::to_string(k) +
+                         (geo ? " geometric" : " uniform"));
       }
     }
     std::cout << table << '\n';

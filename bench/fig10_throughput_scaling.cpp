@@ -35,7 +35,7 @@ int main(int argc, char** argv) {
   util::Table lat({"P", "S_obs geo", "S_obs uni", "L_obs ideal", "L_obs geo",
                    "L_obs uni"});
   auto csv = sink.open("fig10", {"P", "variant", "throughput", "S_obs",
-                                 "L_obs", "U_p"});
+                                 "L_obs", "U_p", "solver", "converged"});
 
   for (const int k : sides) {
     const int P = k * k;
@@ -46,14 +46,21 @@ int main(int argc, char** argv) {
       cfg.traffic.pattern = v.pattern;
       cfg.switch_delay = v.switch_delay;
       const MmsPerformance perf = analyze(cfg);
+      if (const std::string mark = bench::convergence_marker(perf);
+          !mark.empty()) {
+        std::cout << "P=" << P << " " << v.name << ":" << mark << '\n';
+      }
       tput.push_back(P * perf.processor_utilization);
       sobs.push_back(perf.network_latency);
       lobs.push_back(perf.memory_latency);
       if (csv) {
-        csv->add_row({static_cast<double>(P),
-                      static_cast<double>(&v - variants.data()),
-                      tput.back(), perf.network_latency, perf.memory_latency,
-                      perf.processor_utilization});
+        csv->add_row({bench::csv_num(P),
+                      bench::csv_num(static_cast<double>(&v - variants.data())),
+                      bench::csv_num(tput.back()),
+                      bench::csv_num(perf.network_latency),
+                      bench::csv_num(perf.memory_latency),
+                      bench::csv_num(perf.processor_utilization),
+                      bench::csv_solver(perf), bench::csv_converged(perf)});
       }
     }
     thr.add_row({std::to_string(P), util::Table::num(static_cast<double>(P), 0),

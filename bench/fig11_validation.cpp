@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   const double kWarmup = 0.1;
   auto csv = sink.open(
       "fig11", {"S", "n_t", "lambda_net_model", "lambda_net_stpn",
-                "lambda_net_des", "S_obs_model", "S_obs_stpn", "S_obs_des"});
+                "lambda_net_des", "S_obs_model", "S_obs_stpn", "S_obs_des",
+                "solver", "converged"});
 
   for (const double S : {10.0, 20.0}) {
     std::cout << "(S = " << S << ")\n";
@@ -48,6 +49,10 @@ int main(int argc, char** argv) {
       cfg.threads_per_processor = n_t;
 
       const MmsPerformance model = analyze(cfg);
+      if (const std::string mark = bench::convergence_marker(model);
+          !mark.empty()) {
+        std::cout << "S=" << S << " n_t=" << n_t << " model:" << mark << '\n';
+      }
       const sim::PetriMmsResult stpn = sim::simulate_mms_petri(
           cfg, kSimTime, kWarmup, /*seed=*/1000 + n_t);
       sim::SimulationConfig des_cfg;
@@ -71,10 +76,14 @@ int main(int argc, char** argv) {
            util::Table::num(pct(des.network_latency, model.network_latency),
                             1)});
       if (csv) {
-        csv->add_row({S, static_cast<double>(n_t), model.message_rate,
-                      stpn.message_rate, des.message_rate,
-                      model.network_latency, stpn.network_latency,
-                      des.network_latency});
+        csv->add_row({bench::csv_num(S), bench::csv_num(n_t),
+                      bench::csv_num(model.message_rate),
+                      bench::csv_num(stpn.message_rate),
+                      bench::csv_num(des.message_rate),
+                      bench::csv_num(model.network_latency),
+                      bench::csv_num(stpn.network_latency),
+                      bench::csv_num(des.network_latency),
+                      bench::csv_solver(model), bench::csv_converged(model)});
       }
     }
     std::cout << table << '\n';
@@ -90,6 +99,10 @@ int main(int argc, char** argv) {
     cfg.p_remote = 0.5;
     cfg.threads_per_processor = n_t;
     const MmsPerformance model = analyze(cfg);
+    if (const std::string mark = bench::convergence_marker(model);
+        !mark.empty()) {
+      std::cout << "sensitivity n_t=" << n_t << " model:" << mark << '\n';
+    }
     const sim::PetriMmsResult stpn =
         sim::simulate_mms_petri(cfg, kSimTime, kWarmup, 3000 + n_t,
                                 sim::ServiceDistribution::kDeterministic);

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   util::Table table({"R", "n_t", "p_remote", "L_obs", "S_obs", "lambda_net",
                      "U_p", "tol_network", "zone"});
   auto csv = sink.open("table2", {"R", "n_t", "p_remote", "L_obs", "S_obs",
-                                  "lambda_net", "U_p", "tol_network"});
+                                  "lambda_net", "U_p", "tol_network", "solver",
+                                  "converged"});
   for (const Row& row : rows) {
     MmsConfig cfg = MmsConfig::paper_defaults();
     cfg.runlength = row.runlength;
@@ -46,11 +47,18 @@ int main(int argc, char** argv) {
                    util::Table::num(perf.network_latency, 2),
                    util::Table::num(perf.message_rate, 4),
                    util::Table::num(perf.processor_utilization, 4),
-                   util::Table::num(t.index, 4), bench::zone_tag(t.index)});
+                   util::Table::num(t.index, 4),
+                   bench::zone_tag(t.index) +
+                       bench::convergence_marker(perf)});
     if (csv) {
-      csv->add_row({row.runlength, static_cast<double>(row.n_t), row.p_remote,
-                    perf.memory_latency, perf.network_latency,
-                    perf.message_rate, perf.processor_utilization, t.index});
+      csv->add_row({bench::csv_num(row.runlength), bench::csv_num(row.n_t),
+                    bench::csv_num(row.p_remote),
+                    bench::csv_num(perf.memory_latency),
+                    bench::csv_num(perf.network_latency),
+                    bench::csv_num(perf.message_rate),
+                    bench::csv_num(perf.processor_utilization),
+                    bench::csv_num(t.index), bench::csv_solver(perf),
+                    bench::csv_converged(perf)});
     }
   }
   std::cout << table;

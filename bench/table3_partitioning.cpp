@@ -18,7 +18,8 @@ int main(int argc, char** argv) {
   const double work = 40.0;
   const std::vector<int> splits{1, 2, 4, 5, 8, 10};
   auto csv = sink.open("table3", {"p_remote", "n_t", "R", "L_obs", "S_obs",
-                                  "lambda_net", "U_p", "tol_network"});
+                                  "lambda_net", "U_p", "tol_network", "solver",
+                                  "converged"});
 
   for (const double p : {0.2, 0.4}) {
     MmsConfig base = MmsConfig::paper_defaults();
@@ -33,12 +34,18 @@ int main(int argc, char** argv) {
                      util::Table::num(pt.perf.message_rate, 4),
                      util::Table::num(pt.perf.processor_utilization, 4),
                      util::Table::num(pt.tol_network, 4),
-                     bench::zone_tag(pt.tol_network)});
+                     bench::zone_tag(pt.tol_network) +
+                         bench::convergence_marker(pt.perf)});
       if (csv) {
-        csv->add_row({p, static_cast<double>(pt.n_t), pt.runlength,
-                      pt.perf.memory_latency, pt.perf.network_latency,
-                      pt.perf.message_rate, pt.perf.processor_utilization,
-                      pt.tol_network});
+        csv->add_row({bench::csv_num(p), bench::csv_num(pt.n_t),
+                      bench::csv_num(pt.runlength),
+                      bench::csv_num(pt.perf.memory_latency),
+                      bench::csv_num(pt.perf.network_latency),
+                      bench::csv_num(pt.perf.message_rate),
+                      bench::csv_num(pt.perf.processor_utilization),
+                      bench::csv_num(pt.tol_network),
+                      bench::csv_solver(pt.perf),
+                      bench::csv_converged(pt.perf)});
       }
     }
     std::cout << "(p_remote = " << p << ", n_t x R = " << work << ")\n"

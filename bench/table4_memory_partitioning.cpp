@@ -18,7 +18,7 @@ int main(int argc, char** argv) {
   const double work = 40.0;
   const std::vector<int> splits{1, 2, 4, 5, 8, 10};
   auto csv = sink.open("table4", {"L", "n_t", "R", "L_obs", "S_obs", "U_p",
-                                  "tol_memory"});
+                                  "tol_memory", "solver", "converged"});
 
   for (const double L : {10.0, 20.0}) {
     MmsConfig base = MmsConfig::paper_defaults();
@@ -32,11 +32,17 @@ int main(int argc, char** argv) {
                      util::Table::num(pt.perf.network_latency, 2),
                      util::Table::num(pt.perf.processor_utilization, 4),
                      util::Table::num(pt.tol_memory, 4),
-                     bench::zone_tag(pt.tol_memory)});
+                     bench::zone_tag(pt.tol_memory) +
+                         bench::convergence_marker(pt.perf)});
       if (csv) {
-        csv->add_row({L, static_cast<double>(pt.n_t), pt.runlength,
-                      pt.perf.memory_latency, pt.perf.network_latency,
-                      pt.perf.processor_utilization, pt.tol_memory});
+        csv->add_row({bench::csv_num(L), bench::csv_num(pt.n_t),
+                      bench::csv_num(pt.runlength),
+                      bench::csv_num(pt.perf.memory_latency),
+                      bench::csv_num(pt.perf.network_latency),
+                      bench::csv_num(pt.perf.processor_utilization),
+                      bench::csv_num(pt.tol_memory),
+                      bench::csv_solver(pt.perf),
+                      bench::csv_converged(pt.perf)});
       }
     }
     std::cout << "(L = " << L << ", n_t x R = " << work << ")\n"

@@ -42,7 +42,7 @@ inline void run_workload_figure(double runlength, const std::string& name,
             << bn.p_remote_critical << "\n\n";
 
   auto csv = sink.open(name, {"n_t", "p_remote", "U_p", "S_obs", "lambda_net",
-                              "tol_network"});
+                              "tol_network", "solver", "converged"});
 
   auto surface = [&](const std::string& title, auto value) {
     std::vector<std::string> headers{"n_t \\ p_remote"};
@@ -75,9 +75,12 @@ inline void run_workload_figure(double runlength, const std::string& name,
     for (const int n_t : thread_counts) {
       for (const double p : remotes) {
         const SweepResult& r = results[idx++];
-        csv->add_row({static_cast<double>(n_t), p,
-                      r.perf.processor_utilization, r.perf.network_latency,
-                      r.perf.message_rate, r.tol_network.value_or(0.0)});
+        csv->add_row({csv_num(n_t), csv_num(p),
+                      csv_num(r.perf.processor_utilization),
+                      csv_num(r.perf.network_latency),
+                      csv_num(r.perf.message_rate),
+                      csv_num(r.tol_network.value_or(0.0)), csv_solver(r),
+                      csv_converged(r)});
       }
     }
   }
@@ -100,6 +103,7 @@ inline void run_workload_figure(double runlength, const std::string& name,
   std::cout << "  - U_p drop across critical p: U_p(0.1)="
             << at(4, 0.1).perf.processor_utilization << " -> U_p(0.4)="
             << at(4, 0.4).perf.processor_utilization << '\n';
+  report_sweep_health(results, name);
 }
 
 }  // namespace latol::bench

@@ -154,7 +154,8 @@ bench/CMakeFiles/ext_context_switch.dir/ext_context_switch.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc \
  /usr/include/c++/12/bits/ostream.tcc /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc /root/repo/bench/bench_common.hpp \
- /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/limits /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -196,11 +197,12 @@ bench/CMakeFiles/ext_context_switch.dir/ext_context_switch.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/core/latol.hpp /root/repo/src/core/bottleneck.hpp \
- /root/repo/src/core/mms_config.hpp /root/repo/src/topo/traffic.hpp \
+ /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/topo/topology.hpp \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/core/latol.hpp \
+ /root/repo/src/core/bottleneck.hpp /root/repo/src/core/mms_config.hpp \
+ /root/repo/src/topo/traffic.hpp /root/repo/src/topo/topology.hpp \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/util/matrix.hpp /usr/include/c++/12/cmath \
  /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
@@ -212,8 +214,7 @@ bench/CMakeFiles/ext_context_switch.dir/ext_context_switch.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
  /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
  /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
- /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/limits \
- /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
  /usr/include/c++/12/tr1/special_function_util.h \
  /usr/include/c++/12/tr1/bessel_function.tcc \
  /usr/include/c++/12/tr1/beta_function.tcc \
@@ -226,11 +227,12 @@ bench/CMakeFiles/ext_context_switch.dir/ext_context_switch.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
  /root/repo/src/util/error.hpp /usr/include/c++/12/source_location \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/mms_model.hpp /root/repo/src/qn/mva_approx.hpp \
  /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
- /root/repo/src/core/sweep.hpp /usr/include/c++/12/span \
- /usr/include/c++/12/array /root/repo/src/core/tolerance.hpp \
+ /root/repo/src/qn/robust.hpp /root/repo/src/qn/mva_linearizer.hpp \
+ /root/repo/src/qn/solver_error.hpp /root/repo/src/core/sweep.hpp \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /root/repo/src/core/tolerance.hpp \
  /root/repo/src/core/thread_partition.hpp /root/repo/src/util/csv.hpp \
  /usr/include/c++/12/fstream /usr/include/c++/12/bits/codecvt.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \

@@ -228,8 +228,9 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/repo/src/core/mms_model.hpp /root/repo/src/qn/mva_approx.hpp \
  /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
- /root/repo/src/core/sweep.hpp /usr/include/c++/12/optional \
+ /root/repo/src/qn/robust.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/core/tolerance.hpp \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp \
+ /root/repo/src/core/sweep.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/core/tolerance.hpp \
  /root/repo/src/core/thread_partition.hpp /root/repo/src/util/table.hpp

@@ -233,13 +233,14 @@ src/cli/CMakeFiles/latol_cli_lib.dir/commands.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/cstddef \
  /root/repo/src/util/error.hpp /usr/include/c++/12/source_location \
- /root/repo/src/core/latol.hpp /root/repo/src/core/bottleneck.hpp \
- /root/repo/src/core/mms_model.hpp /root/repo/src/qn/mva_approx.hpp \
- /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
- /root/repo/src/core/sweep.hpp /usr/include/c++/12/optional \
+ /root/repo/src/qn/mva_approx.hpp /root/repo/src/qn/network.hpp \
+ /root/repo/src/qn/solution.hpp /root/repo/src/core/latol.hpp \
+ /root/repo/src/core/bottleneck.hpp /root/repo/src/core/mms_model.hpp \
+ /root/repo/src/qn/robust.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/span /usr/include/c++/12/array \
- /root/repo/src/core/tolerance.hpp \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp \
+ /root/repo/src/core/sweep.hpp /usr/include/c++/12/span \
+ /usr/include/c++/12/array /root/repo/src/core/tolerance.hpp \
  /root/repo/src/core/thread_partition.hpp /root/repo/src/sim/mms_des.hpp \
  /root/repo/src/sim/rng.hpp /usr/include/c++/12/random \
  /usr/include/c++/12/bits/random.h \

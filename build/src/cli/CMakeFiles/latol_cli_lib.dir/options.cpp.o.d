@@ -224,4 +224,6 @@ src/cli/CMakeFiles/latol_cli_lib.dir/options.cpp.o: \
  /root/repo/src/util/error.hpp /usr/include/c++/12/source_location \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/charconv
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/qn/mva_approx.hpp \
+ /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
+ /usr/include/c++/12/charconv

@@ -234,4 +234,7 @@ src/core/CMakeFiles/latol_core.dir/bottleneck.cpp.o: \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/core/mms_model.hpp /root/repo/src/qn/mva_approx.hpp \
- /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp
+ /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
+ /root/repo/src/qn/robust.hpp /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp

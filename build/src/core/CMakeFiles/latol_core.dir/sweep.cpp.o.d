@@ -231,8 +231,9 @@ src/core/CMakeFiles/latol_core.dir/sweep.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/mms_model.hpp \
  /root/repo/src/qn/mva_approx.hpp /root/repo/src/qn/network.hpp \
- /root/repo/src/qn/solution.hpp /root/repo/src/core/tolerance.hpp \
- /root/repo/src/util/thread_pool.hpp \
+ /root/repo/src/qn/solution.hpp /root/repo/src/qn/robust.hpp \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp \
+ /root/repo/src/core/tolerance.hpp /root/repo/src/util/thread_pool.hpp \
  /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
  /usr/include/c++/12/bits/parse_numbers.h \

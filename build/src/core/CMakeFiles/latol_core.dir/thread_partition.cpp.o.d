@@ -227,4 +227,8 @@ src/core/CMakeFiles/latol_core.dir/thread_partition.cpp.o: \
  /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/mms_model.hpp \
  /root/repo/src/qn/mva_approx.hpp /root/repo/src/qn/network.hpp \
- /root/repo/src/qn/solution.hpp /root/repo/src/core/tolerance.hpp
+ /root/repo/src/qn/solution.hpp /root/repo/src/qn/robust.hpp \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp \
+ /root/repo/src/core/tolerance.hpp

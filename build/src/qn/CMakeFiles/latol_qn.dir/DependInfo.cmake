@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/qn/mva_exact.cpp" "src/qn/CMakeFiles/latol_qn.dir/mva_exact.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/mva_exact.cpp.o.d"
   "/root/repo/src/qn/mva_linearizer.cpp" "src/qn/CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o.d"
   "/root/repo/src/qn/network.cpp" "src/qn/CMakeFiles/latol_qn.dir/network.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/network.cpp.o.d"
+  "/root/repo/src/qn/robust.cpp" "src/qn/CMakeFiles/latol_qn.dir/robust.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/robust.cpp.o.d"
   "/root/repo/src/qn/routing.cpp" "src/qn/CMakeFiles/latol_qn.dir/routing.cpp.o" "gcc" "src/qn/CMakeFiles/latol_qn.dir/routing.cpp.o.d"
   )
 

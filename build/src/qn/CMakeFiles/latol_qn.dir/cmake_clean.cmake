@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/latol_qn.dir/mva_linearizer.cpp.o.d"
   "CMakeFiles/latol_qn.dir/network.cpp.o"
   "CMakeFiles/latol_qn.dir/network.cpp.o.d"
+  "CMakeFiles/latol_qn.dir/robust.cpp.o"
+  "CMakeFiles/latol_qn.dir/robust.cpp.o.d"
   "CMakeFiles/latol_qn.dir/routing.cpp.o"
   "CMakeFiles/latol_qn.dir/routing.cpp.o.d"
   "liblatol_qn.a"

@@ -184,4 +184,5 @@ src/qn/CMakeFiles/latol_qn.dir/mva_approx.cpp.o: \
  /usr/include/c++/12/bits/basic_ios.tcc /usr/include/c++/12/ostream \
  /usr/include/c++/12/bits/ostream.tcc \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/qn/solution.hpp
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/qn/solution.hpp \
+ /root/repo/src/qn/solver_error.hpp

@@ -224,7 +224,8 @@ tests/CMakeFiles/test_cli.dir/cli/cli_test.cpp.o: \
  /root/repo/src/util/error.hpp /usr/include/c++/12/source_location \
  /usr/include/c++/12/sstream /usr/include/c++/12/istream \
  /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/qn/mva_approx.hpp \
+ /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
  /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \

@@ -320,6 +320,8 @@ tests/CMakeFiles/test_core.dir/core/monotonicity_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/util/error.hpp \
  /usr/include/c++/12/source_location /root/repo/src/core/mms_model.hpp \
  /root/repo/src/qn/mva_approx.hpp /root/repo/src/qn/network.hpp \
- /root/repo/src/qn/solution.hpp /root/repo/src/core/sweep.hpp \
- /usr/include/c++/12/span /root/repo/src/core/tolerance.hpp \
+ /root/repo/src/qn/solution.hpp /root/repo/src/qn/robust.hpp \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp \
+ /root/repo/src/core/sweep.hpp /usr/include/c++/12/span \
+ /root/repo/src/core/tolerance.hpp \
  /root/repo/src/core/thread_partition.hpp

@@ -231,8 +231,9 @@ tests/CMakeFiles/test_core.dir/core/sweep_test.cpp.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/core/mms_model.hpp \
  /root/repo/src/qn/mva_approx.hpp /root/repo/src/qn/network.hpp \
- /root/repo/src/qn/solution.hpp /root/repo/src/core/tolerance.hpp \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/qn/solution.hpp /root/repo/src/qn/robust.hpp \
+ /root/repo/src/qn/mva_linearizer.hpp /root/repo/src/qn/solver_error.hpp \
+ /root/repo/src/core/tolerance.hpp /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \

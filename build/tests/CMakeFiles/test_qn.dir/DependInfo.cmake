@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/qn/mva_exact_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/mva_exact_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/mva_exact_test.cpp.o.d"
   "/root/repo/tests/qn/mva_linearizer_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/mva_linearizer_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/mva_linearizer_test.cpp.o.d"
   "/root/repo/tests/qn/network_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/network_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/network_test.cpp.o.d"
+  "/root/repo/tests/qn/robust_solve_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/robust_solve_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/robust_solve_test.cpp.o.d"
   "/root/repo/tests/qn/robustness_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/robustness_test.cpp.o.d"
   "/root/repo/tests/qn/routing_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/routing_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/routing_test.cpp.o.d"
   "/root/repo/tests/qn/solver_agreement_test.cpp" "tests/CMakeFiles/test_qn.dir/qn/solver_agreement_test.cpp.o" "gcc" "tests/CMakeFiles/test_qn.dir/qn/solver_agreement_test.cpp.o.d"

@@ -13,6 +13,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/test_qn.dir/qn/mva_linearizer_test.cpp.o.d"
   "CMakeFiles/test_qn.dir/qn/network_test.cpp.o"
   "CMakeFiles/test_qn.dir/qn/network_test.cpp.o.d"
+  "CMakeFiles/test_qn.dir/qn/robust_solve_test.cpp.o"
+  "CMakeFiles/test_qn.dir/qn/robust_solve_test.cpp.o.d"
   "CMakeFiles/test_qn.dir/qn/robustness_test.cpp.o"
   "CMakeFiles/test_qn.dir/qn/robustness_test.cpp.o.d"
   "CMakeFiles/test_qn.dir/qn/routing_test.cpp.o"

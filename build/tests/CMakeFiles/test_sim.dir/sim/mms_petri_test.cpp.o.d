@@ -327,4 +327,5 @@ tests/CMakeFiles/test_sim.dir/sim/mms_petri_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
  /root/repo/src/core/mms_model.hpp /root/repo/src/qn/mva_approx.hpp \
  /root/repo/src/qn/network.hpp /root/repo/src/qn/solution.hpp \
- /root/repo/src/sim/mms_des.hpp
+ /root/repo/src/qn/robust.hpp /root/repo/src/qn/mva_linearizer.hpp \
+ /root/repo/src/qn/solver_error.hpp /root/repo/src/sim/mms_des.hpp

@@ -25,6 +25,13 @@ int main(int argc, char** argv) {
             << ". Simulations: 100k time units, 10% warmup.\n\n";
 
   const MmsPerformance model = analyze(cfg);
+  std::string model_col = "AMVA model";
+  if (!model.converged) {
+    model_col += " [not converged]";
+  } else if (model.degraded) {
+    model_col += std::string(" [degraded: ") +
+                 qn::solver_kind_name(model.solver) + "]";
+  }
 
   sim::SimulationConfig des_cfg;
   des_cfg.mms = cfg;
@@ -35,7 +42,7 @@ int main(int argc, char** argv) {
   const sim::PetriMmsResult stpn =
       sim::simulate_mms_petri(cfg, 100000.0, 0.1, 17);
 
-  util::Table table({"measure", "AMVA model", "DES", "STPN"});
+  util::Table table({"measure", model_col, "DES", "STPN"});
   auto row = [&](const std::string& name, double m, double d, double p,
                  int prec) {
     table.add_row({name, util::Table::num(m, prec), util::Table::num(d, prec),

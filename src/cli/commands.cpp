@@ -12,6 +12,19 @@ namespace latol::cli {
 
 namespace {
 
+/// Warn about a solve that did not come back clean; returns the exit code
+/// contribution (1 = degraded, 0 = clean). `what` names the solve in the
+/// warning line (e.g. "actual system").
+int warn_if_degraded(const core::MmsPerformance& perf, const char* what,
+                     std::ostream& out) {
+  if (!perf.degraded && perf.converged) return 0;
+  out << "warning: " << what << " result is degraded: answered by "
+      << qn::solver_kind_name(perf.solver)
+      << (perf.converged ? "" : " (not converged)") << ", residual "
+      << perf.residual << '\n';
+  return 1;
+}
+
 void print_machine(const core::MmsConfig& cfg, std::ostream& out) {
   out << "machine: " << topo::topology_kind_name(cfg.topology) << " k="
       << cfg.k << " (P=" << cfg.num_processors() << "), n_t="
@@ -32,7 +45,10 @@ void print_machine(const core::MmsConfig& cfg, std::ostream& out) {
 
 int cmd_analyze(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
-  const core::MmsPerformance perf = core::analyze(opts.config);
+  qn::RobustOptions ropts;
+  ropts.amva = opts.amva;
+  const core::RobustAnalysis analysis = core::analyze_robust(opts.config, ropts);
+  const core::MmsPerformance& perf = analysis.perf;
   out << "U_p (processor utilization) = " << perf.processor_utilization
       << '\n'
       << "lambda (access rate)        = " << perf.access_rate << '\n'
@@ -41,16 +57,17 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
       << "L_obs (memory latency)      = " << perf.memory_latency << '\n'
       << "memory utilization          = " << perf.memory_utilization << '\n'
       << "max switch utilization      = " << perf.switch_utilization << '\n'
-      << "d_avg                       = " << perf.average_distance << '\n';
-  return 0;
+      << "d_avg                       = " << perf.average_distance << '\n'
+      << "solver                      = " << analysis.report.summary() << '\n';
+  return warn_if_degraded(perf, "analyze", out);
 }
 
 int cmd_tolerance(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
-  const core::ToleranceResult net =
-      core::tolerance_index(opts.config, core::Subsystem::kNetwork);
-  const core::ToleranceResult mem =
-      core::tolerance_index(opts.config, core::Subsystem::kMemory);
+  const core::ToleranceResult net = core::tolerance_index(
+      opts.config, core::Subsystem::kNetwork, opts.amva);
+  const core::ToleranceResult mem = core::tolerance_index(
+      opts.config, core::Subsystem::kMemory, opts.amva);
   out << "tol_network = " << net.index << " (" << core::zone_name(net.zone())
       << ")\n"
       << "tol_memory  = " << mem.index << " (" << core::zone_name(mem.zone())
@@ -64,7 +81,10 @@ int cmd_tolerance(const CliOptions& opts, std::ostream& out) {
   out << "tune first: "
       << (first == core::Subsystem::kNetwork ? "network" : "memory")
       << " subsystem\n";
-  return 0;
+  int rc = warn_if_degraded(net.actual, "actual system", out);
+  rc |= warn_if_degraded(net.ideal, "ideal network", out);
+  rc |= warn_if_degraded(mem.ideal, "ideal memory", out);
+  return rc;
 }
 
 int cmd_bottleneck(const CliOptions& opts, std::ostream& out) {
@@ -84,7 +104,8 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
   LATOL_REQUIRE(opts.sweep_steps >= 1, "sweep needs >= 1 step");
   util::Table table({opts.sweep_param, "U_p", "S_obs", "L_obs", "lambda_net",
-                     "tol_network", "zone"});
+                     "tol_network", "zone", "solver"});
+  int degraded = 0;
   for (int s = 0; s < opts.sweep_steps; ++s) {
     const double x =
         opts.sweep_steps == 1
@@ -115,22 +136,32 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
                             "`");
     }
     const core::ToleranceResult t =
-        core::tolerance_index(cfg, core::Subsystem::kNetwork);
+        core::tolerance_index(cfg, core::Subsystem::kNetwork, opts.amva);
+    const bool clean = !t.actual.degraded && t.actual.converged &&
+                       !t.ideal.degraded && t.ideal.converged;
+    if (!clean) ++degraded;
+    std::string solver = qn::solver_kind_name(t.actual.solver);
+    if (!clean) solver += " [degraded]";
     table.add_row({util::Table::num(x, 3),
                    util::Table::num(t.actual.processor_utilization, 4),
                    util::Table::num(t.actual.network_latency, 2),
                    util::Table::num(t.actual.memory_latency, 2),
                    util::Table::num(t.actual.message_rate, 4),
                    util::Table::num(t.index, 4),
-                   core::zone_name(t.zone())});
+                   core::zone_name(t.zone()), std::move(solver)});
   }
   table.print(out);
+  if (degraded > 0) {
+    out << "warning: " << degraded << " of " << opts.sweep_steps
+        << " sweep points are degraded (fallback solver or not converged)\n";
+    return 1;
+  }
   return 0;
 }
 
 int cmd_simulate(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
-  const core::MmsPerformance model = core::analyze(opts.config);
+  const core::MmsPerformance model = core::analyze(opts.config, opts.amva);
   util::Table table({"measure", "model", "simulation", "dev%"});
   auto row = [&](const std::string& name, double m, double s, int prec) {
     const double dev = m != 0.0 ? 100.0 * (s - m) / m : 0.0;
@@ -160,7 +191,7 @@ int cmd_simulate(const CliOptions& opts, std::ostream& out) {
     row("L_obs", model.memory_latency, r.memory_latency, 2);
   }
   table.print(out);
-  return 0;
+  return warn_if_degraded(model, "model", out);
 }
 
 }  // namespace
@@ -178,6 +209,23 @@ int run_command(const CliOptions& opts, std::ostream& out) {
   if (opts.command == "simulate") return cmd_simulate(opts, out);
   out << usage();
   return 2;
+}
+
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err) {
+  try {
+    const CliOptions opts = parse_command_line(args);
+    return run_command(opts, out);
+  } catch (const InvalidArgument& e) {
+    err << "latol: " << e.what() << '\n';
+    return 2;  // usage error: bad command, flag, or parameter value
+  } catch (const qn::SolverError& e) {
+    err << "latol: " << e.what() << '\n';
+    return 3;  // solve failed even through the fallback chain
+  } catch (const std::exception& e) {
+    err << "latol: " << e.what() << '\n';
+    return 3;
+  }
 }
 
 }  // namespace latol::cli

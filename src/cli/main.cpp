@@ -1,5 +1,8 @@
 // `latol` command-line entry point: parse, run, report errors.
-#include <exception>
+//
+// Exit codes (documented in `latol help`): 0 clean result, 1 degraded
+// result (a fallback solver answered or the solve did not converge),
+// 2 usage error, 3 solve failed.
 #include <iostream>
 #include <string>
 #include <vector>
@@ -7,12 +10,6 @@
 #include "cli/options.hpp"
 
 int main(int argc, char** argv) {
-  try {
-    const std::vector<std::string> args(argv + 1, argv + argc);
-    const latol::cli::CliOptions opts = latol::cli::parse_command_line(args);
-    return latol::cli::run_command(opts, std::cout);
-  } catch (const std::exception& e) {
-    std::cerr << "latol: " << e.what() << '\n';
-    return 1;
-  }
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  return latol::cli::cli_main(args, std::cout, std::cerr);
 }

@@ -99,6 +99,10 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.config.memory_ports = parse_int(flag, value());
     } else if (flag == "--pipelined-switches") {
       opts.config.pipelined_switches = true;
+    } else if (flag == "--max-iterations") {
+      opts.amva.max_iterations = parse_int(flag, value());
+      LATOL_REQUIRE(opts.amva.max_iterations >= 1,
+                    "--max-iterations must be >= 1");
     } else if (flag == "--param") {
       opts.sweep_param = value();
     } else if (flag == "--from") {
@@ -147,7 +151,8 @@ std::string usage() {
         "  --hotspot-node N      redirect traffic to node N  [off]\n"
         "  --hotspot-fraction F  redirected fraction         [0]\n"
         "  --memory-ports N      servers per memory module   [1]\n"
-        "  --pipelined-switches  switches as pure delays     [off]\n\n"
+        "  --pipelined-switches  switches as pure delays     [off]\n"
+        "  --max-iterations N    AMVA iteration budget       [200000]\n\n"
         "sweep flags:\n"
         "  --param X   p_remote|threads|runlength|switch_delay|\n"
         "              memory_latency|k|p_sw|context_switch|\n"
@@ -156,7 +161,12 @@ std::string usage() {
         "simulate flags:\n"
         "  --time T    simulated time units                  [100000]\n"
         "  --seed N    RNG seed                              [1]\n"
-        "  --petri     use the stochastic Petri net simulator\n";
+        "  --petri     use the stochastic Petri net simulator\n\n"
+        "exit codes:\n"
+        "  0  clean result\n"
+        "  1  degraded result (fallback solver answered / not converged)\n"
+        "  2  usage error (unknown command/flag, invalid parameter)\n"
+        "  3  solve failed (even the fallback chain produced nothing)\n";
   return os.str();
 }
 

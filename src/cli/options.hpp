@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mms_config.hpp"
+#include "qn/mva_approx.hpp"
 
 namespace latol::cli {
 
@@ -19,6 +20,10 @@ struct CliOptions {
   /// analyze | tolerance | bottleneck | sweep | simulate | help
   std::string command = "help";
   core::MmsConfig config = core::MmsConfig::paper_defaults();
+
+  /// Solver knobs (--max-iterations); the commands degrade through the
+  /// fallback chain when the budget is too small, and warn.
+  qn::AmvaOptions amva{};
 
   // --- sweep ---
   std::string sweep_param = "p_remote";  ///< p_remote|threads|runlength|switch_delay|memory_latency|k
@@ -38,8 +43,17 @@ struct CliOptions {
     const std::vector<std::string>& args);
 
 /// Execute the parsed command, writing the report to `out`. Returns the
-/// process exit code.
+/// process exit code: 0 on a clean result, 1 when the result is degraded
+/// (a fallback solver answered or the solve did not converge), 2 for an
+/// unknown command. Throws on invalid input or solver failure — cli_main
+/// maps those to exit codes 2 and 3.
 int run_command(const CliOptions& options, std::ostream& out);
+
+/// Full CLI entry point used by main(): parse, run, and map errors to the
+/// documented exit codes (0 ok, 1 degraded, 2 usage error, 3 solve
+/// failed). Never throws.
+int cli_main(const std::vector<std::string>& args, std::ostream& out,
+             std::ostream& err);
 
 /// The help text (also printed by `latol help`).
 [[nodiscard]] std::string usage();

@@ -1,5 +1,7 @@
 #include "core/mms_config.hpp"
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace latol::core {
@@ -30,13 +32,20 @@ void MmsConfig::validate() const {
       LATOL_REQUIRE(k >= 0 && k <= 12, "hypercube dimension k=" << k);
       break;
   }
-  LATOL_REQUIRE(memory_latency >= 0.0, "L=" << memory_latency);
-  LATOL_REQUIRE(switch_delay >= 0.0, "S=" << switch_delay);
+  // Time parameters must be finite as well as in range: an infinite
+  // latency would flow through the model as inf/NaN and only surface much
+  // later as a solver kNumerical failure with the root cause lost.
+  LATOL_REQUIRE(memory_latency >= 0.0 && std::isfinite(memory_latency),
+                "L=" << memory_latency);
+  LATOL_REQUIRE(switch_delay >= 0.0 && std::isfinite(switch_delay),
+                "S=" << switch_delay);
   LATOL_REQUIRE(memory_ports >= 1, "memory_ports=" << memory_ports);
   LATOL_REQUIRE(threads_per_processor >= 1,
                 "n_t=" << threads_per_processor);
-  LATOL_REQUIRE(runlength > 0.0, "R=" << runlength);
-  LATOL_REQUIRE(context_switch >= 0.0, "C=" << context_switch);
+  LATOL_REQUIRE(runlength > 0.0 && std::isfinite(runlength),
+                "R=" << runlength);
+  LATOL_REQUIRE(context_switch >= 0.0 && std::isfinite(context_switch),
+                "C=" << context_switch);
   LATOL_REQUIRE(p_remote >= 0.0 && p_remote <= 1.0,
                 "p_remote=" << p_remote);
   LATOL_REQUIRE(p_remote == 0.0 || num_processors() >= 2,

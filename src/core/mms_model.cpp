@@ -146,16 +146,44 @@ MmsPerformance extract_performance(const MmsModel& model,
   return perf;
 }
 
+namespace {
+
+/// Solve `net` through the fallback chain; throws qn::SolverError when
+/// even the last link produced nothing (with the default chain that means
+/// the network itself is broken — bounds always answer a valid one).
+qn::SolveReport robust_solve_or_throw(const qn::ClosedNetwork& net,
+                                      const qn::RobustOptions& options) {
+  qn::SolveReport report = qn::robust_solve(net, options);
+  if (!report.ok()) {
+    throw qn::SolverError(*report.error,
+                          "MMS solve failed: " + report.summary());
+  }
+  return report;
+}
+
+/// Copy the report-level provenance into the derived measures.
+void stamp_provenance(MmsPerformance& perf, const qn::SolveReport& report) {
+  perf.solver = report.solver;
+  perf.degraded = report.degraded;
+  perf.residual = report.residual;
+}
+
+}  // namespace
+
 std::vector<MmsPerformance> analyze_per_node(const MmsConfig& config,
                                              const qn::AmvaOptions& options) {
   const MmsModel model(config);
   const qn::ClosedNetwork net = model.build_network();
-  const qn::MvaSolution sol = qn::solve_amva(net, options);
+  qn::RobustOptions ropts;
+  ropts.amva = options;
+  const qn::SolveReport report = robust_solve_or_throw(net, ropts);
   std::vector<MmsPerformance> out;
   const int P = model.topology().num_nodes();
   out.reserve(static_cast<std::size_t>(P));
-  for (int n = 0; n < P; ++n)
-    out.push_back(extract_performance(model, net, sol, n));
+  for (int n = 0; n < P; ++n) {
+    out.push_back(extract_performance(model, net, report.solution, n));
+    stamp_provenance(out.back(), report);
+  }
   return out;
 }
 
@@ -163,9 +191,22 @@ DetailedAnalysis analyze_detailed(const MmsConfig& config,
                                   const qn::AmvaOptions& options) {
   const MmsModel model(config);
   qn::ClosedNetwork net = model.build_network();
-  qn::MvaSolution sol = qn::solve_amva(net, options);
-  MmsPerformance perf = extract_performance(model, net, sol);
-  return DetailedAnalysis{perf, std::move(net), std::move(sol)};
+  qn::RobustOptions ropts;
+  ropts.amva = options;
+  qn::SolveReport report = robust_solve_or_throw(net, ropts);
+  MmsPerformance perf = extract_performance(model, net, report.solution);
+  stamp_provenance(perf, report);
+  return DetailedAnalysis{perf, std::move(net), std::move(report.solution)};
+}
+
+RobustAnalysis analyze_robust(const MmsConfig& config,
+                              const qn::RobustOptions& options) {
+  const MmsModel model(config);
+  const qn::ClosedNetwork net = model.build_network();
+  qn::SolveReport report = robust_solve_or_throw(net, options);
+  MmsPerformance perf = extract_performance(model, net, report.solution);
+  stamp_provenance(perf, report);
+  return RobustAnalysis{std::move(perf), std::move(report)};
 }
 
 MmsPerformance analyze(const MmsConfig& config, const qn::AmvaOptions& options) {
@@ -177,10 +218,15 @@ MmsPerformance analyze(const MmsConfig& config,
   if (!options.use_linearizer) return analyze(config, options.amva);
   const MmsModel model(config);
   const qn::ClosedNetwork net = model.build_network();
-  qn::LinearizerOptions lin;
-  lin.tolerance = options.amva.tolerance;
-  const qn::MvaSolution sol = qn::solve_linearizer(net, lin);
-  return extract_performance(model, net, sol);
+  qn::RobustOptions ropts;
+  ropts.chain = {qn::SolverKind::kLinearizer, qn::SolverKind::kAmva,
+                 qn::SolverKind::kExactMva, qn::SolverKind::kBounds};
+  ropts.amva = options.amva;
+  ropts.linearizer.tolerance = options.amva.tolerance;
+  const qn::SolveReport report = robust_solve_or_throw(net, ropts);
+  MmsPerformance perf = extract_performance(model, net, report.solution);
+  stamp_provenance(perf, report);
+  return perf;
 }
 
 }  // namespace latol::core

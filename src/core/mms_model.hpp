@@ -18,6 +18,7 @@
 #include "core/mms_config.hpp"
 #include "qn/mva_approx.hpp"
 #include "qn/network.hpp"
+#include "qn/robust.hpp"
 #include "qn/solution.hpp"
 #include "topo/topology.hpp"
 #include "topo/traffic.hpp"
@@ -74,8 +75,11 @@ struct MmsPerformance {
   double memory_utilization = 0;     ///< per-port utilization of a memory module
   double switch_utilization = 0;     ///< max utilization over all switches
   double average_distance = 0;       ///< d_avg of the remote pattern
-  long solver_iterations = 0;        ///< AMVA iterations used
-  bool converged = true;             ///< AMVA convergence flag
+  long solver_iterations = 0;        ///< solver iterations used
+  bool converged = true;             ///< solver convergence flag
+  qn::SolverKind solver = qn::SolverKind::kAmva;  ///< producer of the numbers
+  bool degraded = false;  ///< a fallback solver answered, not the requested one
+  double residual = 0;    ///< Schweitzer fixed-point residual of the solution
 };
 
 /// Approximate-MVA flavor used by analyze()/tolerance_index().
@@ -90,10 +94,24 @@ struct AnalysisOptions {
   bool use_linearizer = false;
 };
 
-/// Solve the model with AMVA and derive the paper's measures (for class 0;
-/// all classes are statistically identical under the SPMD assumption).
+/// Solve the model through qn::robust_solve (AMVA first, degrading through
+/// Linearizer -> exact MVA -> asymptotic bounds on failure) and derive the
+/// paper's measures (for class 0; all classes are statistically identical
+/// under the SPMD assumption). A degraded answer is flagged in
+/// MmsPerformance::degraded/solver; throws qn::SolverError only when even
+/// the full fallback chain produced nothing.
 [[nodiscard]] MmsPerformance analyze(const MmsConfig& config,
                                      const qn::AmvaOptions& options = {});
+
+/// Full-control variant: solve with an explicit fallback chain and hand
+/// back the complete SolveReport (per-attempt diagnostics, residual, wall
+/// time) alongside the derived measures.
+struct RobustAnalysis {
+  MmsPerformance perf;
+  qn::SolveReport report;
+};
+[[nodiscard]] RobustAnalysis analyze_robust(const MmsConfig& config,
+                                            const qn::RobustOptions& options = {});
 
 /// Overload with solver selection.
 [[nodiscard]] MmsPerformance analyze(const MmsConfig& config,

@@ -3,6 +3,7 @@
 #include <exception>
 #include <string>
 
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace latol::core {
@@ -31,6 +32,12 @@ std::vector<SweepResult> sweep(std::span<const MmsConfig> grid,
           if (!options.network_tolerance && !options.memory_tolerance) {
             r.perf = analyze(cfg, options.amva);
           }
+        } catch (const qn::SolverError& e) {
+          r.error = e.what();
+          r.error_code = e.code();
+        } catch (const InvalidArgument& e) {
+          r.error = e.what();
+          r.error_code = qn::SolverErrorCode::kInvalidNetwork;
         } catch (const std::exception& e) {
           r.error = e.what();
         }

@@ -18,6 +18,7 @@
 #include "core/mms_model.hpp"
 #include "core/tolerance.hpp"
 #include "qn/mva_approx.hpp"
+#include "qn/solver_error.hpp"
 
 namespace latol::core {
 
@@ -33,17 +34,30 @@ struct SweepOptions {
 /// Result for one grid point. Tolerance fields are present only when
 /// requested in SweepOptions.
 struct SweepResult {
+  /// Carries the answer plus its provenance: `perf.solver` names the
+  /// solver that produced it and `perf.degraded` flags fallback answers.
   MmsPerformance perf;
   std::optional<double> tol_network;
   std::optional<double> tol_memory;
-  /// Set when the solve threw (bad config); the other fields are then
-  /// default-initialized.
+  /// Set when the solve threw (bad config, or even the fallback chain
+  /// failed); the other fields are then default-initialized.
   std::optional<std::string> error;
+  /// Structured failure code accompanying `error`: kInvalidNetwork for a
+  /// bad configuration, the solver taxonomy codes otherwise. Unset for
+  /// failures outside the solver taxonomy (e.g. bad_alloc).
+  std::optional<qn::SolverErrorCode> error_code;
+
+  /// A clean, non-degraded, converged answer.
+  [[nodiscard]] bool healthy() const {
+    return !error && !perf.degraded && perf.converged;
+  }
 };
 
 /// Analyze every configuration in `grid` in parallel; results match the
-/// input order. Exceptions from individual points are captured into
-/// `SweepResult::error` instead of aborting the sweep.
+/// input order. Per-grid-point failure isolation: exceptions from
+/// individual points are captured into `SweepResult::error`/`error_code`
+/// instead of aborting the sweep, and a point whose preferred solver fails
+/// degrades through the fallback chain before being declared an error.
 [[nodiscard]] std::vector<SweepResult> sweep(std::span<const MmsConfig> grid,
                                              const SweepOptions& options = {});
 

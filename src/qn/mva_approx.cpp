@@ -1,7 +1,10 @@
 #include "qn/mva_approx.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string>
 
+#include "qn/solver_error.hpp"
 #include "util/error.hpp"
 
 namespace latol::qn {
@@ -11,6 +14,10 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
   LATOL_REQUIRE(options.tolerance > 0.0, "tolerance " << options.tolerance);
   LATOL_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
                 "damping " << options.damping);
+  LATOL_REQUIRE(options.divergence_factor > 0.0,
+                "divergence_factor " << options.divergence_factor);
+  LATOL_REQUIRE(options.divergence_window >= 0,
+                "divergence_window " << options.divergence_window);
 
   const std::size_t C = net.num_classes();
   const std::size_t M = net.num_stations();
@@ -42,6 +49,7 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
 
   bool converged = false;
   long iter = 0;
+  double best_delta = std::numeric_limits<double>::infinity();
   for (; iter < options.max_iterations; ++iter) {
     double delta = 0.0;
     for (std::size_t c = 0; c < C; ++c) {
@@ -72,7 +80,15 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
         sol.waiting(c, m) = w;
         cycle += v * w;
       }
-      LATOL_REQUIRE(cycle > 0.0, "class " << c << " has zero cycle time");
+      // A validated network has positive total demand for every populated
+      // class, so a vanishing or non-finite cycle time here can only come
+      // from numerical breakdown (overflow to inf, inf - inf, ...).
+      if (!(cycle > 0.0) || !std::isfinite(cycle)) {
+        throw SolverError(SolverErrorCode::kNumerical,
+                          "class " + std::to_string(c) + " cycle time " +
+                              std::to_string(cycle) + " at iteration " +
+                              std::to_string(iter));
+      }
       const double lambda = nc / cycle;
       sol.throughput[c] = lambda;
 
@@ -83,16 +99,37 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
         const double target = lambda * net.visit_ratio(c, m) * sol.waiting(c, m);
         const double updated = sol.queue_length(c, m) +
                                options.damping * (target - sol.queue_length(c, m));
+        if (!std::isfinite(updated)) {
+          throw SolverError(SolverErrorCode::kNumerical,
+                            "queue length of class " + std::to_string(c) +
+                                " at station " + std::to_string(m) +
+                                " became non-finite at iteration " +
+                                std::to_string(iter));
+        }
         delta = std::max(delta, std::fabs(updated - sol.queue_length(c, m)));
         station_total[m] += updated - sol.queue_length(c, m);
         sol.queue_length(c, m) = updated;
       }
+    }
+    if (!std::isfinite(delta)) {
+      throw SolverError(SolverErrorCode::kNumerical,
+                        "iterate delta became non-finite at iteration " +
+                            std::to_string(iter));
     }
     if (delta < options.tolerance) {
       converged = true;
       ++iter;
       break;
     }
+    if (iter >= options.divergence_window &&
+        delta > options.divergence_factor * best_delta) {
+      throw SolverError(SolverErrorCode::kDiverged,
+                        "delta " + std::to_string(delta) + " exceeds " +
+                            std::to_string(options.divergence_factor) +
+                            " x best delta " + std::to_string(best_delta) +
+                            " at iteration " + std::to_string(iter));
+    }
+    best_delta = std::min(best_delta, delta);
   }
 
   sol.iterations = iter;

@@ -31,11 +31,20 @@ struct AmvaOptions {
   /// Under-relaxation factor in (0, 1]: 1 = plain fixed point. Values
   /// below 1 damp the (rare) oscillating cases.
   double damping = 1.0;
+  /// Divergence guard: once at least `divergence_window` iterations have
+  /// run, an iteration whose delta exceeds `divergence_factor` x the best
+  /// (smallest) delta seen so far aborts with SolverError(kDiverged) — a
+  /// contracting fixed point never backslides by orders of magnitude, so
+  /// iterating further would only burn the budget on garbage.
+  double divergence_factor = 1e6;
+  long divergence_window = 32;
 };
 
 /// Solve `net` with Bard–Schweitzer AMVA. Classes with zero population get
 /// zero throughput and queue lengths. Throws InvalidArgument on an invalid
-/// network; never throws on non-convergence (check `converged`).
+/// network and SolverError on a NaN/overflowed (kNumerical) or diverging
+/// (kDiverged) iterate; never throws on plain budget exhaustion (check
+/// `converged` — robust_solve classifies that as kIterationBudget).
 [[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
                                      const AmvaOptions& options = {});
 

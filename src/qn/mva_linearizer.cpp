@@ -1,8 +1,11 @@
 #include "qn/mva_linearizer.hpp"
 
 #include <cmath>
+#include <limits>
+#include <string>
 #include <vector>
 
+#include "qn/solver_error.hpp"
 #include "util/error.hpp"
 
 namespace latol::qn {
@@ -44,6 +47,7 @@ CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
 
   bool converged = false;
   long iter = 0;
+  double best_delta = std::numeric_limits<double>::infinity();
   for (; iter < options.max_core_iterations; ++iter) {
     double delta = 0.0;
     for (std::size_t j = 0; j < C; ++j) {
@@ -75,23 +79,51 @@ CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
         out.solution.waiting(j, m) = w;
         cycle += v * w;
       }
-      LATOL_REQUIRE(cycle > 0.0, "class " << j << " has zero cycle time");
+      // With a validated network a vanishing or non-finite cycle time can
+      // only be numerical breakdown (see solve_amva).
+      if (!(cycle > 0.0) || !std::isfinite(cycle)) {
+        throw SolverError(SolverErrorCode::kNumerical,
+                          "class " + std::to_string(j) + " cycle time " +
+                              std::to_string(cycle) + " at core iteration " +
+                              std::to_string(iter));
+      }
       const double lambda = nj / cycle;
       out.solution.throughput[j] = lambda;
       for (std::size_t m = 0; m < M; ++m) {
         const double q =
             lambda * net.visit_ratio(j, m) * out.solution.waiting(j, m);
+        if (!std::isfinite(q)) {
+          throw SolverError(SolverErrorCode::kNumerical,
+                            "queue length of class " + std::to_string(j) +
+                                " at station " + std::to_string(m) +
+                                " became non-finite at core iteration " +
+                                std::to_string(iter));
+        }
         out.solution.queue_length(j, m) = q;
         const double f = q / nj;
         delta = std::max(delta, std::fabs(f - out.fractions(j, m)));
         out.fractions(j, m) = f;
       }
     }
+    if (!std::isfinite(delta)) {
+      throw SolverError(SolverErrorCode::kNumerical,
+                        "core iterate delta became non-finite at iteration " +
+                            std::to_string(iter));
+    }
     if (delta < options.tolerance) {
       converged = true;
       ++iter;
       break;
     }
+    if (iter >= options.divergence_window &&
+        delta > options.divergence_factor * best_delta) {
+      throw SolverError(SolverErrorCode::kDiverged,
+                        "core delta " + std::to_string(delta) + " exceeds " +
+                            std::to_string(options.divergence_factor) +
+                            " x best delta " + std::to_string(best_delta) +
+                            " at iteration " + std::to_string(iter));
+    }
+    best_delta = std::min(best_delta, delta);
   }
   out.converged = converged;
   out.iterations = iter;
@@ -111,6 +143,10 @@ MvaSolution solve_linearizer(const ClosedNetwork& net,
   net.validate();
   LATOL_REQUIRE(options.outer_iterations >= 1,
                 "outer_iterations " << options.outer_iterations);
+  LATOL_REQUIRE(options.divergence_factor > 0.0,
+                "divergence_factor " << options.divergence_factor);
+  LATOL_REQUIRE(options.divergence_window >= 0,
+                "divergence_window " << options.divergence_window);
   const std::size_t C = net.num_classes();
   const std::size_t M = net.num_stations();
 

@@ -24,9 +24,14 @@ struct LinearizerOptions {
   double tolerance = 1e-10;
   /// Iteration budget per Core solve.
   long max_core_iterations = 100000;
+  /// Divergence guard of each Core fixed point; same semantics as
+  /// AmvaOptions::divergence_factor / divergence_window.
+  double divergence_factor = 1e6;
+  long divergence_window = 32;
 };
 
-/// Solve `net` with Linearizer. Same contract as solve_amva.
+/// Solve `net` with Linearizer. Same contract as solve_amva (including the
+/// SolverError guards on NaN/overflowed or diverging Core iterates).
 [[nodiscard]] MvaSolution solve_linearizer(
     const ClosedNetwork& net, const LinearizerOptions& options = {});
 

@@ -1,0 +1,297 @@
+#include "qn/robust.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "qn/bounds.hpp"
+#include "qn/mva_exact.hpp"
+#include "util/error.hpp"
+
+namespace latol::qn {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// True when every reported number is finite — a solver that "succeeded"
+/// with NaNs in it did not succeed.
+bool solution_is_finite(const MvaSolution& sol) {
+  for (const double x : sol.throughput)
+    if (!std::isfinite(x)) return false;
+  for (const double x : sol.utilization)
+    if (!std::isfinite(x)) return false;
+  for (std::size_t c = 0; c < sol.queue_length.rows(); ++c) {
+    for (std::size_t m = 0; m < sol.queue_length.cols(); ++m) {
+      if (!std::isfinite(sol.queue_length(c, m)) ||
+          !std::isfinite(sol.waiting(c, m)))
+        return false;
+    }
+  }
+  return true;
+}
+
+/// Reason exact MVA cannot be attempted on `net`, or empty if it can.
+std::string exact_mva_gate(const ClosedNetwork& net, std::size_t max_states) {
+  if (!net.is_product_form())
+    return "network is not product form (class-dependent FCFS service)";
+  for (std::size_t m = 0; m < net.num_stations(); ++m) {
+    if (net.station(m).kind == StationKind::kQueueing &&
+        net.station(m).servers > 1)
+      return "multi-server queueing station " + net.station(m).name;
+  }
+  std::size_t states = 1;
+  for (std::size_t c = 0; c < net.num_classes(); ++c) {
+    const auto span = static_cast<std::size_t>(net.population(c)) + 1;
+    if (states > max_states / span)
+      return "population lattice exceeds " + std::to_string(max_states) +
+             " states";
+    states *= span;
+  }
+  return {};
+}
+
+}  // namespace
+
+const char* solver_kind_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kAmva:
+      return "amva";
+    case SolverKind::kLinearizer:
+      return "linearizer";
+    case SolverKind::kExactMva:
+      return "exact-mva";
+    case SolverKind::kBounds:
+      return "bounds";
+  }
+  return "?";
+}
+
+double fixed_point_residual(const ClosedNetwork& net, const MvaSolution& sol) {
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<double> station_total(M, 0.0);
+  for (std::size_t m = 0; m < M; ++m) station_total[m] = sol.station_queue(m);
+
+  double residual = 0.0;
+  for (std::size_t c = 0; c < C; ++c) {
+    const long pop = net.population(c);
+    if (pop == 0) continue;
+    const double nc = static_cast<double>(pop);
+    double cycle = 0.0;
+    std::vector<double> waiting(M, 0.0);
+    for (std::size_t m = 0; m < M; ++m) {
+      const double v = net.visit_ratio(c, m);
+      if (v <= 0.0) continue;
+      const double s = net.service_time(c, m);
+      double w = s;
+      if (net.station(m).kind == StationKind::kQueueing) {
+        const double seen = station_total[m] - sol.queue_length(c, m) +
+                            ((nc - 1.0) / nc) * sol.queue_length(c, m);
+        const auto servers = static_cast<double>(net.station(m).servers);
+        w = s * (servers - 1.0) / servers + (s / servers) * (1.0 + seen);
+      }
+      waiting[m] = w;
+      cycle += v * w;
+    }
+    if (!(cycle > 0.0) || !std::isfinite(cycle)) return kInf;
+    const double lambda = nc / cycle;
+    for (std::size_t m = 0; m < M; ++m) {
+      const double target = lambda * net.visit_ratio(c, m) * waiting[m];
+      if (!std::isfinite(target)) return kInf;
+      residual = std::max(residual, std::fabs(target - sol.queue_length(c, m)));
+    }
+  }
+  return residual;
+}
+
+MvaSolution bounds_solution(const ClosedNetwork& net) {
+  net.validate();
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+
+  MvaSolution sol;
+  sol.throughput.assign(C, 0.0);
+  sol.waiting = util::Matrix(C, M, 0.0);
+  sol.queue_length = util::Matrix(C, M, 0.0);
+  sol.utilization.assign(M, 0.0);
+  sol.iterations = 0;
+  sol.converged = true;  // not iterative; degradation is flagged by the report
+
+  // Per-class optimistic bound, then a joint scale-down so the combined
+  // load does not exceed any queueing station's capacity (the multi-class
+  // bottleneck correction).
+  for (std::size_t c = 0; c < C; ++c) {
+    if (net.population(c) == 0 || net.total_demand(c) <= 0.0) continue;
+    sol.throughput[c] = asymptotic_throughput_bound(net, c);
+  }
+  double worst = 1.0;
+  for (std::size_t m = 0; m < M; ++m) {
+    if (net.station(m).kind != StationKind::kQueueing) continue;
+    double load = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      if (sol.throughput[c] <= 0.0) continue;
+      load += sol.throughput[c] * net.demand(c, m);
+    }
+    if (std::isfinite(load))
+      worst = std::max(worst,
+                       load / static_cast<double>(net.station(m).servers));
+  }
+  for (std::size_t c = 0; c < C; ++c) sol.throughput[c] /= worst;
+
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t m = 0; m < M; ++m) {
+      if (net.visit_ratio(c, m) <= 0.0) continue;
+      sol.waiting(c, m) = net.service_time(c, m);  // zero-contention estimate
+      const double q = sol.throughput[c] * net.visit_ratio(c, m) *
+                       sol.waiting(c, m);
+      sol.queue_length(c, m) = std::isfinite(q) ? q : 0.0;
+    }
+  }
+  for (std::size_t m = 0; m < M; ++m) {
+    double u = 0.0;
+    for (std::size_t c = 0; c < C; ++c) {
+      if (sol.throughput[c] <= 0.0) continue;
+      u += sol.throughput[c] * net.demand(c, m);
+    }
+    sol.utilization[m] = std::isfinite(u) ? u : 0.0;
+  }
+  return sol;
+}
+
+std::string SolveReport::summary() const {
+  std::ostringstream os;
+  if (!ok()) {
+    os << "solve failed (" << solver_error_name(*error) << ")";
+  } else if (degraded) {
+    os << "degraded to " << solver_kind_name(solver);
+  } else {
+    os << "solved by " << solver_kind_name(solver);
+  }
+  bool first_failure = true;
+  for (const SolveAttempt& a : attempts) {
+    if (a.success) continue;
+    os << (first_failure ? " after " : ", ") << solver_kind_name(a.solver)
+       << ": "
+       << (a.error ? solver_error_name(*a.error)
+                   : (a.detail.empty() ? "skipped" : a.detail.c_str()));
+    first_failure = false;
+  }
+  if (ok()) {
+    os << " (" << solution.iterations << " iterations, residual " << residual
+       << ")";
+  }
+  return os.str();
+}
+
+SolveReport robust_solve(const ClosedNetwork& net,
+                         const RobustOptions& options) {
+  LATOL_REQUIRE(!options.chain.empty(), "fallback chain must not be empty");
+  const auto t_start = Clock::now();
+
+  SolveReport report;
+  try {
+    net.validate();
+  } catch (const InvalidArgument& e) {
+    SolveAttempt a;
+    a.solver = options.chain.front();
+    a.error = SolverErrorCode::kInvalidNetwork;
+    a.detail = e.what();
+    report.attempts.push_back(std::move(a));
+    report.error = SolverErrorCode::kInvalidNetwork;
+    report.wall_seconds = seconds_since(t_start);
+    return report;
+  }
+
+  for (const SolverKind link : options.chain) {
+    SolveAttempt attempt;
+    attempt.solver = link;
+    const auto t_attempt = Clock::now();
+    try {
+      MvaSolution sol;
+      bool skipped = false;
+      switch (link) {
+        case SolverKind::kAmva:
+          sol = solve_amva(net, options.amva);
+          break;
+        case SolverKind::kLinearizer:
+          sol = solve_linearizer(net, options.linearizer);
+          break;
+        case SolverKind::kExactMva: {
+          const std::string gate =
+              exact_mva_gate(net, options.exact_max_states);
+          if (!gate.empty()) {
+            attempt.detail = "skipped: " + gate;
+            skipped = true;
+            break;
+          }
+          sol = solve_mva_exact(net, options.exact_max_states);
+          break;
+        }
+        case SolverKind::kBounds:
+          sol = bounds_solution(net);
+          break;
+      }
+      attempt.wall_seconds = seconds_since(t_attempt);
+      if (!skipped) {
+        attempt.iterations = sol.iterations;
+        if (!sol.converged) {
+          throw SolverError(SolverErrorCode::kIterationBudget,
+                            std::string(solver_kind_name(link)) +
+                                " exhausted its iteration budget (" +
+                                std::to_string(sol.iterations) +
+                                " iterations)");
+        }
+        if (!solution_is_finite(sol)) {
+          throw SolverError(SolverErrorCode::kNumerical,
+                            std::string(solver_kind_name(link)) +
+                                " produced non-finite results");
+        }
+        attempt.success = true;
+        report.solution = std::move(sol);
+        report.solver = link;
+        report.degraded = link != options.chain.front();
+        report.attempts.push_back(std::move(attempt));
+        break;
+      }
+    } catch (const SolverError& e) {
+      attempt.wall_seconds = seconds_since(t_attempt);
+      attempt.error = e.code();
+      attempt.detail = e.what();
+    } catch (const InvalidArgument& e) {
+      // A solver rejecting this (already validated) network means the
+      // *solver* does not apply to it, e.g. exact MVA on non-product-form.
+      attempt.wall_seconds = seconds_since(t_attempt);
+      attempt.error = SolverErrorCode::kInvalidNetwork;
+      attempt.detail = e.what();
+    }
+    report.attempts.push_back(std::move(attempt));
+  }
+
+  const bool solved =
+      !report.attempts.empty() && report.attempts.back().success;
+  if (!solved) {
+    // Prefer the requested solver's failure code; fall back to any link's
+    // code; an all-skipped chain means the request could not apply at all.
+    report.error = SolverErrorCode::kInvalidNetwork;
+    for (const SolveAttempt& a : report.attempts) {
+      if (a.error) {
+        report.error = *a.error;
+        break;
+      }
+    }
+  } else {
+    report.residual = fixed_point_residual(net, report.solution);
+  }
+  report.wall_seconds = seconds_since(t_start);
+  return report;
+}
+
+}  // namespace latol::qn

@@ -1,0 +1,120 @@
+// Resilient solver front-end: validate, solve, degrade gracefully.
+//
+// The paper's AMVA fixed point (its Fig. 3) is only approximately
+// convergent, and a production service sweeping millions of configurations
+// cannot afford a diverged or NaN iterate silently becoming a "result".
+// robust_solve() validates the network, runs the requested solver, and on
+// any failure degrades through a configurable chain — by default
+//
+//   AMVA -> Linearizer -> exact MVA (small populations) -> asymptotic
+//   bounds (qn/bounds.hpp)
+//
+// following Hill's observation that bottleneck/Little's-law bounds are the
+// right cheap backstop when detailed models misbehave. The returned
+// SolveReport records which solver answered, every attempt that failed and
+// why, the Schweitzer fixed-point residual of the accepted solution, and
+// wall time, so callers (sweep engine, CLI, benches) can surface degraded
+// results instead of aborting or lying.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "qn/mva_approx.hpp"
+#include "qn/mva_linearizer.hpp"
+#include "qn/network.hpp"
+#include "qn/solution.hpp"
+#include "qn/solver_error.hpp"
+
+namespace latol::qn {
+
+/// The solvers a fallback chain can be built from, in decreasing order of
+/// model fidelity (and cost) for this codebase's networks.
+enum class SolverKind {
+  kAmva,        ///< Bard–Schweitzer fixed point (the paper's algorithm)
+  kLinearizer,  ///< Chandy–Neuse Linearizer (slower, more accurate)
+  kExactMva,    ///< exact MVA; only small populations / product form
+  kBounds,      ///< asymptotic bottleneck bounds (always succeed)
+};
+
+/// Stable lowercase identifier ("amva", "linearizer", "exact-mva",
+/// "bounds") for reports and CSV columns.
+[[nodiscard]] const char* solver_kind_name(SolverKind kind);
+
+/// Configuration of robust_solve().
+struct RobustOptions {
+  /// Solvers to try, in order. The first link is the "requested" solver;
+  /// an answer from any later link is flagged degraded.
+  std::vector<SolverKind> chain{SolverKind::kAmva, SolverKind::kLinearizer,
+                                SolverKind::kExactMva, SolverKind::kBounds};
+  AmvaOptions amva{};
+  LinearizerOptions linearizer{};
+  /// Exact MVA is attempted only when the population lattice
+  /// prod_c (N_c + 1) fits this budget (and the network is product form
+  /// with single-server queueing stations); otherwise the link is skipped.
+  std::size_t exact_max_states = 2'000'000;
+};
+
+/// One link of the chain, as it actually went.
+struct SolveAttempt {
+  SolverKind solver = SolverKind::kAmva;
+  bool success = false;
+  /// Failure taxonomy code; unset for successes and for links that were
+  /// skipped as inapplicable (see `detail`).
+  std::optional<SolverErrorCode> error;
+  long iterations = 0;
+  double wall_seconds = 0.0;
+  std::string detail;  ///< error message or skip reason; empty on success
+};
+
+/// What robust_solve() produced and how it got there.
+struct SolveReport {
+  /// The accepted solution; meaningless when !ok().
+  MvaSolution solution;
+  /// Which link of the chain produced `solution`.
+  SolverKind solver = SolverKind::kAmva;
+  /// True when a fallback (not the first link of the chain) answered.
+  bool degraded = false;
+  /// Schweitzer fixed-point residual of the accepted solution: the max
+  /// absolute queue-length change of one more fixed-point evaluation.
+  /// ~0 for a converged AMVA/Linearizer answer; for exact-MVA answers it
+  /// measures the Schweitzer approximation gap (informational); large for
+  /// bounds answers (they are not a fixed point).
+  double residual = 0.0;
+  /// Total wall time across all attempts, seconds.
+  double wall_seconds = 0.0;
+  /// Every link tried (or skipped), in chain order.
+  std::vector<SolveAttempt> attempts;
+  /// Set when no link produced an answer; `solution` is then meaningless.
+  std::optional<SolverErrorCode> error;
+
+  [[nodiscard]] bool ok() const { return !error.has_value(); }
+
+  /// One-line human-readable outcome, e.g.
+  /// "solved by amva (37 iterations, residual 8.2e-11)" or
+  /// "degraded to bounds after amva: iteration-budget".
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Validate `net` and solve it, degrading through `options.chain`. Never
+/// throws on solver failure (inspect SolveReport::error); throws
+/// InvalidArgument only on nonsensical *options* (empty chain, bad
+/// tolerances).
+[[nodiscard]] SolveReport robust_solve(const ClosedNetwork& net,
+                                       const RobustOptions& options = {});
+
+/// Max absolute difference between `sol`'s queue lengths and one Schweitzer
+/// fixed-point evaluation from them (Jacobi step, no mutation). Zero at the
+/// Bard–Schweitzer fixed point; +inf when the evaluation breaks down.
+[[nodiscard]] double fixed_point_residual(const ClosedNetwork& net,
+                                          const MvaSolution& sol);
+
+/// The last-resort answer: per-class asymptotic throughput bounds, jointly
+/// scaled down so no queueing station is loaded beyond its servers, with
+/// zero-contention waiting times. Optimistic but finite and never absurd —
+/// a dead system reports zero throughput, not infinite speed. Throws
+/// InvalidArgument on an invalid network.
+[[nodiscard]] MvaSolution bounds_solution(const ClosedNetwork& net);
+
+}  // namespace latol::qn

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 #include "util/matrix.hpp"
@@ -34,10 +35,13 @@ struct MvaSolution {
   /// fields then hold the last iterate.
   bool converged = true;
 
-  /// Mean cycle (response) time of class c: population / throughput.
+  /// Mean cycle (response) time of class c: population / throughput. A
+  /// dead class (zero throughput) has an infinite cycle time — returning 0
+  /// here would make a dead system read as infinitely fast.
   [[nodiscard]] double cycle_time(std::size_t c, long population) const {
-    return throughput[c] > 0.0 ? static_cast<double>(population) / throughput[c]
-                               : 0.0;
+    return throughput[c] > 0.0
+               ? static_cast<double>(population) / throughput[c]
+               : std::numeric_limits<double>::infinity();
   }
 
   /// Total queue length at station m over all classes.

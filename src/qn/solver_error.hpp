@@ -1,0 +1,62 @@
+// Structured solver failures.
+//
+// The iterative solvers historically threw bare std::runtime_error (or
+// returned an unconverged iterate and hoped someone checked the flag).
+// Callers that degrade gracefully — robust_solve(), the sweep engine, the
+// CLI — need to *branch* on why a solve failed, so failures carry a
+// machine-readable code alongside the human-readable message.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace latol::qn {
+
+/// Why a solver could not produce a trustworthy solution.
+enum class SolverErrorCode {
+  /// The network failed validation (no customers, a populated class with
+  /// zero total demand, ...) or the requested solver cannot apply to it
+  /// at all (e.g. exact MVA on a non-product-form network).
+  kInvalidNetwork,
+  /// The fixed-point iterate moved away from its best point by more than
+  /// the configured divergence factor — iterating longer will not help.
+  kDiverged,
+  /// The iteration budget was exhausted while the iterate was still
+  /// making progress; a larger budget might converge.
+  kIterationBudget,
+  /// A NaN or overflow appeared in the iterate (pathological parameter
+  /// ratios); the partial solution is meaningless.
+  kNumerical,
+};
+
+/// Stable lowercase identifier ("invalid-network", "diverged", ...) used
+/// in reports, CSV columns, and log lines.
+[[nodiscard]] constexpr const char* solver_error_name(SolverErrorCode code) {
+  switch (code) {
+    case SolverErrorCode::kInvalidNetwork:
+      return "invalid-network";
+    case SolverErrorCode::kDiverged:
+      return "diverged";
+    case SolverErrorCode::kIterationBudget:
+      return "iteration-budget";
+    case SolverErrorCode::kNumerical:
+      return "numerical";
+  }
+  return "?";
+}
+
+/// A solver failure with a taxonomy code callers can branch on.
+class SolverError : public std::runtime_error {
+ public:
+  SolverError(SolverErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(solver_error_name(code)) + ": " +
+                           message),
+        code_(code) {}
+
+  [[nodiscard]] SolverErrorCode code() const { return code_; }
+
+ private:
+  SolverErrorCode code_;
+};
+
+}  // namespace latol::qn

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "sim/des.hpp"
@@ -219,8 +220,17 @@ class MmsSimulation {
 }  // namespace
 
 SimulationResult simulate_mms(const SimulationConfig& config) {
-  MmsSimulation simulation(config);
-  return simulation.run();
+  // Tag any validation or mid-run assertion failure with the seed so a
+  // failing replication can be reproduced exactly.
+  try {
+    MmsSimulation simulation(config);
+    SimulationResult result = simulation.run();
+    result.seed = config.seed;
+    return result;
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(e.what()) + " [seed=" +
+                          std::to_string(config.seed) + "]");
+  }
 }
 
 }  // namespace latol::sim

@@ -189,6 +189,11 @@ class NetBuilder {
   std::vector<PlaceId> mem_free_, in_free_, out_free_, ready_;
 };
 
+PetriMmsResult simulate_checked(const core::MmsConfig& config,
+                                double sim_time, double warmup_fraction,
+                                std::uint64_t seed,
+                                ServiceDistribution memory_dist);
+
 }  // namespace
 
 MmsPetriModel build_mms_petri(const core::MmsConfig& config,
@@ -201,6 +206,23 @@ PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
                                   double sim_time, double warmup_fraction,
                                   std::uint64_t seed,
                                   ServiceDistribution memory_dist) {
+  // Tag validation failures with the seed so the replication that exposed
+  // them can be reproduced exactly.
+  try {
+    return simulate_checked(config, sim_time, warmup_fraction, seed,
+                            memory_dist);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(e.what()) + " [seed=" +
+                          std::to_string(seed) + "]");
+  }
+}
+
+namespace {
+
+PetriMmsResult simulate_checked(const core::MmsConfig& config,
+                                double sim_time, double warmup_fraction,
+                                std::uint64_t seed,
+                                ServiceDistribution memory_dist) {
   LATOL_REQUIRE(sim_time > 0.0, "sim_time " << sim_time);
   LATOL_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
                 "warmup_fraction " << warmup_fraction);
@@ -209,6 +231,7 @@ PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
   const PetriStats stats = sim.run(sim_time, sim_time * warmup_fraction);
 
   PetriMmsResult out;
+  out.seed = seed;
   out.total_firings = stats.total_firings;
   const auto P = static_cast<double>(model.processors);
   double exec_rate = 0.0;
@@ -233,5 +256,7 @@ PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
   out.network_latency = leg_rate > 0.0 ? switch_tokens / leg_rate : 0.0;
   return out;
 }
+
+}  // namespace
 
 }  // namespace latol::sim

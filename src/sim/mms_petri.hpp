@@ -71,6 +71,7 @@ struct PetriMmsResult {
   double network_latency = 0;  ///< S_obs via Little's law
   double memory_latency = 0;   ///< L_obs via Little's law
   std::uint64_t total_firings = 0;
+  std::uint64_t seed = 0;      ///< RNG seed of this replication
 };
 
 /// Build, simulate for `sim_time` (discarding `warmup_fraction`), and

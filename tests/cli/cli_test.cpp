@@ -163,5 +163,62 @@ TEST(CliRun, InvalidConfigSurfacesAsError) {
   EXPECT_THROW((void)run_command(opts, out), InvalidArgument);
 }
 
+TEST(CliRun, MaxIterationsFlagApplies) {
+  const CliOptions opts =
+      parse_command_line({"analyze", "--max-iterations", "50"});
+  EXPECT_EQ(opts.amva.max_iterations, 50);
+  EXPECT_THROW((void)parse_command_line({"analyze", "--max-iterations", "0"}),
+               InvalidArgument);
+}
+
+TEST(CliRun, AnalyzeReportsItsSolver) {
+  std::ostringstream out;
+  const CliOptions opts = parse_command_line({"analyze"});
+  EXPECT_EQ(run_command(opts, out), 0);
+  EXPECT_NE(out.str().find("solved by amva"), std::string::npos);
+}
+
+// --- exit-code contract of the full entry point ---
+
+TEST(CliMain, CleanRunExitsZero) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"analyze"}, out, err), 0);
+  EXPECT_TRUE(err.str().empty());
+}
+
+TEST(CliMain, DegradedRunExitsOneWithWarning) {
+  // A starved iteration budget forces the fallback chain; the answer is
+  // still printed but flagged, and the exit code says "degraded".
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"analyze", "--max-iterations", "1"}, out, err), 1);
+  EXPECT_NE(out.str().find("warning"), std::string::npos);
+  EXPECT_NE(out.str().find("degraded"), std::string::npos);
+}
+
+TEST(CliMain, DegradedSweepExitsOne) {
+  std::ostringstream out, err;
+  const int rc = cli_main({"sweep", "--param", "threads", "--from", "1",
+                           "--to", "4", "--steps", "2", "--max-iterations",
+                           "1"},
+                          out, err);
+  EXPECT_EQ(rc, 1);
+  EXPECT_NE(out.str().find("[degraded]"), std::string::npos);
+}
+
+TEST(CliMain, UsageErrorsExitTwo) {
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"frobnicate"}, out, err), 2);
+  EXPECT_NE(err.str().find("latol:"), std::string::npos);
+
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"analyze", "--p-remote", "1.5"}, out2, err2), 2);
+  EXPECT_NE(err2.str().find("p_remote"), std::string::npos);
+}
+
+TEST(CliMain, UsageDocumentsExitCodes) {
+  EXPECT_NE(usage().find("exit codes"), std::string::npos);
+  EXPECT_NE(usage().find("solve failed"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace latol::cli

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace latol::core {
@@ -55,6 +57,40 @@ TEST(MmsConfig, ValidationCatchesBadValues) {
 
   c = base;
   c.context_switch = -1.0;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+}
+
+TEST(MmsConfig, ValidationCatchesNonFiniteValues) {
+  // NaN parameters must die at validate(), not surface later as a solver
+  // kNumerical error with the root cause lost.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const MmsConfig base = MmsConfig::paper_defaults();
+
+  for (const double bad : {kNan, kInf}) {
+    MmsConfig c = base;
+    c.runlength = bad;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+
+    c = base;
+    c.memory_latency = bad;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+
+    c = base;
+    c.switch_delay = bad;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+
+    c = base;
+    c.context_switch = bad;
+    EXPECT_THROW(c.validate(), InvalidArgument);
+  }
+
+  MmsConfig c = base;
+  c.p_remote = kNan;
+  EXPECT_THROW(c.validate(), InvalidArgument);
+
+  c = base;
+  c.traffic.p_sw = kNan;
   EXPECT_THROW(c.validate(), InvalidArgument);
 }
 

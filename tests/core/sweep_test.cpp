@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 namespace latol::core {
 namespace {
 
@@ -72,6 +74,43 @@ TEST(Sweep, CapturesPerPointErrors) {
   ASSERT_TRUE(results[1].error.has_value());
   EXPECT_NE(results[1].error->find("R="), std::string::npos);
   EXPECT_FALSE(results[2].error.has_value());
+}
+
+TEST(Sweep, ErrorCodeClassifiesInvalidConfigs) {
+  std::vector<MmsConfig> grid = small_grid();
+  grid[1].runlength = -1.0;  // invalid
+  const auto results = sweep(grid, {});
+  ASSERT_TRUE(results[1].error_code.has_value());
+  EXPECT_EQ(*results[1].error_code, qn::SolverErrorCode::kInvalidNetwork);
+  EXPECT_FALSE(results[1].healthy());
+  // The failure is isolated: the neighbours are untouched and healthy.
+  EXPECT_TRUE(results[0].healthy());
+  EXPECT_TRUE(results[2].healthy());
+  EXPECT_FALSE(results[0].error_code.has_value());
+}
+
+TEST(Sweep, StarvedBudgetDegradesInsteadOfErroring) {
+  const auto grid = small_grid();
+  SweepOptions opts;
+  opts.amva.max_iterations = 1;  // AMVA cannot finish: fallback must answer
+  const auto results = sweep(grid, opts);
+  for (const auto& r : results) {
+    ASSERT_FALSE(r.error.has_value());
+    EXPECT_TRUE(r.perf.degraded);
+    EXPECT_NE(r.perf.solver, qn::SolverKind::kAmva);
+    EXPECT_FALSE(r.healthy());  // degraded counts as unhealthy for reports
+    EXPECT_TRUE(std::isfinite(r.perf.processor_utilization));
+  }
+}
+
+TEST(Sweep, HealthyPointsRecordTheirSolver) {
+  const auto results = sweep(small_grid(), {});
+  for (const auto& r : results) {
+    ASSERT_TRUE(r.healthy());
+    EXPECT_EQ(r.perf.solver, qn::SolverKind::kAmva);
+    EXPECT_FALSE(r.perf.degraded);
+    EXPECT_LT(r.perf.residual, 1e-6);
+  }
 }
 
 TEST(Sweep, EmptyGridYieldsEmptyResults) {

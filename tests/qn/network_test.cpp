@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/error.hpp"
 
 namespace latol::qn {
@@ -52,6 +54,21 @@ TEST(ClosedNetwork, RejectsNegativeInputs) {
   auto net = two_station_net();
   EXPECT_THROW(net.set_visit_ratio(0, 0, -0.1), InvalidArgument);
   EXPECT_THROW(net.set_service_time(0, 0, -1.0), InvalidArgument);
+}
+
+TEST(ClosedNetwork, RejectsNonFiniteInputs) {
+  // NaN and infinity must be stopped at the setter, not discovered as a
+  // kNumerical failure deep inside a solver.
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  auto net = two_station_net();
+  EXPECT_THROW(net.set_visit_ratio(0, 0, kNan), InvalidArgument);
+  EXPECT_THROW(net.set_visit_ratio(0, 0, kInf), InvalidArgument);
+  EXPECT_THROW(net.set_service_time(0, 0, kNan), InvalidArgument);
+  EXPECT_THROW(net.set_service_time(0, 0, kInf), InvalidArgument);
+  // The rejected values must not have corrupted the network.
+  EXPECT_NO_THROW(net.validate());
+  EXPECT_DOUBLE_EQ(net.demand(0, 0), 5.0);
 }
 
 TEST(ClosedNetwork, ValidateRejectsEmptyPopulation) {

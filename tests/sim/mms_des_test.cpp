@@ -204,6 +204,27 @@ TEST(MmsDes, InsensitiveToWarmupChoice) {
               0.05 * ra.network_latency);
 }
 
+TEST(MmsDes, ResultRecordsItsSeed) {
+  core::MmsConfig mms = core::MmsConfig::paper_defaults();
+  mms.k = 2;
+  auto cfg = quick(mms, 12345);
+  cfg.sim_time = 2000.0;
+  EXPECT_EQ(simulate_mms(cfg).seed, 12345u);
+}
+
+TEST(MmsDes, ValidationFailureNamesTheSeed) {
+  // A failing replication must be reproducible: the error message carries
+  // the RNG seed of the run that exposed it.
+  auto cfg = quick(core::MmsConfig::paper_defaults(), 777);
+  cfg.sim_time = -1.0;
+  try {
+    (void)simulate_mms(cfg);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("[seed=777]"), std::string::npos);
+  }
+}
+
 TEST(MmsDes, UniformTrafficTravelsFartherThanGeometric) {
   core::MmsConfig geo = core::MmsConfig::paper_defaults();
   core::MmsConfig uni = geo;

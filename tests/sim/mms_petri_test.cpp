@@ -95,6 +95,21 @@ TEST(MmsPetri, ValidatesRunParameters) {
                InvalidArgument);
 }
 
+TEST(MmsPetri, ResultRecordsItsSeed) {
+  const PetriMmsResult r =
+      simulate_mms_petri(small_machine(), 2000.0, 0.1, 31337);
+  EXPECT_EQ(r.seed, 31337u);
+}
+
+TEST(MmsPetri, ValidationFailureNamesTheSeed) {
+  try {
+    (void)simulate_mms_petri(small_machine(), -5.0, 0.1, 99);
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("[seed=99]"), std::string::npos);
+  }
+}
+
 TEST(MmsPetri, PaperMachineNetIsBuildable) {
   // The 4x4 validation machine (§8) builds to a few thousand nodes.
   core::MmsConfig cfg = core::MmsConfig::paper_defaults();
