@@ -115,11 +115,6 @@ inline std::string csv_converged(const core::MmsPerformance& perf) {
 
 /// Format a double the way CsvWriter's numeric overload does, for rows
 /// that mix numbers with the solver/converged string cells.
-inline std::string csv_num(double v) {
-  std::ostringstream os;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << v;
-  return os.str();
-}
+inline std::string csv_num(double v) { return util::csv_number(v); }
 
 }  // namespace latol::bench

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/latol.hpp"
+#include "json_reporter.hpp"
 #include "qn/mva_exact.hpp"
 
 namespace {
@@ -92,4 +93,7 @@ BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Arg(0);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return latol::bench::run_benchmarks_with_json(argc, argv,
+                                                "BENCH_mva.json");
+}

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/mms_config.hpp"
+#include "json_reporter.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
 
@@ -54,4 +55,7 @@ BENCHMARK(BM_PetriSimulation)->Arg(2)->Arg(4);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return latol::bench::run_benchmarks_with_json(argc, argv,
+                                                "BENCH_sim.json");
+}

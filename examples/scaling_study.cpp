@@ -2,16 +2,52 @@
 // as it scales from 2x2 to 10x10 nodes, and how much does data-placement
 // locality buy (paper §7)?
 //
+// This version expresses the study as two declarative scenarios (one per
+// access pattern — the pattern is a base setting, not a numeric axis) and
+// runs both through the experiment engine with a shared solve cache.
+//
 //   ./build/examples/scaling_study [p_remote] [p_sw]
 #include <cstdlib>
 #include <iostream>
 
 #include "core/latol.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "io/json.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+latol::exp::Scenario make_scenario(const std::string& pattern,
+                                   double p_remote, double p_sw) {
+  using latol::io::Json;
+  Json values = Json::array();
+  for (const int k : {2, 4, 6, 8, 10}) values.push_back(k);
+  Json axis = Json::object();
+  axis.set("param", "k");
+  axis.set("values", std::move(values));
+  Json axes = Json::array();
+  axes.push_back(std::move(axis));
+
+  Json base = Json::object();
+  base.set("p_remote", p_remote);
+  base.set("p_sw", p_sw);
+  base.set("pattern", pattern);
+
+  Json doc = Json::object();
+  doc.set("name", "scaling_" + pattern);
+  doc.set("base", std::move(base));
+  doc.set("axes", std::move(axes));
+  Json outputs = Json::object();
+  outputs.set("network_tolerance", true);
+  doc.set("outputs", std::move(outputs));
+  return latol::exp::scenario_from_json(doc);
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace latol;
-  using namespace latol::core;
 
   const double p_remote = argc > 1 ? std::atof(argv[1]) : 0.2;
   const double p_sw = argc > 2 ? std::atof(argv[2]) : 0.5;
@@ -20,22 +56,24 @@ int main(int argc, char** argv) {
             << ", locality p_sw = " << p_sw
             << " (n_t = 8, R = 10, L = S = 10).\n\n";
 
+  // One scenario per access pattern, solved through one shared cache.
+  exp::SolveCache cache;
+  exp::RunOptions opts;
+  opts.cache = &cache;
+  const exp::RunResult geometric =
+      exp::run_scenario(make_scenario("geometric", p_remote, p_sw), opts);
+  const exp::RunResult uniform =
+      exp::run_scenario(make_scenario("uniform", p_remote, p_sw), opts);
+
   util::Table table({"k", "P", "pattern", "d_avg", "U_p", "P x U_p",
                      "S_obs", "L_obs", "tol_network"});
-  for (const int k : {2, 4, 6, 8, 10}) {
-    for (const auto pattern :
-         {topo::AccessPattern::kGeometric, topo::AccessPattern::kUniform}) {
-      MmsConfig cfg = MmsConfig::paper_defaults();
-      cfg.k = k;
-      cfg.p_remote = p_remote;
-      cfg.traffic.pattern = pattern;
-      cfg.traffic.p_sw = p_sw;
-      const ToleranceResult t = tolerance_index(cfg, Subsystem::kNetwork);
-      const MmsPerformance& perf = t.actual;
+  for (std::size_t i = 0; i < geometric.points.size(); ++i) {
+    for (const exp::RunResult* run : {&geometric, &uniform}) {
+      const core::MmsConfig& cfg = run->grid[i];
+      const core::MmsPerformance& perf = run->points[i].model.perf;
       table.add_row(
-          {std::to_string(k), std::to_string(cfg.num_processors()),
-           pattern == topo::AccessPattern::kGeometric ? "geometric"
-                                                      : "uniform",
+          {std::to_string(cfg.k), std::to_string(cfg.num_processors()),
+           run == &geometric ? "geometric" : "uniform",
            util::Table::num(perf.average_distance, 3),
            util::Table::num(perf.processor_utilization, 4),
            util::Table::num(cfg.num_processors() *
@@ -43,7 +81,8 @@ int main(int argc, char** argv) {
                             2),
            util::Table::num(perf.network_latency, 1),
            util::Table::num(perf.memory_latency, 1),
-           util::Table::num(t.index, 3)});
+           util::Table::num(run->points[i].model.tol_network.value_or(0.0),
+                            3)});
     }
   }
   std::cout << table << '\n';
@@ -52,11 +91,11 @@ int main(int argc, char** argv) {
   std::cout << "Closed-form check (Eq. 4 saturation rate by size, uniform "
                "pattern):\n";
   for (const int k : {4, 10}) {
-    MmsConfig cfg = MmsConfig::paper_defaults();
+    core::MmsConfig cfg = core::MmsConfig::paper_defaults();
     cfg.k = k;
     cfg.p_remote = p_remote;
     cfg.traffic.pattern = topo::AccessPattern::kUniform;
-    const BottleneckAnalysis bn = bottleneck_analysis(cfg);
+    const core::BottleneckAnalysis bn = core::bottleneck_analysis(cfg);
     std::cout << "  k=" << k << ": d_avg=" << bn.d_avg
               << " -> lambda_net_sat=" << bn.lambda_net_sat
               << ", critical p_remote=" << bn.p_remote_critical << '\n';

@@ -2,56 +2,112 @@
 // expose a fixed amount of computation per processor, choose how many
 // threads to fork and how much work each should carry (paper §5).
 //
+// This version drives the declarative experiment engine (exp::) instead
+// of calling the solver loop by hand: the candidate splits become a
+// zipped scenario axis (n_t and R varied in lockstep so n_t x R = work),
+// and the batch runner computes both tolerance indices for every split —
+// sharing the ideal-system solves through its cache.
+//
 //   ./build/examples/thread_partitioning [work_budget] [p_remote]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/latol.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "io/json.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace latol;
-  using namespace latol::core;
 
   const double work = argc > 1 ? std::atof(argv[1]) : 80.0;
   const double p_remote = argc > 2 ? std::atof(argv[2]) : 0.2;
 
-  MmsConfig base = MmsConfig::paper_defaults();
-  base.p_remote = p_remote;
-
-  std::cout << "Partitioning a loop exposing " << work
-            << " cycles of work per processor (p_remote = " << p_remote
-            << ") on a " << base.k << "x" << base.k << " torus.\n\n";
-
   // Candidate splits: every thread count that divides the work sensibly.
   const std::vector<int> splits{1, 2, 4, 5, 8, 10, 16, 20};
-  const auto points = evaluate_partitions(base, work, splits);
+
+  // Describe the whole study as a scenario document — the same schema
+  // `latol run` accepts from a file (DESIGN.md §8).
+  io::Json threads = io::Json::array();
+  io::Json runlengths = io::Json::array();
+  for (const int n_t : splits) {
+    threads.push_back(n_t);
+    runlengths.push_back(work / n_t);
+  }
+  io::Json zip = io::Json::array();
+  io::Json nt_comp = io::Json::object();
+  nt_comp.set("param", "threads");
+  nt_comp.set("values", std::move(threads));
+  io::Json r_comp = io::Json::object();
+  r_comp.set("param", "runlength");
+  r_comp.set("values", std::move(runlengths));
+  zip.push_back(std::move(nt_comp));
+  zip.push_back(std::move(r_comp));
+  io::Json axis = io::Json::object();
+  axis.set("zip", std::move(zip));
+  io::Json axes = io::Json::array();
+  axes.push_back(std::move(axis));
+
+  io::Json doc = io::Json::object();
+  doc.set("name", "thread_partitioning");
+  io::Json base = io::Json::object();
+  base.set("p_remote", p_remote);
+  doc.set("base", std::move(base));
+  doc.set("axes", std::move(axes));
+  io::Json outputs = io::Json::object();
+  outputs.set("network_tolerance", true);
+  outputs.set("memory_tolerance", true);
+  doc.set("outputs", std::move(outputs));
+
+  const exp::Scenario scenario = exp::scenario_from_json(doc);
+  const exp::RunResult run = exp::run_scenario(scenario);
+
+  const core::MmsConfig defaults = core::MmsConfig::paper_defaults();
+  std::cout << "Partitioning a loop exposing " << work
+            << " cycles of work per processor (p_remote = " << p_remote
+            << ") on a " << defaults.k << "x" << defaults.k << " torus.\n\n";
 
   util::Table table({"n_t", "R", "U_p", "tol_network", "tol_memory",
                      "S_obs", "L_obs", "verdict"});
-  for (const PartitionPoint& pt : points) {
-    const bool net_ok = pt.tol_network >= 0.8;
-    const bool mem_ok = pt.tol_memory >= 0.8;
+  const exp::PointResult* best = nullptr;
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const exp::PointResult& pt = run.points[i];
+    const core::MmsConfig& cfg = run.grid[i];
+    const double tol_net = pt.model.tol_network.value_or(0.0);
+    const double tol_mem = pt.model.tol_memory.value_or(0.0);
+    const bool net_ok = tol_net >= 0.8;
+    const bool mem_ok = tol_mem >= 0.8;
     table.add_row(
-        {std::to_string(pt.n_t), util::Table::num(pt.runlength, 1),
-         util::Table::num(pt.perf.processor_utilization, 4),
-         util::Table::num(pt.tol_network, 3),
-         util::Table::num(pt.tol_memory, 3),
-         util::Table::num(pt.perf.network_latency, 1),
-         util::Table::num(pt.perf.memory_latency, 1),
+        {std::to_string(cfg.threads_per_processor),
+         util::Table::num(cfg.runlength, 1),
+         util::Table::num(pt.model.perf.processor_utilization, 4),
+         util::Table::num(tol_net, 3), util::Table::num(tol_mem, 3),
+         util::Table::num(pt.model.perf.network_latency, 1),
+         util::Table::num(pt.model.perf.memory_latency, 1),
          net_ok && mem_ok ? "both latencies tolerated"
                           : (net_ok ? "memory is the bottleneck"
                                     : "network is the bottleneck")});
+    if (best == nullptr ||
+        pt.model.perf.processor_utilization >
+            best->model.perf.processor_utilization + 1e-12) {
+      best = &pt;
+    }
   }
   std::cout << table << '\n';
 
-  const PartitionPoint best = best_partition(points);
-  std::cout << "Recommendation: fork " << best.n_t
-            << " threads of runlength " << best.runlength << " (U_p = "
-            << util::Table::num(best.perf.processor_utilization, 4)
+  const std::size_t best_idx = best - run.points.data();
+  std::cout << "Recommendation: fork "
+            << run.grid[best_idx].threads_per_processor
+            << " threads of runlength " << run.grid[best_idx].runlength
+            << " (U_p = "
+            << util::Table::num(best->model.perf.processor_utilization, 4)
             << ").\n";
   std::cout << "This matches the paper's rule of thumb: with at least 2 "
                "threads to overlap,\nprefer longer runlengths over more "
                "threads.\n";
+  std::cout << "(batch run: " << run.stats.grid_points << " splits, "
+            << run.stats.solves << " solves, " << run.stats.cache_hits
+            << " cache hits, " << run.stats.degraded_points
+            << " degraded)\n";
   return 0;
 }

@@ -1,9 +1,15 @@
 // Implementations of the `latol` CLI commands.
+#include <cmath>
+#include <filesystem>
+#include <fstream>
 #include <iomanip>
 #include <ostream>
 
 #include "cli/options.hpp"
 #include "core/latol.hpp"
+#include "exp/parameter.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
 #include "util/table.hpp"
@@ -113,28 +119,12 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
             : opts.sweep_from + (opts.sweep_to - opts.sweep_from) * s /
                                     (opts.sweep_steps - 1);
     core::MmsConfig cfg = opts.config;
-    if (opts.sweep_param == "p_remote") {
-      cfg.p_remote = x;
-    } else if (opts.sweep_param == "threads") {
-      cfg.threads_per_processor = static_cast<int>(x);
-    } else if (opts.sweep_param == "runlength") {
-      cfg.runlength = x;
-    } else if (opts.sweep_param == "switch_delay") {
-      cfg.switch_delay = x;
-    } else if (opts.sweep_param == "memory_latency") {
-      cfg.memory_latency = x;
-    } else if (opts.sweep_param == "k") {
-      cfg.k = static_cast<int>(x);
-    } else if (opts.sweep_param == "p_sw") {
-      cfg.traffic.p_sw = x;
-    } else if (opts.sweep_param == "context_switch") {
-      cfg.context_switch = x;
-    } else if (opts.sweep_param == "memory_ports") {
-      cfg.memory_ports = static_cast<int>(x);
-    } else {
-      throw InvalidArgument("unknown sweep parameter `" + opts.sweep_param +
-                            "`");
-    }
+    // Integral parameters keep the historical sweep behavior of truncating
+    // fractional grid values (a 1..8 sweep in 9 steps must still work).
+    exp::apply_parameter(cfg, opts.sweep_param,
+                         exp::parameter_is_integral(opts.sweep_param)
+                             ? std::trunc(x)
+                             : x);
     const core::ToleranceResult t =
         core::tolerance_index(cfg, core::Subsystem::kNetwork, opts.amva);
     const bool clean = !t.actual.degraded && t.actual.converged &&
@@ -194,6 +184,70 @@ int cmd_simulate(const CliOptions& opts, std::ostream& out) {
   return warn_if_degraded(model, "model", out);
 }
 
+int cmd_run(const CliOptions& opts, std::ostream& out) {
+  LATOL_REQUIRE(!opts.scenario_path.empty(),
+                "run needs a scenario file: latol run <scenario.json>");
+  const exp::Scenario scenario = exp::load_scenario(opts.scenario_path);
+  std::filesystem::create_directories(opts.out_dir);
+
+  exp::SolveCache cache;
+  const std::string version = exp::build_version();
+  const std::string cache_path = opts.cache_path.empty()
+                                     ? opts.out_dir + "/latol_cache.json"
+                                     : opts.cache_path;
+  if (opts.run_cache) cache.load(cache_path, version);
+
+  exp::RunOptions ropts;
+  ropts.workers = opts.run_workers;
+  ropts.cache = &cache;
+  const exp::RunResult run = exp::run_scenario(scenario, ropts);
+
+  const std::string base = opts.out_dir + "/" + scenario.name;
+  if (opts.run_format == "csv" || opts.run_format == "both") {
+    std::ofstream csv(base + ".csv");
+    LATOL_REQUIRE(csv.good(), "cannot open `" << base << ".csv`");
+    exp::write_results_csv(scenario, run, csv);
+    out << "wrote " << base << ".csv\n";
+  }
+  if (opts.run_format == "json" || opts.run_format == "both") {
+    io::write_json_file(base + ".json", exp::results_to_json(scenario, run));
+    out << "wrote " << base << ".json\n";
+  }
+  io::write_json_file(base + ".manifest.json",
+                      exp::manifest_to_json(scenario, run));
+  out << "wrote " << base << ".manifest.json\n";
+  if (opts.run_cache) cache.save(cache_path, version);
+
+  const exp::RunStats& st = run.stats;
+  out << "scenario `" << scenario.name << "`: " << st.grid_points
+      << " grid points (" << st.unique_points << " unique), " << st.solves
+      << " solves, " << st.cache_hits << " cache hits";
+  if (st.cache_preloaded > 0) out << " (" << st.cache_preloaded << " preloaded)";
+  out << ", " << st.workers << " workers, " << std::setprecision(3)
+      << st.wall_seconds << " s\n";
+  if (st.simulated_points > 0) {
+    out << "validated " << st.simulated_points << " points with the "
+        << scenario.validation->engine << " simulator\n";
+  }
+  for (const exp::PointResult& p : run.points) {
+    if (p.model.error) {
+      out << "[solve failed] point "
+          << (&p - run.points.data()) << ": " << *p.model.error << '\n';
+    }
+  }
+  if (st.failed_points == st.grid_points && st.grid_points > 0) {
+    throw qn::SolverError(qn::SolverErrorCode::kNumerical,
+                          "every grid point failed to solve");
+  }
+  if (st.failed_points > 0 || st.degraded_points > 0) {
+    out << "warning: " << st.degraded_points << " degraded, "
+        << st.failed_points << " failed of " << st.grid_points
+        << " grid points\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const CliOptions& opts, std::ostream& out) {
@@ -201,6 +255,7 @@ int run_command(const CliOptions& opts, std::ostream& out) {
     out << usage();
     return 0;
   }
+  if (opts.command == "run") return cmd_run(opts, out);
   opts.config.validate();
   if (opts.command == "analyze") return cmd_analyze(opts, out);
   if (opts.command == "tolerance") return cmd_tolerance(opts, out);

@@ -59,7 +59,8 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
   const bool known =
       opts.command == "analyze" || opts.command == "tolerance" ||
       opts.command == "bottleneck" || opts.command == "sweep" ||
-      opts.command == "simulate" || opts.command == "help";
+      opts.command == "simulate" || opts.command == "run" ||
+      opts.command == "help";
   if (!known) {
     throw InvalidArgument("unknown command `" + opts.command + "`\n" +
                           usage());
@@ -71,7 +72,28 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       LATOL_REQUIRE(i + 1 < args.size(), "flag " << flag << " needs a value");
       return args[++i];
     };
-    if (flag == "--k") {
+    if (opts.command == "run" && !flag.starts_with("--")) {
+      LATOL_REQUIRE(opts.scenario_path.empty(),
+                    "run takes one scenario file, got `"
+                        << opts.scenario_path << "` and `" << flag << "`");
+      opts.scenario_path = flag;
+    } else if (flag == "--out") {
+      opts.out_dir = value();
+    } else if (flag == "--format") {
+      opts.run_format = value();
+      LATOL_REQUIRE(opts.run_format == "json" || opts.run_format == "csv" ||
+                        opts.run_format == "both",
+                    "--format expects json|csv|both, got `" << opts.run_format
+                                                            << "`");
+    } else if (flag == "--workers") {
+      const int n = parse_int(flag, value());
+      LATOL_REQUIRE(n >= 0, "--workers must be >= 0");
+      opts.run_workers = static_cast<std::size_t>(n);
+    } else if (flag == "--cache") {
+      opts.cache_path = value();
+    } else if (flag == "--no-cache") {
+      opts.run_cache = false;
+    } else if (flag == "--k") {
       opts.config.k = parse_int(flag, value());
     } else if (flag == "--topology") {
       opts.config.topology = parse_topology(value());
@@ -135,6 +157,8 @@ std::string usage() {
         "  bottleneck  closed-form Eq. 4/5 constants and operating zones\n"
         "  sweep       vary one parameter; print U_p and tol_network\n"
         "  simulate    discrete-event (or --petri) simulation vs the model\n"
+        "  run         execute a JSON scenario file; write CSV/JSON results\n"
+        "              plus a run manifest (DESIGN.md §8)\n"
         "  help        this text\n\n"
         "machine/workload flags (defaults = paper Table 1):\n"
         "  --k N                 size parameter (torus/mesh side, ring size,\n"
@@ -162,6 +186,12 @@ std::string usage() {
         "  --time T    simulated time units                  [100000]\n"
         "  --seed N    RNG seed                              [1]\n"
         "  --petri     use the stochastic Petri net simulator\n\n"
+        "run usage: latol run <scenario.json> [flags]\n"
+        "  --out DIR       output directory                  [.]\n"
+        "  --format F      json|csv|both                     [both]\n"
+        "  --workers N     worker threads (0 = hardware)     [0]\n"
+        "  --cache FILE    solve-cache file    [<out>/latol_cache.json]\n"
+        "  --no-cache      do not load/save the solve cache\n\n"
         "exit codes:\n"
         "  0  clean result\n"
         "  1  degraded result (fallback solver answered / not converged)\n"

@@ -17,7 +17,7 @@ namespace latol::cli {
 
 /// Parsed invocation.
 struct CliOptions {
-  /// analyze | tolerance | bottleneck | sweep | simulate | help
+  /// analyze | tolerance | bottleneck | sweep | simulate | run | help
   std::string command = "help";
   core::MmsConfig config = core::MmsConfig::paper_defaults();
 
@@ -35,6 +35,14 @@ struct CliOptions {
   double sim_time = 100000.0;
   std::uint64_t seed = 1;
   bool use_petri = false;  ///< STPN instead of the direct event simulator
+
+  // --- run (scenario batch) ---
+  std::string scenario_path;       ///< positional `latol run <scenario.json>`
+  std::string out_dir = ".";       ///< --out DIR
+  std::string run_format = "both"; ///< --format json|csv|both
+  std::size_t run_workers = 0;     ///< --workers N (0 = scenario/hardware)
+  bool run_cache = true;           ///< --no-cache disables persistence
+  std::string cache_path;          ///< --cache FILE (default <out>/latol_cache.json)
 };
 
 /// Parse `args` (argv[1:]). Throws latol::InvalidArgument with a

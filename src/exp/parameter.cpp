@@ -1,0 +1,127 @@
+#include "exp/parameter.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace latol::exp {
+
+namespace {
+
+struct ParamDef {
+  const char* canonical;
+  const char* alias;  // paper symbol, or nullptr
+  bool integral;
+  double (*get)(const core::MmsConfig&);
+  void (*set)(core::MmsConfig&, double);
+};
+
+constexpr ParamDef kParams[] = {
+    {"p_remote", nullptr, false,
+     [](const core::MmsConfig& c) { return c.p_remote; },
+     [](core::MmsConfig& c, double v) { c.p_remote = v; }},
+    {"threads", "n_t", true,
+     [](const core::MmsConfig& c) {
+       return static_cast<double>(c.threads_per_processor);
+     },
+     [](core::MmsConfig& c, double v) {
+       c.threads_per_processor = static_cast<int>(v);
+     }},
+    {"runlength", "R", false,
+     [](const core::MmsConfig& c) { return c.runlength; },
+     [](core::MmsConfig& c, double v) { c.runlength = v; }},
+    {"switch_delay", "S", false,
+     [](const core::MmsConfig& c) { return c.switch_delay; },
+     [](core::MmsConfig& c, double v) { c.switch_delay = v; }},
+    {"memory_latency", "L", false,
+     [](const core::MmsConfig& c) { return c.memory_latency; },
+     [](core::MmsConfig& c, double v) { c.memory_latency = v; }},
+    {"context_switch", "C", false,
+     [](const core::MmsConfig& c) { return c.context_switch; },
+     [](core::MmsConfig& c, double v) { c.context_switch = v; }},
+    {"k", nullptr, true,
+     [](const core::MmsConfig& c) { return static_cast<double>(c.k); },
+     [](core::MmsConfig& c, double v) { c.k = static_cast<int>(v); }},
+    {"p_sw", nullptr, false,
+     [](const core::MmsConfig& c) { return c.traffic.p_sw; },
+     [](core::MmsConfig& c, double v) { c.traffic.p_sw = v; }},
+    {"memory_ports", nullptr, true,
+     [](const core::MmsConfig& c) {
+       return static_cast<double>(c.memory_ports);
+     },
+     [](core::MmsConfig& c, double v) {
+       c.memory_ports = static_cast<int>(v);
+     }},
+    {"hotspot_fraction", nullptr, false,
+     [](const core::MmsConfig& c) { return c.traffic.hotspot_fraction; },
+     [](core::MmsConfig& c, double v) { c.traffic.hotspot_fraction = v; }},
+};
+
+const ParamDef* find_param(std::string_view name) {
+  for (const ParamDef& p : kParams) {
+    if (name == p.canonical ||
+        (p.alias != nullptr && name == p.alias)) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+[[noreturn]] void unknown_parameter(std::string_view name) {
+  std::ostringstream os;
+  os << "unknown parameter `" << name << "` (expected one of:";
+  for (const ParamDef& p : kParams) {
+    os << ' ' << p.canonical;
+    if (p.alias != nullptr) os << '|' << p.alias;
+  }
+  os << ')';
+  throw InvalidArgument(os.str());
+}
+
+}  // namespace
+
+std::string canonical_parameter(std::string_view name) {
+  const ParamDef* p = find_param(name);
+  if (p == nullptr) unknown_parameter(name);
+  return p->canonical;
+}
+
+bool is_parameter(std::string_view name) {
+  return find_param(name) != nullptr;
+}
+
+bool parameter_is_integral(std::string_view name) {
+  const ParamDef* p = find_param(name);
+  if (p == nullptr) unknown_parameter(name);
+  return p->integral;
+}
+
+void apply_parameter(core::MmsConfig& config, std::string_view name,
+                     double value) {
+  const ParamDef* p = find_param(name);
+  if (p == nullptr) unknown_parameter(name);
+  if (p->integral) {
+    LATOL_REQUIRE(std::floor(value) == value,
+                  "parameter `" << p->canonical
+                                << "` is integer-valued, got " << value);
+  }
+  p->set(config, value);
+}
+
+double read_parameter(const core::MmsConfig& config, std::string_view name) {
+  const ParamDef* p = find_param(name);
+  if (p == nullptr) unknown_parameter(name);
+  return p->get(config);
+}
+
+const std::vector<std::string>& parameter_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const ParamDef& p : kParams) out.emplace_back(p.canonical);
+    return out;
+  }();
+  return names;
+}
+
+}  // namespace latol::exp

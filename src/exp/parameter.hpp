@@ -1,0 +1,46 @@
+// Named numeric parameters of an MmsConfig.
+//
+// The declarative experiment engine (scenario files, `latol run`) and the
+// CLI `sweep` command both vary model parameters by name; this module is
+// the single registry mapping those names onto MmsConfig fields so the
+// two surfaces cannot drift apart. Canonical names follow the CLI sweep
+// spelling (`threads`, `runlength`, ...); the paper's symbols (`n_t`,
+// `R`, `L`, `S`, `C`) are accepted as aliases so result columns can be
+// labeled the way the paper writes them.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/mms_config.hpp"
+
+namespace latol::exp {
+
+/// Resolve an alias ("n_t", "R", ...) to its canonical parameter name
+/// ("threads", "runlength", ...). Canonical names map to themselves.
+/// Throws InvalidArgument listing the known names for anything else.
+[[nodiscard]] std::string canonical_parameter(std::string_view name);
+
+/// True when `name` (canonical or alias) names a sweepable parameter.
+[[nodiscard]] bool is_parameter(std::string_view name);
+
+/// True when the named parameter is integer-valued (threads, k,
+/// memory_ports). Throws InvalidArgument on unknown names.
+[[nodiscard]] bool parameter_is_integral(std::string_view name);
+
+/// Set the named parameter on `config`. Integer-valued parameters
+/// (threads, k, memory_ports) reject non-integral values with a
+/// diagnostic instead of silently truncating. Throws InvalidArgument on
+/// unknown names; range validation happens later via MmsConfig::validate.
+void apply_parameter(core::MmsConfig& config, std::string_view name,
+                     double value);
+
+/// Read the named parameter back from `config`.
+[[nodiscard]] double read_parameter(const core::MmsConfig& config,
+                                    std::string_view name);
+
+/// The canonical parameter names, in a stable documentation order.
+[[nodiscard]] const std::vector<std::string>& parameter_names();
+
+}  // namespace latol::exp

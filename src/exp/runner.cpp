@@ -1,0 +1,406 @@
+#include "exp/runner.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <exception>
+#include <map>
+#include <ostream>
+#include <thread>
+#include <unordered_map>
+
+#include "core/tolerance.hpp"
+#include "exp/parameter.hpp"
+#include "qn/robust.hpp"
+#include "sim/mms_des.hpp"
+#include "sim/mms_petri.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+#ifndef LATOL_GIT_DESCRIBE
+#define LATOL_GIT_DESCRIBE "unknown"
+#endif
+
+namespace latol::exp {
+
+namespace {
+
+/// Solve one grid point through the cache. Mirrors core::sweep's failure
+/// isolation and tolerance_index's math exactly — same numbers, but the
+/// ideal-system solve is shared across every point with the same ideal.
+void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
+                   SolveCache& cache, PointResult& point) {
+  core::SweepResult& r = point.model;
+  try {
+    r.perf = cache.analyze(cfg, scenario.amva);
+    if (scenario.network_tolerance) {
+      const core::MmsPerformance ideal = cache.analyze(
+          core::ideal_config(cfg, core::Subsystem::kNetwork,
+                             scenario.network_method),
+          scenario.amva);
+      LATOL_REQUIRE(ideal.processor_utilization > 0.0,
+                    "ideal system has zero processor utilization");
+      r.tol_network =
+          r.perf.processor_utilization / ideal.processor_utilization;
+      point.ideal_degraded |= ideal.degraded || !ideal.converged;
+    }
+    if (scenario.memory_tolerance) {
+      const core::MmsPerformance ideal = cache.analyze(
+          core::ideal_config(cfg, core::Subsystem::kMemory,
+                             core::IdealMethod::kZeroDelay),
+          scenario.amva);
+      LATOL_REQUIRE(ideal.processor_utilization > 0.0,
+                    "ideal system has zero processor utilization");
+      r.tol_memory =
+          r.perf.processor_utilization / ideal.processor_utilization;
+      point.ideal_degraded |= ideal.degraded || !ideal.converged;
+    }
+  } catch (const qn::SolverError& e) {
+    r.error = e.what();
+    r.error_code = e.code();
+  } catch (const InvalidArgument& e) {
+    r.error = e.what();
+    r.error_code = qn::SolverErrorCode::kInvalidNetwork;
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+}
+
+SimPoint simulate_point(const core::MmsConfig& cfg,
+                        const ValidationSpec& spec, std::size_t index) {
+  SimPoint sp;
+  sp.engine = spec.engine;
+  sp.seed = spec.seed + index;  // distinct, reproducible stream per point
+  sp.sim_time = spec.sim_time;
+  if (spec.engine == "petri") {
+    const sim::PetriMmsResult r =
+        sim::simulate_mms_petri(cfg, spec.sim_time, 0.1, sp.seed);
+    sp.processor_utilization = r.processor_utilization;
+    sp.message_rate = r.message_rate;
+    sp.network_latency = r.network_latency;
+    sp.memory_latency = r.memory_latency;
+  } else {
+    sim::SimulationConfig sc;
+    sc.mms = cfg;
+    sc.sim_time = spec.sim_time;
+    sc.seed = sp.seed;
+    const sim::SimulationResult r = sim::simulate_mms(sc);
+    sp.processor_utilization = r.processor_utilization;
+    sp.message_rate = r.message_rate;
+    sp.network_latency = r.network_latency;
+    sp.memory_latency = r.memory_latency;
+  }
+  return sp;
+}
+
+}  // namespace
+
+RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
+  RunResult run;
+  run.grid = expand_grid(scenario);
+  run.points.resize(run.grid.size());
+
+  // Deduplicate identical grid points: only the first occurrence solves;
+  // duplicates copy its result afterwards (order-independent because the
+  // representative is always the lowest index).
+  std::unordered_map<std::string, std::size_t> first_index;
+  std::vector<std::size_t> representative(run.grid.size());
+  std::vector<std::size_t> unique_points;
+  for (std::size_t i = 0; i < run.grid.size(); ++i) {
+    const auto [it, inserted] = first_index.emplace(
+        SolveCache::config_key(run.grid[i], scenario.amva), i);
+    representative[i] = it->second;
+    if (inserted) unique_points.push_back(i);
+  }
+
+  SolveCache transient;
+  SolveCache& cache = options.cache != nullptr ? *options.cache : transient;
+  const std::size_t preloaded = cache.size();
+  const std::size_t hits_before = cache.hits();
+  const std::size_t misses_before = cache.misses();
+
+  const std::size_t workers =
+      options.workers != 0 ? options.workers : scenario.workers;
+  util::parallel_for(
+      unique_points.size(),
+      [&](std::size_t j) {
+        const std::size_t i = unique_points[j];
+        compute_point(run.grid[i], scenario, cache, run.points[i]);
+      },
+      workers);
+  for (std::size_t i = 0; i < run.grid.size(); ++i) {
+    if (representative[i] != i) run.points[i] = run.points[representative[i]];
+  }
+
+  // Simulator validation of the requested points (skipping points whose
+  // model solve already failed — the simulator would reject them too).
+  if (scenario.validation.has_value()) {
+    const ValidationSpec& spec = *scenario.validation;
+    std::vector<std::size_t> targets = spec.points;
+    if (targets.empty()) {
+      targets.resize(run.grid.size());
+      for (std::size_t i = 0; i < targets.size(); ++i) targets[i] = i;
+    }
+    for (const std::size_t i : targets) {
+      LATOL_REQUIRE(i < run.grid.size(),
+                    "validation point " << i << " outside the grid (size "
+                                        << run.grid.size() << ")");
+    }
+    util::parallel_for(
+        targets.size(),
+        [&](std::size_t j) {
+          const std::size_t i = targets[j];
+          PointResult& point = run.points[i];
+          if (point.model.error) return;
+          try {
+            point.sim = simulate_point(run.grid[i], spec, i);
+          } catch (const std::exception& e) {
+            point.model.error = std::string("validation: ") + e.what();
+          }
+        },
+        workers);
+  }
+
+  // Accounting.
+  RunStats& st = run.stats;
+  st.grid_points = run.grid.size();
+  st.unique_points = unique_points.size();
+  st.solves = cache.misses() - misses_before;
+  st.cache_hits = cache.hits() - hits_before;
+  st.cache_preloaded = preloaded;
+  st.workers = workers != 0
+                   ? workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+  std::map<std::string, std::size_t> counts;
+  for (const PointResult& p : run.points) {
+    if (p.model.error) {
+      ++st.failed_points;
+      ++counts["error"];
+      continue;
+    }
+    if (!p.model.healthy() || p.ideal_degraded) ++st.degraded_points;
+    ++counts[qn::solver_kind_name(p.model.perf.solver)];
+    if (p.sim.has_value()) ++st.simulated_points;
+  }
+  st.solver_counts.assign(counts.begin(), counts.end());
+  st.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return run;
+}
+
+// --- output --------------------------------------------------------------
+
+namespace {
+
+/// One output cell, format-agnostic; CSV and JSON render it differently
+/// but from the same value.
+struct Cell {
+  enum class Kind { kNumber, kFlag, kText, kMissing };
+  Kind kind = Kind::kMissing;
+  double number = 0;
+  bool flag = false;
+  std::string text;
+
+  static Cell num(double v) { return {Kind::kNumber, v, false, {}}; }
+  static Cell boolean(bool b) { return {Kind::kFlag, 0, b, {}}; }
+  static Cell str(std::string s) {
+    return {Kind::kText, 0, false, std::move(s)};
+  }
+  static Cell missing() { return {}; }
+};
+
+Cell cell_value(const std::string& column, const core::MmsConfig& cfg,
+                const PointResult& p) {
+  if (is_parameter(column)) return Cell::num(read_parameter(cfg, column));
+  const core::MmsPerformance& perf = p.model.perf;
+  if (column == "U_p") return Cell::num(perf.processor_utilization);
+  if (column == "lambda") return Cell::num(perf.access_rate);
+  if (column == "lambda_net") return Cell::num(perf.message_rate);
+  if (column == "S_obs") return Cell::num(perf.network_latency);
+  if (column == "L_obs") return Cell::num(perf.memory_latency);
+  if (column == "mem_util") return Cell::num(perf.memory_utilization);
+  if (column == "switch_util") return Cell::num(perf.switch_utilization);
+  if (column == "d_avg") return Cell::num(perf.average_distance);
+  if (column == "residual") return Cell::num(perf.residual);
+  if (column == "iterations") {
+    return Cell::num(static_cast<double>(perf.solver_iterations));
+  }
+  if (column == "tol_network") {
+    return Cell::num(p.model.tol_network.value_or(0.0));
+  }
+  if (column == "tol_memory") {
+    return Cell::num(p.model.tol_memory.value_or(0.0));
+  }
+  if (column == "zone_network") {
+    return p.model.tol_network
+               ? Cell::str(core::zone_name(
+                     core::classify_tolerance(*p.model.tol_network)))
+               : Cell::missing();
+  }
+  if (column == "zone_memory") {
+    return p.model.tol_memory
+               ? Cell::str(core::zone_name(
+                     core::classify_tolerance(*p.model.tol_memory)))
+               : Cell::missing();
+  }
+  if (column == "solver") {
+    return Cell::str(p.model.error ? "error"
+                                   : qn::solver_kind_name(perf.solver));
+  }
+  if (column == "converged") {
+    return Cell::boolean(!p.model.error && perf.converged);
+  }
+  if (column == "error") {
+    return p.model.error ? Cell::str(*p.model.error) : Cell::missing();
+  }
+  if (column == "sim_U_p") {
+    return p.sim ? Cell::num(p.sim->processor_utilization)
+                 : Cell::missing();
+  }
+  if (column == "sim_lambda_net") {
+    return p.sim ? Cell::num(p.sim->message_rate) : Cell::missing();
+  }
+  if (column == "sim_S_obs") {
+    return p.sim ? Cell::num(p.sim->network_latency) : Cell::missing();
+  }
+  if (column == "sim_L_obs") {
+    return p.sim ? Cell::num(p.sim->memory_latency) : Cell::missing();
+  }
+  throw InvalidArgument("unknown column `" + column + "`");
+}
+
+/// RFC 4180 quoting; bench-compatible cells (plain numbers, solver names)
+/// pass through unchanged.
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (const char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string csv_render(const Cell& cell) {
+  switch (cell.kind) {
+    case Cell::Kind::kNumber:
+      return util::csv_number(cell.number);
+    case Cell::Kind::kFlag:
+      return cell.flag ? "1" : "0";
+    case Cell::Kind::kText:
+      return csv_escape(cell.text);
+    case Cell::Kind::kMissing:
+      return "";
+  }
+  return "";
+}
+
+io::Json json_render(const Cell& cell) {
+  switch (cell.kind) {
+    case Cell::Kind::kNumber:
+      return io::Json(cell.number);
+    case Cell::Kind::kFlag:
+      return io::Json(cell.flag);
+    case Cell::Kind::kText:
+      return io::Json(cell.text);
+    case Cell::Kind::kMissing:
+      return io::Json(nullptr);
+  }
+  return io::Json(nullptr);
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "fnv1a64:%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
+
+void write_results_csv(const Scenario& scenario, const RunResult& run,
+                       std::ostream& out) {
+  const std::vector<std::string> columns = scenario.output_columns();
+  for (std::size_t c = 0; c < columns.size(); ++c) {
+    if (c != 0) out << ',';
+    out << csv_escape(columns[c]);
+  }
+  out << '\n';
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c != 0) out << ',';
+      out << csv_render(cell_value(columns[c], run.grid[i], run.points[i]));
+    }
+    out << '\n';
+  }
+}
+
+io::Json results_to_json(const Scenario& scenario, const RunResult& run) {
+  const std::vector<std::string> columns = scenario.output_columns();
+  io::Json rows = io::Json::array();
+  io::Json errors = io::Json::array();
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    io::Json row = io::Json::object();
+    for (const std::string& column : columns) {
+      row.set(column,
+              json_render(cell_value(column, run.grid[i], run.points[i])));
+    }
+    rows.push_back(std::move(row));
+    const core::SweepResult& m = run.points[i].model;
+    if (m.error) {
+      io::Json err = io::Json::object();
+      err.set("point", static_cast<double>(i));
+      err.set("message", *m.error);
+      err.set("code", m.error_code
+                          ? io::Json(qn::solver_error_name(*m.error_code))
+                          : io::Json(nullptr));
+      errors.push_back(std::move(err));
+    }
+  }
+  io::Json doc = io::Json::object();
+  doc.set("scenario", scenario.name);
+  doc.set("scenario_hash", hash_hex(scenario.source_hash));
+  io::Json cols = io::Json::array();
+  for (const std::string& c : columns) cols.push_back(c);
+  doc.set("columns", std::move(cols));
+  doc.set("rows", std::move(rows));
+  doc.set("errors", std::move(errors));
+  return doc;
+}
+
+io::Json manifest_to_json(const Scenario& scenario, const RunResult& run) {
+  const RunStats& st = run.stats;
+  io::Json doc = io::Json::object();
+  doc.set("scenario", scenario.name);
+  doc.set("scenario_hash", hash_hex(scenario.source_hash));
+  doc.set("build", build_version());
+  doc.set("grid_points", st.grid_points);
+  doc.set("unique_points", st.unique_points);
+  doc.set("solves", st.solves);
+  doc.set("cache_hits", st.cache_hits);
+  doc.set("cache_preloaded", st.cache_preloaded);
+  doc.set("degraded_points", st.degraded_points);
+  doc.set("failed_points", st.failed_points);
+  doc.set("simulated_points", st.simulated_points);
+  doc.set("workers", st.workers);
+  doc.set("wall_seconds", st.wall_seconds);
+  io::Json counts = io::Json::object();
+  for (const auto& [name, n] : st.solver_counts) counts.set(name, n);
+  doc.set("solver_provenance", std::move(counts));
+  if (scenario.validation.has_value()) {
+    io::Json v = io::Json::object();
+    v.set("engine", scenario.validation->engine);
+    v.set("time", scenario.validation->sim_time);
+    v.set("seed", static_cast<double>(scenario.validation->seed));
+    doc.set("validation", std::move(v));
+  }
+  return doc;
+}
+
+std::string build_version() { return LATOL_GIT_DESCRIBE; }
+
+}  // namespace latol::exp

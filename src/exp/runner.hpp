@@ -1,0 +1,110 @@
+// Batch execution of a Scenario: expand the grid, deduplicate, solve in
+// parallel through the SolveCache with per-point failure isolation, run
+// optional simulator validation, and emit machine-readable results
+// (CSV + JSON) plus a run manifest recording provenance.
+//
+// Determinism contract: for a given scenario content and build, the
+// result rows (and the CSV/JSON emitted from them) are bitwise identical
+// regardless of worker count, cache warmth, or point arrival order —
+// results live in pre-sized slots in grid order and every solver is
+// deterministic. The manifest is the one artifact that varies run-to-run
+// (wall time, cache statistics).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sweep.hpp"
+#include "exp/scenario.hpp"
+#include "exp/solve_cache.hpp"
+#include "io/json.hpp"
+
+namespace latol::exp {
+
+/// Simulator measurements for one validated grid point.
+struct SimPoint {
+  std::string engine;  ///< "des" | "petri"
+  std::uint64_t seed = 0;
+  double sim_time = 0;
+  double processor_utilization = 0;
+  double message_rate = 0;
+  double network_latency = 0;
+  double memory_latency = 0;
+};
+
+/// Everything computed for one grid point.
+struct PointResult {
+  /// Model answer + tolerance indices + error isolation (core type, so
+  /// the bench health helpers work on scenario output too).
+  core::SweepResult model;
+  std::optional<SimPoint> sim;
+  /// An ideal-system solve behind a tolerance index was degraded or
+  /// unconverged (the actual-system health lives in `model`).
+  bool ideal_degraded = false;
+};
+
+/// Aggregate run accounting for the manifest.
+struct RunStats {
+  std::size_t grid_points = 0;
+  std::size_t unique_points = 0;   ///< after dedup of identical configs
+  std::size_t solves = 0;          ///< analyze() calls actually executed
+  std::size_t cache_hits = 0;      ///< served from the cache (incl. preload)
+  std::size_t cache_preloaded = 0; ///< entries loaded from a cache file
+  std::size_t degraded_points = 0; ///< answered by fallback / not converged
+  std::size_t failed_points = 0;   ///< no answer at all (error recorded)
+  std::size_t simulated_points = 0;
+  std::size_t workers = 0;         ///< worker threads used
+  double wall_seconds = 0;
+  /// Points answered per solver kind, name -> count, sorted by name.
+  std::vector<std::pair<std::string, std::size_t>> solver_counts;
+};
+
+/// Execution knobs that are not part of the scenario content.
+struct RunOptions {
+  /// Overrides Scenario::workers when nonzero.
+  std::size_t workers = 0;
+  /// Shared/persistent cache; nullptr runs with a private transient one
+  /// (in-run dedup still works, nothing survives the call).
+  SolveCache* cache = nullptr;
+};
+
+/// A completed run.
+struct RunResult {
+  std::vector<core::MmsConfig> grid;  ///< expand_grid(scenario)
+  std::vector<PointResult> points;    ///< same order as `grid`
+  RunStats stats;
+};
+
+/// Run the scenario. Throws InvalidArgument on inconsistent inputs (e.g.
+/// validation indices outside the grid); individual point failures are
+/// captured in PointResult::model.error, never thrown.
+[[nodiscard]] RunResult run_scenario(const Scenario& scenario,
+                                     const RunOptions& options = {});
+
+/// Write the result rows as CSV (header = scenario.output_columns()).
+/// Cells use the same formatting as the bench CSVs, so a scenario that
+/// mirrors a bench reproduces its file byte-for-byte.
+void write_results_csv(const Scenario& scenario, const RunResult& run,
+                       std::ostream& out);
+
+/// Result rows as a JSON document: {"scenario", "columns", "rows": [...]}
+/// with one object per grid point (numbers as numbers, flags as bools).
+[[nodiscard]] io::Json results_to_json(const Scenario& scenario,
+                                       const RunResult& run);
+
+/// The run manifest: scenario identity (name, content hash), build
+/// version, seed, wall time, grid/cache accounting, and per-solver
+/// provenance counts.
+[[nodiscard]] io::Json manifest_to_json(const Scenario& scenario,
+                                        const RunResult& run);
+
+/// Version string baked at configure time (`git describe --always
+/// --dirty`), "unknown" outside a git checkout. Stamps manifests and
+/// gates persistent cache reuse.
+[[nodiscard]] std::string build_version();
+
+}  // namespace latol::exp

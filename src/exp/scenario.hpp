@@ -1,0 +1,104 @@
+// Declarative experiment scenarios (see DESIGN.md §8 for the JSON
+// schema).
+//
+// A scenario file describes one batch experiment: an MMS base
+// configuration, parameter axes whose cross-product forms the evaluation
+// grid (an axis is a value list, a from/to/steps range, or a zipped group
+// of parameters varied together — how Table 3 holds n_t x R constant),
+// the outputs wanted per grid point (tolerance indices, metric columns,
+// optional simulator validation), and solver options. Every hand-coded
+// fig*/table* bench is expressible as such a file; `scenarios/` ships the
+// ones that reproduce the paper byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mms_config.hpp"
+#include "core/tolerance.hpp"
+#include "io/json.hpp"
+#include "qn/mva_approx.hpp"
+
+namespace latol::exp {
+
+/// One parameter varied along an axis.
+struct AxisComponent {
+  std::string param;           ///< canonical parameter name
+  std::vector<double> values;  ///< explicit list, or an expanded range
+};
+
+/// One grid axis. A single component is the common case; multiple
+/// components of equal length are "zipped" — varied in lockstep, like the
+/// (n_t, R) splits of a fixed work budget.
+struct Axis {
+  std::vector<AxisComponent> components;
+
+  /// Number of grid steps along this axis.
+  [[nodiscard]] std::size_t size() const {
+    return components.empty() ? 0 : components.front().values.size();
+  }
+};
+
+/// Optional per-point simulator validation.
+struct ValidationSpec {
+  std::string engine = "des";  ///< "des" | "petri"
+  double sim_time = 20000.0;
+  std::uint64_t seed = 1;  ///< point i simulates with seed `seed + i`
+  /// Grid-point indices to simulate; empty = every point.
+  std::vector<std::size_t> points;
+};
+
+/// A parsed scenario.
+struct Scenario {
+  std::string name;
+  std::string description;
+  core::MmsConfig base = core::MmsConfig::paper_defaults();
+  std::vector<Axis> axes;  ///< first axis outermost in grid order
+
+  // --- requested outputs ---
+  bool network_tolerance = false;
+  bool memory_tolerance = false;
+  core::IdealMethod network_method = core::IdealMethod::kModifyWorkload;
+  /// Result columns (CSV order / JSON row keys). Empty selects the
+  /// default set: axis parameters, then the headline metrics.
+  std::vector<std::string> columns;
+  std::optional<ValidationSpec> validation;
+
+  // --- solver options ---
+  qn::AmvaOptions amva{};
+  std::size_t workers = 0;  ///< 0 = hardware concurrency
+
+  /// FNV-1a hash of the canonical (compact) source document; identifies
+  /// the scenario content in manifests and caches.
+  std::uint64_t source_hash = 0;
+
+  /// The columns actually emitted (explicit list, or the default set).
+  [[nodiscard]] std::vector<std::string> output_columns() const;
+};
+
+/// Stable FNV-1a content hash of a JSON document (over its compact dump,
+/// so formatting differences do not change the hash).
+[[nodiscard]] std::uint64_t content_hash(const io::Json& doc);
+
+/// Build a Scenario from a parsed JSON document. Strict: unknown keys,
+/// wrong types, unknown parameter/column names, and ragged zip axes are
+/// all InvalidArgument with a message naming the offending key.
+[[nodiscard]] Scenario scenario_from_json(const io::Json& doc);
+
+/// Parse `path` and build the scenario; JSON syntax errors carry
+/// line/column diagnostics.
+[[nodiscard]] Scenario load_scenario(const std::string& path);
+
+/// Expand the axes' cross-product into concrete configurations, first
+/// axis outermost. A scenario without axes yields the base configuration
+/// alone. Grid order is deterministic and documented: later scenarios and
+/// cached runs may rely on it.
+[[nodiscard]] std::vector<core::MmsConfig> expand_grid(const Scenario& s);
+
+/// True when `column` is a valid output column name (axis parameter,
+/// alias, or metric). See DESIGN.md §8 for the full list.
+[[nodiscard]] bool is_known_column(const std::string& column);
+
+}  // namespace latol::exp

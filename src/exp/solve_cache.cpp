@@ -1,0 +1,231 @@
+#include "exp/solve_cache.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <utility>
+#include <vector>
+
+#include "io/json.hpp"
+#include "qn/robust.hpp"
+#include "topo/topology.hpp"
+#include "util/error.hpp"
+
+namespace latol::exp {
+
+namespace {
+
+constexpr const char* kCacheFormat = "latol-solve-cache-1";
+
+qn::SolverKind solver_kind_from_name(const std::string& name) {
+  for (const qn::SolverKind kind :
+       {qn::SolverKind::kAmva, qn::SolverKind::kLinearizer,
+        qn::SolverKind::kExactMva, qn::SolverKind::kBounds}) {
+    if (name == qn::solver_kind_name(kind)) return kind;
+  }
+  throw InvalidArgument("unknown solver kind `" + name + "` in cache");
+}
+
+io::Json perf_to_json(const core::MmsPerformance& p) {
+  io::Json o = io::Json::object();
+  o.set("U_p", p.processor_utilization);
+  o.set("lambda", p.access_rate);
+  o.set("lambda_net", p.message_rate);
+  o.set("S_obs", p.network_latency);
+  o.set("L_obs", p.memory_latency);
+  o.set("mem_util", p.memory_utilization);
+  o.set("switch_util", p.switch_utilization);
+  o.set("d_avg", p.average_distance);
+  o.set("iterations", static_cast<double>(p.solver_iterations));
+  o.set("converged", p.converged);
+  o.set("solver", qn::solver_kind_name(p.solver));
+  o.set("degraded", p.degraded);
+  o.set("residual", p.residual);
+  return o;
+}
+
+core::MmsPerformance perf_from_json(const io::Json& o) {
+  const auto num = [&](const char* key) {
+    const io::Json* v = o.find(key);
+    if (v == nullptr) {
+      throw InvalidArgument(std::string("cache entry missing `") + key +
+                            "`");
+    }
+    return v->as_number();
+  };
+  const auto flag = [&](const char* key) {
+    const io::Json* v = o.find(key);
+    if (v == nullptr) {
+      throw InvalidArgument(std::string("cache entry missing `") + key +
+                            "`");
+    }
+    return v->as_bool();
+  };
+  core::MmsPerformance p;
+  p.processor_utilization = num("U_p");
+  p.access_rate = num("lambda");
+  p.message_rate = num("lambda_net");
+  p.network_latency = num("S_obs");
+  p.memory_latency = num("L_obs");
+  p.memory_utilization = num("mem_util");
+  p.switch_utilization = num("switch_util");
+  p.average_distance = num("d_avg");
+  p.solver_iterations = static_cast<long>(num("iterations"));
+  p.converged = flag("converged");
+  const io::Json* solver = o.find("solver");
+  if (solver == nullptr) throw InvalidArgument("cache entry missing `solver`");
+  p.solver = solver_kind_from_name(solver->as_string());
+  p.degraded = flag("degraded");
+  p.residual = num("residual");
+  return p;
+}
+
+std::shared_future<core::MmsPerformance> ready_future(
+    core::MmsPerformance perf) {
+  std::promise<core::MmsPerformance> promise;
+  promise.set_value(std::move(perf));
+  return promise.get_future().share();
+}
+
+}  // namespace
+
+std::string SolveCache::config_key(const core::MmsConfig& config,
+                                   const qn::AmvaOptions& options) {
+  const auto num = io::json_number;  // shortest round trip = injective
+  std::string key;
+  key.reserve(256);
+  key += "topo=";
+  key += topo::topology_kind_name(config.topology);
+  key += ";k=" + std::to_string(config.k);
+  key += ";L=" + num(config.memory_latency);
+  key += ";S=" + num(config.switch_delay);
+  key += ";ports=" + std::to_string(config.memory_ports);
+  key += ";pipe=" + std::to_string(config.pipelined_switches ? 1 : 0);
+  key += ";nt=" + std::to_string(config.threads_per_processor);
+  key += ";R=" + num(config.runlength);
+  key += ";C=" + num(config.context_switch);
+  key += ";p=" + num(config.p_remote);
+  key += ";pat=" +
+         std::to_string(static_cast<int>(config.traffic.pattern));
+  key += ";psw=" + num(config.traffic.p_sw);
+  key += ";mode=" + std::to_string(static_cast<int>(config.traffic.mode));
+  key += ";hot=" + std::to_string(config.traffic.hotspot_node);
+  key += ";hotf=" + num(config.traffic.hotspot_fraction);
+  key += ";srcout=" + std::to_string(config.count_source_outbound ? 1 : 0);
+  key += "|tol=" + num(options.tolerance);
+  key += ";iters=" + std::to_string(options.max_iterations);
+  key += ";damp=" + num(options.damping);
+  key += ";divf=" + num(options.divergence_factor);
+  key += ";divw=" + std::to_string(options.divergence_window);
+  return key;
+}
+
+core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
+                                         const qn::AmvaOptions& options) {
+  const std::string key = config_key(config, options);
+  std::shared_future<core::MmsPerformance> future;
+  std::promise<core::MmsPerformance> promise;
+  bool compute = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      compute = true;
+      future = promise.get_future().share();
+      entries_.emplace(key, future);
+    } else {
+      future = it->second;
+    }
+  }
+  if (compute) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    try {
+      promise.set_value(core::analyze(config, options));
+    } catch (...) {
+      promise.set_exception(std::current_exception());
+    }
+  } else {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return future.get();
+}
+
+std::size_t SolveCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::size_t SolveCache::load(const std::string& path,
+                             const std::string& version) {
+  {
+    const std::ifstream probe(path);
+    if (!probe.good()) return 0;  // no cache yet — a cold run
+  }
+  const io::Json doc = io::parse_json_file(path);
+  const io::Json* format = doc.find("format");
+  const io::Json* file_version = doc.find("version");
+  const io::Json* entries = doc.find("entries");
+  if (format == nullptr || !format->is_string() ||
+      format->as_string() != kCacheFormat) {
+    return 0;  // unrecognized file — leave it alone
+  }
+  if (file_version == nullptr || !file_version->is_string() ||
+      file_version->as_string() != version) {
+    return 0;  // stale build: cached numbers may no longer reproduce
+  }
+  if (entries == nullptr || !entries->is_array()) return 0;
+  std::size_t loaded = 0;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const io::Json& entry : entries->as_array()) {
+    const io::Json* key = entry.find("key");
+    const io::Json* perf = entry.find("perf");
+    if (key == nullptr || !key->is_string() || perf == nullptr) {
+      throw InvalidArgument("malformed cache entry in `" + path + "`");
+    }
+    if (entries_.emplace(key->as_string(), ready_future(perf_from_json(*perf)))
+            .second) {
+      ++loaded;
+    }
+  }
+  return loaded;
+}
+
+void SolveCache::save(const std::string& path,
+                      const std::string& version) const {
+  io::Json entries = io::Json::array();
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Sort keys so the file is deterministic for a given cache content.
+    std::vector<const std::string*> keys;
+    keys.reserve(entries_.size());
+    for (const auto& [key, future] : entries_) keys.push_back(&key);
+    std::sort(keys.begin(), keys.end(),
+              [](const std::string* a, const std::string* b) {
+                return *a < *b;
+              });
+    for (const std::string* key : keys) {
+      const auto& future = entries_.at(*key);
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        continue;  // still computing (save during a run): skip
+      }
+      core::MmsPerformance perf;
+      try {
+        perf = future.get();
+      } catch (...) {
+        continue;  // failures are recomputed, not persisted
+      }
+      io::Json entry = io::Json::object();
+      entry.set("key", *key);
+      entry.set("perf", perf_to_json(perf));
+      entries.push_back(std::move(entry));
+    }
+  }
+  io::Json doc = io::Json::object();
+  doc.set("format", kCacheFormat);
+  doc.set("version", version);
+  doc.set("entries", std::move(entries));
+  io::write_json_file(path, doc, 1);
+}
+
+}  // namespace latol::exp

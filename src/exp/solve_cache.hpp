@@ -1,0 +1,76 @@
+// Content-addressed cache of model solves.
+//
+// A scenario grid routinely solves the same configuration many times: the
+// ideal system of a tolerance index (p_remote = 0) is shared by every
+// grid point that only varies p_remote, and overlapping axes or repeated
+// runs hit identical points outright. The cache keys each solve by a
+// canonical serialization of (MmsConfig, AmvaOptions) — collision-free by
+// construction, no hash trust required — and memoizes the resulting
+// MmsPerformance, including its solver provenance (solver, converged,
+// degraded, residual), so a cached answer is indistinguishable from a
+// fresh one.
+//
+// Concurrency: the first caller of a key computes inline while later
+// callers block on a shared future, so every duplicate is coalesced into
+// one solve even mid-flight. Solvers are deterministic, which keeps
+// results bitwise identical regardless of worker count or arrival order.
+//
+// Persistence: load()/save() round-trip the cache through a JSON file
+// keyed by a build version string; a file written by a different build is
+// ignored wholesale (model changes must invalidate old numbers). Doubles
+// are serialized in shortest round-trip form, so a warmed run reproduces
+// the cold run byte-for-byte.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/mms_model.hpp"
+#include "qn/mva_approx.hpp"
+
+namespace latol::exp {
+
+class SolveCache {
+ public:
+  SolveCache() = default;
+  SolveCache(const SolveCache&) = delete;
+  SolveCache& operator=(const SolveCache&) = delete;
+
+  /// Memoized core::analyze. Exceptions are cached too: every duplicate
+  /// of a failing configuration rethrows the original error.
+  [[nodiscard]] core::MmsPerformance analyze(const core::MmsConfig& config,
+                                             const qn::AmvaOptions& options);
+
+  /// Canonical, collision-free cache key for (config, options).
+  [[nodiscard]] static std::string config_key(const core::MmsConfig& config,
+                                              const qn::AmvaOptions& options);
+
+  /// Merge entries from `path` (written by save()). Silently does nothing
+  /// when the file is missing; ignores files whose version string differs
+  /// from `version`. Returns the number of entries loaded.
+  std::size_t load(const std::string& path, const std::string& version);
+
+  /// Write every successful entry to `path` for a future load(). Failed
+  /// (exception) entries are not persisted.
+  void save(const std::string& path, const std::string& version) const;
+
+  /// Lookups served from an already-present entry.
+  [[nodiscard]] std::size_t hits() const { return hits_.load(); }
+  /// Lookups that had to solve.
+  [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Entries currently in the cache.
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, std::shared_future<core::MmsPerformance>>
+      entries_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+}  // namespace latol::exp

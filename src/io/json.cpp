@@ -1,0 +1,535 @@
+#include "io/json.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace latol::io {
+
+namespace {
+
+std::string location_message(const std::string& message, std::size_t line,
+                             std::size_t column) {
+  std::ostringstream os;
+  os << "JSON parse error at line " << line << ", column " << column << ": "
+     << message;
+  return os.str();
+}
+
+}  // namespace
+
+JsonParseError::JsonParseError(const std::string& message, std::size_t line,
+                               std::size_t column)
+    : InvalidArgument(location_message(message, line, column)),
+      line_(line),
+      column_(column) {}
+
+const char* json_kind_name(Json::Kind kind) {
+  switch (kind) {
+    case Json::Kind::kNull:
+      return "null";
+    case Json::Kind::kBool:
+      return "bool";
+    case Json::Kind::kNumber:
+      return "number";
+    case Json::Kind::kString:
+      return "string";
+    case Json::Kind::kArray:
+      return "array";
+    case Json::Kind::kObject:
+      return "object";
+  }
+  return "?";
+}
+
+namespace {
+
+[[noreturn]] void wrong_kind(const char* wanted, Json::Kind got) {
+  throw InvalidArgument(std::string("JSON value is ") + json_kind_name(got) +
+                        ", not " + wanted);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (const bool* b = std::get_if<bool>(&value_)) return *b;
+  wrong_kind("bool", kind());
+}
+
+double Json::as_number() const {
+  if (const double* n = std::get_if<double>(&value_)) return *n;
+  wrong_kind("number", kind());
+}
+
+const std::string& Json::as_string() const {
+  if (const std::string* s = std::get_if<std::string>(&value_)) return *s;
+  wrong_kind("string", kind());
+}
+
+const Json::Array& Json::as_array() const {
+  if (const Array* a = std::get_if<Array>(&value_)) return *a;
+  wrong_kind("array", kind());
+}
+
+Json::Array& Json::as_array() {
+  if (Array* a = std::get_if<Array>(&value_)) return *a;
+  wrong_kind("array", kind());
+}
+
+const Json::Object& Json::as_object() const {
+  if (const Object* o = std::get_if<Object>(&value_)) return *o;
+  wrong_kind("object", kind());
+}
+
+Json::Object& Json::as_object() {
+  if (Object* o = std::get_if<Object>(&value_)) return *o;
+  wrong_kind("object", kind());
+}
+
+const Json* Json::find(std::string_view key) const {
+  const Object* o = std::get_if<Object>(&value_);
+  if (o == nullptr) return nullptr;
+  for (const Member& m : *o) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void Json::set(std::string_view key, Json value) {
+  Object& o = as_object();
+  for (Member& m : o) {
+    if (m.first == key) {
+      m.second = std::move(value);
+      return;
+    }
+  }
+  o.emplace_back(std::string(key), std::move(value));
+}
+
+// --- writer ---------------------------------------------------------------
+
+std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";  // JSON has no NaN/Inf
+  // Integral values read better without an exponent or fraction; the
+  // threshold keeps every value exactly representable as a double.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    char buf[32];
+    const auto [end, ec] = std::to_chars(
+        buf, buf + sizeof buf, static_cast<long long>(value));
+    (void)ec;
+    return std::string(buf, end);
+  }
+  // Shortest form that parses back to the same double.
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Json& v, int indent, int depth, std::string& out) {
+  const bool pretty = indent >= 0;
+  const auto newline_pad = [&](int d) {
+    if (!pretty) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d),
+               ' ');
+  };
+  switch (v.kind()) {
+    case Json::Kind::kNull:
+      out += "null";
+      break;
+    case Json::Kind::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Json::Kind::kNumber:
+      out += json_number(v.as_number());
+      break;
+    case Json::Kind::kString:
+      append_escaped(out, v.as_string());
+      break;
+    case Json::Kind::kArray: {
+      const Json::Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) out += pretty ? "," : ", ";
+        newline_pad(depth + 1);
+        dump_value(a[i], indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += ']';
+      break;
+    }
+    case Json::Kind::kObject: {
+      const Json::Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i != 0) out += pretty ? "," : ", ";
+        newline_pad(depth + 1);
+        append_escaped(out, o[i].first);
+        out += ": ";
+        dump_value(o[i].second, indent, depth + 1, out);
+      }
+      newline_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  return out;
+}
+
+// --- parser ---------------------------------------------------------------
+
+namespace {
+
+/// Recursive-descent parser over a string_view, tracking line/column for
+/// diagnostics. Depth is capped so hostile input cannot overflow the
+/// stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    skip_whitespace();
+    Json v = parse_value(0);
+    skip_whitespace();
+    if (pos_ != text_.size()) fail("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  [[noreturn]] void fail(const std::string& message) const {
+    throw JsonParseError(message, line_, column());
+  }
+
+  [[nodiscard]] std::size_t column() const {
+    return pos_ - line_start_ + 1;
+  }
+
+  [[nodiscard]] bool at_end() const { return pos_ >= text_.size(); }
+
+  [[nodiscard]] char peek() const {
+    return at_end() ? '\0' : text_[pos_];
+  }
+
+  char advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      line_start_ = pos_;
+    }
+    return c;
+  }
+
+  void skip_whitespace() {
+    while (!at_end()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      advance();
+    }
+  }
+
+  void expect(char c, const char* context) {
+    if (at_end() || peek() != c) {
+      fail(std::string("expected `") + c + "` " + context +
+           (at_end() ? " but input ended"
+                     : std::string(", got `") + peek() + "`"));
+    }
+    advance();
+  }
+
+  bool consume_literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    for (std::size_t i = 0; i < word.size(); ++i) advance();
+    return true;
+  }
+
+  Json parse_value(int depth) {
+    if (depth > kMaxDepth) fail("nesting too deep");
+    if (at_end()) fail("unexpected end of input, expected a value");
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object(depth);
+      case '[':
+        return parse_array(depth);
+      case '"':
+        return Json(parse_string());
+      case 't':
+        if (consume_literal("true")) return Json(true);
+        fail("invalid literal, expected `true`");
+      case 'f':
+        if (consume_literal("false")) return Json(false);
+        fail("invalid literal, expected `false`");
+      case 'n':
+        if (consume_literal("null")) return Json(nullptr);
+        fail("invalid literal, expected `null`");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return Json(parse_number());
+        fail(std::string("unexpected character `") + c + "`");
+    }
+  }
+
+  Json parse_object(int depth) {
+    expect('{', "to start an object");
+    Json obj = Json::object();
+    skip_whitespace();
+    if (peek() == '}') {
+      advance();
+      return obj;
+    }
+    while (true) {
+      skip_whitespace();
+      if (peek() != '"') fail("expected a string object key");
+      std::string key = parse_string();
+      if (obj.contains(key)) fail("duplicate object key `" + key + "`");
+      skip_whitespace();
+      expect(':', "after object key");
+      skip_whitespace();
+      obj.as_object().emplace_back(std::move(key), parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect('}', "to end an object");
+      return obj;
+    }
+  }
+
+  Json parse_array(int depth) {
+    expect('[', "to start an array");
+    Json arr = Json::array();
+    skip_whitespace();
+    if (peek() == ']') {
+      advance();
+      return arr;
+    }
+    while (true) {
+      skip_whitespace();
+      arr.push_back(parse_value(depth + 1));
+      skip_whitespace();
+      if (peek() == ',') {
+        advance();
+        continue;
+      }
+      expect(']', "to end an array");
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"', "to start a string");
+    std::string out;
+    while (true) {
+      if (at_end()) fail("unterminated string");
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string (use \\u escapes)");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (at_end()) fail("unterminated escape sequence");
+      const char e = advance();
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            if (at_end()) fail("unterminated \\u escape");
+            const char h = advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              fail(std::string("invalid hex digit `") + h +
+                   "` in \\u escape");
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            fail("surrogate \\u escapes are not supported");
+          }
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail(std::string("invalid escape `\\") + e + "`");
+      }
+    }
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') advance();
+    // Integer part: 0 | [1-9][0-9]*
+    if (peek() == '0') {
+      advance();
+      if (peek() >= '0' && peek() <= '9') fail("leading zeros are not valid");
+    } else if (peek() >= '1' && peek() <= '9') {
+      while (peek() >= '0' && peek() <= '9') advance();
+    } else {
+      fail("malformed number");
+    }
+    if (peek() == '.') {
+      advance();
+      if (!(peek() >= '0' && peek() <= '9')) {
+        fail("digit required after decimal point");
+      }
+      while (peek() >= '0' && peek() <= '9') advance();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      advance();
+      if (peek() == '+' || peek() == '-') advance();
+      if (!(peek() >= '0' && peek() <= '9')) {
+        fail("digit required in exponent");
+      }
+      while (peek() >= '0' && peek() <= '9') advance();
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    double value = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec == std::errc::result_out_of_range || !std::isfinite(value)) {
+      fail("number out of double range");
+    }
+    if (ec != std::errc() || ptr != token.data() + token.size()) {
+      fail("malformed number");
+    }
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t line_start_ = 0;
+};
+
+}  // namespace
+
+Json parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+Json parse_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw InvalidArgument("cannot read JSON file `" + path + "`");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  try {
+    return parse_json(buffer.str());
+  } catch (const JsonParseError& e) {
+    throw JsonParseError(JsonParseError::Preformatted{},
+                         std::string(e.what()) + " (in " + path + ")",
+                         e.line(), e.column());
+  }
+}
+
+void write_json_file(const std::string& path, const Json& value, int indent) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw InvalidArgument("cannot open `" + path + "` for writing");
+  }
+  out << value.dump(indent) << '\n';
+}
+
+}  // namespace latol::io

@@ -1,0 +1,139 @@
+// Minimal dependency-free JSON: a value type, a strict parser with
+// line/column diagnostics, and a writer.
+//
+// Scope: exactly RFC 8259 minus surrogate-pair escapes (\uXXXX outside
+// the BMP is rejected; scenario files are ASCII in practice). Numbers are
+// doubles; integral values round-trip without a fractional part and
+// non-integral values use the shortest representation that parses back to
+// the same double, so write(parse(text)) is value-preserving. Objects
+// preserve insertion order, which keeps written output deterministic and
+// lets content hashes of dumped documents be meaningful.
+//
+// This lives at the util layer (no latol dependencies beyond util) so
+// every other module — experiment scenarios, bench reporters, caches —
+// can consume it.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace latol::io {
+
+/// Thrown by parse_json on malformed input. `line`/`column` are 1-based
+/// and already baked into what() ("JSON parse error at line L, column C:
+/// ...").
+class JsonParseError : public InvalidArgument {
+ public:
+  JsonParseError(const std::string& message, std::size_t line,
+                 std::size_t column);
+
+  /// Tag for rethrowing with an already-formatted what() (used to append
+  /// file context without duplicating the location prefix).
+  struct Preformatted {};
+  JsonParseError(Preformatted, const std::string& what, std::size_t line,
+                 std::size_t column)
+      : InvalidArgument(what), line_(line), column_(column) {}
+
+  [[nodiscard]] std::size_t line() const { return line_; }
+  [[nodiscard]] std::size_t column() const { return column_; }
+
+ private:
+  std::size_t line_;
+  std::size_t column_;
+};
+
+/// One JSON value. Objects are stored as insertion-ordered key/value
+/// vectors (duplicate keys are rejected by the parser; set() replaces).
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : value_(b) {}                // NOLINT(google-explicit-constructor)
+  Json(double n) : value_(n) {}              // NOLINT(google-explicit-constructor)
+  Json(int n) : value_(static_cast<double>(n)) {}   // NOLINT(google-explicit-constructor)
+  Json(long n) : value_(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(unsigned long n) : value_(static_cast<double>(n)) {}  // NOLINT(google-explicit-constructor)
+  Json(const char* s) : value_(std::string(s)) {}   // NOLINT(google-explicit-constructor)
+  Json(std::string s) : value_(std::move(s)) {}     // NOLINT(google-explicit-constructor)
+  Json(Array a) : value_(std::move(a)) {}           // NOLINT(google-explicit-constructor)
+  Json(Object o) : value_(std::move(o)) {}          // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] static Json array() { return Json(Array{}); }
+  [[nodiscard]] static Json object() { return Json(Object{}); }
+
+  [[nodiscard]] Kind kind() const { return static_cast<Kind>(value_.index()); }
+  [[nodiscard]] bool is_null() const { return kind() == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind() == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind() == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind() == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind() == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind() == Kind::kObject; }
+
+  /// Checked accessors; throw InvalidArgument naming the actual kind.
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const Array& as_array() const;
+  [[nodiscard]] Array& as_array();
+  [[nodiscard]] const Object& as_object() const;
+  [[nodiscard]] Object& as_object();
+
+  // --- object convenience ---
+  /// Member lookup; nullptr when absent (or when not an object).
+  [[nodiscard]] const Json* find(std::string_view key) const;
+  [[nodiscard]] bool contains(std::string_view key) const {
+    return find(key) != nullptr;
+  }
+  /// Insert or replace a member, preserving first-insertion order.
+  void set(std::string_view key, Json value);
+
+  // --- array convenience ---
+  void push_back(Json value) { as_array().push_back(std::move(value)); }
+
+  /// Serialize. indent < 0 is compact one-line output; indent >= 0
+  /// pretty-prints with that many spaces per level. Output is valid JSON
+  /// that parses back to an equal value.
+  [[nodiscard]] std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Json& a, const Json& b) = default;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object>
+      value_;
+};
+
+/// Human-readable kind name ("object", "number", ...).
+[[nodiscard]] const char* json_kind_name(Json::Kind kind);
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+/// Throws JsonParseError with 1-based line/column on malformed input.
+[[nodiscard]] Json parse_json(std::string_view text);
+
+/// Read and parse a JSON file; errors mention the path. Throws
+/// InvalidArgument when the file cannot be read, JsonParseError on
+/// malformed content.
+[[nodiscard]] Json parse_json_file(const std::string& path);
+
+/// Format a double the way Json::dump does: integral values without a
+/// fractional part, everything else with the shortest round-trip form.
+[[nodiscard]] std::string json_number(double value);
+
+/// Write `value.dump(indent)` plus a trailing newline to `path`; throws
+/// InvalidArgument when the file cannot be opened.
+void write_json_file(const std::string& path, const Json& value,
+                     int indent = 2);
+
+}  // namespace latol::io

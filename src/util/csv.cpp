@@ -7,6 +7,13 @@
 
 namespace latol::util {
 
+std::string csv_number(double value) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << value;
+  return os.str();
+}
+
 CsvWriter::CsvWriter(const std::string& path,
                      const std::vector<std::string>& header)
     : out_(path), columns_(header.size()) {
@@ -18,12 +25,7 @@ CsvWriter::CsvWriter(const std::string& path,
 void CsvWriter::add_row(const std::vector<double>& values) {
   std::vector<std::string> cells;
   cells.reserve(values.size());
-  for (double v : values) {
-    std::ostringstream os;
-    os.precision(std::numeric_limits<double>::max_digits10);
-    os << v;
-    cells.push_back(os.str());
-  }
+  for (double v : values) cells.push_back(csv_number(v));
   add_row(cells);
 }
 

@@ -7,6 +7,12 @@
 
 namespace latol::util {
 
+/// Canonical CSV cell formatting for a double: default ostream format at
+/// max round-trip precision (max_digits10). Every CSV the project emits —
+/// bench files, `latol run` results — goes through this one function, so
+/// the same number always renders as the same bytes.
+[[nodiscard]] std::string csv_number(double value);
+
 /// Streams rows of doubles/strings to a CSV file. The writer is append-only
 /// and flushes on destruction; failures to open throw.
 class CsvWriter {

@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
+#include "io/json.hpp"
 #include "util/error.hpp"
 
 namespace latol::cli {
@@ -218,6 +222,137 @@ TEST(CliMain, UsageErrorsExitTwo) {
 TEST(CliMain, UsageDocumentsExitCodes) {
   EXPECT_NE(usage().find("exit codes"), std::string::npos);
   EXPECT_NE(usage().find("solve failed"), std::string::npos);
+  EXPECT_NE(usage().find("run"), std::string::npos);
+}
+
+// --- latol run ------------------------------------------------------------
+
+TEST(CliParse, RunFlagsAndPositionalScenario) {
+  const CliOptions opts = parse_command_line(
+      {"run", "exp.json", "--out", "results", "--format", "csv", "--workers",
+       "3", "--no-cache"});
+  EXPECT_EQ(opts.command, "run");
+  EXPECT_EQ(opts.scenario_path, "exp.json");
+  EXPECT_EQ(opts.out_dir, "results");
+  EXPECT_EQ(opts.run_format, "csv");
+  EXPECT_EQ(opts.run_workers, 3u);
+  EXPECT_FALSE(opts.run_cache);
+  EXPECT_THROW((void)parse_command_line({"run", "a.json", "b.json"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"run", "a.json", "--format", "xml"}),
+               InvalidArgument);
+}
+
+class CliRunScenario : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("latol_cli_run_" + std::string(::testing::UnitTest::GetInstance()
+                                                ->current_test_info()
+                                                ->name())))
+               .string();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_scenario(const std::string& text) {
+    const std::string path = dir_ + "/scenario.json";
+    std::ofstream out(path);
+    out << text;
+    return path;
+  }
+
+  std::string read_all(const std::string& path) {
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CliRunScenario, WritesResultsAndManifest) {
+  const std::string path = write_scenario(R"({
+    "name": "cli_small",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2]}],
+    "outputs": {"network_tolerance": true}
+  })");
+  std::ostringstream out, err;
+  const int rc = cli_main({"run", path, "--out", dir_}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const std::string csv = read_all(dir_ + "/cli_small.csv");
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "p_remote,U_p,S_obs,L_obs,lambda_net,tol_network,solver,converged");
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);  // header + 2 rows
+  const std::string manifest = read_all(dir_ + "/cli_small.manifest.json");
+  EXPECT_NE(manifest.find("\"degraded_points\": 0"), std::string::npos);
+  EXPECT_NE(manifest.find("\"scenario_hash\": \"fnv1a64:"), std::string::npos);
+  // JSON results parse and carry one row object per grid point.
+  const io::Json results = io::parse_json_file(dir_ + "/cli_small.json");
+  EXPECT_EQ(results.find("rows")->as_array().size(), 2u);
+  // The default cache file was written and a re-run uses it.
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/latol_cache.json"));
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"run", path, "--out", dir_}, out2, err2), 0);
+  EXPECT_NE(out2.str().find("0 solves"), std::string::npos) << out2.str();
+}
+
+TEST_F(CliRunScenario, FormatJsonSkipsCsv) {
+  const std::string path = write_scenario(R"({
+    "name": "jsononly",
+    "base": {"k": 2}
+  })");
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"run", path, "--out", dir_, "--format", "json",
+                      "--no-cache"},
+                     out, err),
+            0);
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/jsononly.csv"));
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/jsononly.json"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/latol_cache.json"));
+}
+
+TEST_F(CliRunScenario, PartialFailureExitsOneTotalFailureThree) {
+  const std::string partial = write_scenario(R"({
+    "name": "partial",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 2.0]}]
+  })");
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"run", partial, "--out", dir_, "--no-cache"}, out, err),
+            1);
+  EXPECT_NE(out.str().find("[solve failed]"), std::string::npos);
+
+  const std::string total = dir_ + "/total.json";
+  {
+    std::ofstream f(total);
+    f << R"({"name": "total", "base": {"k": 2},
+            "axes": [{"param": "p_remote", "values": [1.5, 2.0]}]})";
+  }
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"run", total, "--out", dir_, "--no-cache"}, out2, err2),
+            3);
+}
+
+TEST_F(CliRunScenario, UsageErrorsExitTwo) {
+  std::ostringstream out, err;
+  // Missing scenario file argument.
+  EXPECT_EQ(cli_main({"run"}, out, err), 2);
+  // Nonexistent scenario file.
+  EXPECT_EQ(cli_main({"run", dir_ + "/nope.json"}, out, err), 2);
+  // Malformed JSON names line/column.
+  const std::string bad = write_scenario("{broken");
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"run", bad}, out2, err2), 2);
+  EXPECT_NE(err2.str().find("line 1"), std::string::npos);
+  // Schema violations name the offending key.
+  const std::string schema = write_scenario(R"({"name": "x", "typo": 1})");
+  std::ostringstream out3, err3;
+  EXPECT_EQ(cli_main({"run", schema}, out3, err3), 2);
+  EXPECT_NE(err3.str().find("typo"), std::string::npos);
 }
 
 }  // namespace

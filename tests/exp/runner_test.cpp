@@ -1,0 +1,250 @@
+#include "exp/runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+#include <string>
+
+#include "exp/scenario.hpp"
+#include "exp/solve_cache.hpp"
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace latol::exp {
+namespace {
+
+Scenario from_text(const std::string& text) {
+  return scenario_from_json(io::parse_json(text));
+}
+
+// A small 2x2-torus grid that solves in microseconds.
+constexpr const char* kSmallScenario = R"({
+  "name": "small",
+  "base": {"k": 2},
+  "axes": [
+    {"param": "threads", "values": [1, 2, 4]},
+    {"param": "p_remote", "values": [0.1, 0.2]}
+  ],
+  "outputs": {"network_tolerance": true}
+})";
+
+TEST(Runner, SolvesEveryGridPointCleanly) {
+  const RunResult run = run_scenario(from_text(kSmallScenario));
+  ASSERT_EQ(run.points.size(), 6u);
+  EXPECT_EQ(run.stats.grid_points, 6u);
+  EXPECT_EQ(run.stats.failed_points, 0u);
+  EXPECT_EQ(run.stats.degraded_points, 0u);
+  for (const PointResult& p : run.points) {
+    EXPECT_FALSE(p.model.error.has_value());
+    EXPECT_GT(p.model.perf.processor_utilization, 0.0);
+    ASSERT_TRUE(p.model.tol_network.has_value());
+    EXPECT_GT(*p.model.tol_network, 0.0);
+    EXPECT_LE(*p.model.tol_network, 1.0 + 1e-9);
+  }
+}
+
+TEST(Runner, SharesIdealSolvesThroughTheCache) {
+  SolveCache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const RunResult run = run_scenario(from_text(kSmallScenario), opts);
+  // 6 actual solves + ideal solves. The ideal system zeroes p_remote, so
+  // both p_remote values share one ideal per thread count: 3 ideals.
+  EXPECT_EQ(run.stats.solves, 9u);
+  EXPECT_EQ(run.stats.cache_hits, 3u);
+  EXPECT_GT(run.stats.cache_hits, 0u);
+}
+
+TEST(Runner, DeduplicatesIdenticalGridPoints) {
+  const RunResult run = run_scenario(from_text(R"({
+    "name": "dupes",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.2, 0.2, 0.3]}]
+  })"));
+  EXPECT_EQ(run.stats.grid_points, 3u);
+  EXPECT_EQ(run.stats.unique_points, 2u);
+  EXPECT_EQ(run.points[0].model.perf.processor_utilization,
+            run.points[1].model.perf.processor_utilization);
+}
+
+TEST(Runner, WorkerCountDoesNotChangeOutputBytes) {
+  const Scenario scenario = from_text(R"({
+    "name": "det",
+    "base": {"k": 2},
+    "axes": [
+      {"param": "threads", "values": [1, 2, 3, 4]},
+      {"param": "p_remote", "values": [0.05, 0.1, 0.2, 0.4]}
+    ],
+    "outputs": {"network_tolerance": true, "memory_tolerance": true}
+  })");
+  const auto render = [&](std::size_t workers) {
+    RunOptions opts;
+    opts.workers = workers;
+    const RunResult run = run_scenario(scenario, opts);
+    std::ostringstream csv;
+    write_results_csv(scenario, run, csv);
+    return csv.str() + results_to_json(scenario, run).dump(2);
+  };
+  const std::string serial = render(1);
+  EXPECT_EQ(serial, render(8));
+  // A warmed cache must not change the bytes either.
+  SolveCache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  (void)run_scenario(scenario, opts);
+  const RunResult warm = run_scenario(scenario, opts);
+  EXPECT_EQ(warm.stats.solves, 0u);
+  std::ostringstream csv;
+  write_results_csv(scenario, warm, csv);
+  EXPECT_EQ(serial.substr(0, csv.str().size()), csv.str());
+}
+
+TEST(Runner, IsolatesFailingPoints) {
+  // p_remote = 2 is an invalid probability: that point fails, the rest
+  // of the grid still answers.
+  const RunResult run = run_scenario(from_text(R"({
+    "name": "faulty",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 2.0]}]
+  })"));
+  EXPECT_EQ(run.stats.failed_points, 1u);
+  EXPECT_FALSE(run.points[0].model.error.has_value());
+  ASSERT_TRUE(run.points[1].model.error.has_value());
+  EXPECT_EQ(run.points[1].model.error_code,
+            qn::SolverErrorCode::kInvalidNetwork);
+  // The failed point renders as the bench convention: solver "error",
+  // converged 0, metrics zero.
+  const Scenario s = from_text(R"({
+    "name": "faulty",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 2.0]}],
+    "outputs": {"columns": ["p_remote", "U_p", "solver", "converged", "error"]}
+  })");
+  std::ostringstream csv;
+  write_results_csv(s, run, csv);
+  const std::string text = csv.str();
+  EXPECT_NE(text.find("2,0,error,0,"), std::string::npos) << text;
+  // JSON carries the message in the errors section.
+  const io::Json doc = results_to_json(s, run);
+  ASSERT_EQ(doc.find("errors")->as_array().size(), 1u);
+  EXPECT_EQ(doc.find("errors")->as_array()[0].find("point")->as_number(), 1.0);
+}
+
+TEST(Runner, ValidationSimulatesRequestedPoints) {
+  const Scenario scenario = from_text(R"({
+    "name": "val",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2]}],
+    "validation": {"engine": "des", "time": 2000, "seed": 3, "points": [1]},
+    "outputs": {"columns": ["p_remote", "U_p", "sim_U_p"]}
+  })");
+  const RunResult run = run_scenario(scenario);
+  EXPECT_EQ(run.stats.simulated_points, 1u);
+  EXPECT_FALSE(run.points[0].sim.has_value());
+  ASSERT_TRUE(run.points[1].sim.has_value());
+  EXPECT_EQ(run.points[1].sim->seed, 4u);  // spec seed 3 + point index 1
+  EXPECT_GT(run.points[1].sim->processor_utilization, 0.0);
+  // Model and simulator agree loosely even on a short run.
+  EXPECT_NEAR(run.points[1].sim->processor_utilization,
+              run.points[1].model.perf.processor_utilization, 0.2);
+  // The unsimulated point renders sim_U_p as an empty CSV cell / JSON null.
+  std::ostringstream csv;
+  write_results_csv(scenario, run, csv);
+  EXPECT_NE(csv.str().find(",\n"), std::string::npos);  // empty sim cell
+  const io::Json doc = results_to_json(scenario, run);
+  EXPECT_TRUE(doc.find("rows")->as_array()[0].find("sim_U_p")->is_null());
+  EXPECT_FALSE(doc.find("rows")->as_array()[1].find("sim_U_p")->is_null());
+  // Out-of-grid validation indices are a scenario error, not a point error.
+  EXPECT_THROW(run_scenario(from_text(R"({
+    "name": "bad",
+    "base": {"k": 2},
+    "validation": {"points": [5]}
+  })")),
+               InvalidArgument);
+}
+
+TEST(Runner, ManifestRecordsProvenance) {
+  const Scenario scenario = from_text(kSmallScenario);
+  SolveCache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  opts.workers = 2;
+  const RunResult run = run_scenario(scenario, opts);
+  const io::Json m = manifest_to_json(scenario, run);
+  EXPECT_EQ(m.find("scenario")->as_string(), "small");
+  EXPECT_EQ(m.find("scenario_hash")->as_string().substr(0, 8), "fnv1a64:");
+  EXPECT_EQ(m.find("build")->as_string(), build_version());
+  EXPECT_EQ(m.find("grid_points")->as_number(), 6.0);
+  EXPECT_EQ(m.find("degraded_points")->as_number(), 0.0);
+  EXPECT_EQ(m.find("failed_points")->as_number(), 0.0);
+  EXPECT_EQ(m.find("workers")->as_number(), 2.0);
+  EXPECT_GE(m.find("wall_seconds")->as_number(), 0.0);
+  const io::Json* prov = m.find("solver_provenance");
+  ASSERT_NE(prov, nullptr);
+  double counted = 0;
+  for (const auto& [name, n] : prov->as_object()) counted += n.as_number();
+  EXPECT_EQ(counted, 6.0);
+}
+
+TEST(SolveCachePersistence, RoundTripsAndGatesOnVersion) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "latol_cache_test.json")
+          .string();
+  const Scenario scenario = from_text(kSmallScenario);
+  SolveCache cold;
+  RunOptions opts;
+  opts.cache = &cold;
+  const RunResult first = run_scenario(scenario, opts);
+  EXPECT_GT(first.stats.solves, 0u);
+  cold.save(path, "v1");
+
+  SolveCache warm;
+  EXPECT_EQ(warm.load(path, "v1"), cold.size());
+  opts.cache = &warm;
+  const RunResult second = run_scenario(scenario, opts);
+  EXPECT_EQ(second.stats.solves, 0u);  // everything preloaded
+  EXPECT_EQ(second.stats.cache_preloaded, cold.size());
+  // Identical numbers after the JSON round trip.
+  for (std::size_t i = 0; i < first.points.size(); ++i) {
+    EXPECT_EQ(first.points[i].model.perf.processor_utilization,
+              second.points[i].model.perf.processor_utilization);
+    EXPECT_EQ(first.points[i].model.tol_network,
+              second.points[i].model.tol_network);
+  }
+
+  // A different build version ignores the file wholesale.
+  SolveCache stale;
+  EXPECT_EQ(stale.load(path, "v2"), 0u);
+  // A missing file is a cold start, not an error.
+  SolveCache fresh;
+  EXPECT_EQ(fresh.load(path + ".missing", "v1"), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SolveCachePersistence, RejectsMalformedEntries) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "latol_cache_bad.json")
+          .string();
+  io::Json doc = io::Json::object();
+  doc.set("format", "latol-solve-cache-1");
+  doc.set("version", "v1");
+  io::Json entry = io::Json::object();
+  entry.set("key", "k");  // missing perf
+  io::Json entries = io::Json::array();
+  entries.push_back(std::move(entry));
+  doc.set("entries", std::move(entries));
+  io::write_json_file(path, doc);
+  SolveCache cache;
+  EXPECT_THROW(cache.load(path, "v1"), InvalidArgument);
+  // An unrecognized format is ignored, not an error.
+  io::Json other = io::Json::object();
+  other.set("format", "something-else");
+  io::write_json_file(path, other);
+  EXPECT_EQ(cache.load(path, "v1"), 0u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace latol::exp

@@ -1,0 +1,208 @@
+#include "exp/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "exp/parameter.hpp"
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace latol::exp {
+namespace {
+
+Scenario from_text(const std::string& text) {
+  return scenario_from_json(io::parse_json(text));
+}
+
+// --- parameter registry ---------------------------------------------------
+
+TEST(Parameter, AliasesResolveToCanonicalNames) {
+  EXPECT_EQ(canonical_parameter("n_t"), "threads");
+  EXPECT_EQ(canonical_parameter("R"), "runlength");
+  EXPECT_EQ(canonical_parameter("L"), "memory_latency");
+  EXPECT_EQ(canonical_parameter("S"), "switch_delay");
+  EXPECT_EQ(canonical_parameter("C"), "context_switch");
+  EXPECT_EQ(canonical_parameter("p_remote"), "p_remote");
+  EXPECT_THROW(canonical_parameter("nope"), InvalidArgument);
+}
+
+TEST(Parameter, ApplyAndReadRoundTrip) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  for (const std::string& name : parameter_names()) {
+    const double v = parameter_is_integral(name) ? 2.0 : 0.25;
+    apply_parameter(cfg, name, v);
+    EXPECT_EQ(read_parameter(cfg, name), v) << name;
+  }
+}
+
+TEST(Parameter, IntegralParametersRejectFractions) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  EXPECT_THROW(apply_parameter(cfg, "threads", 2.5), InvalidArgument);
+  EXPECT_THROW(apply_parameter(cfg, "k", 3.7), InvalidArgument);
+  apply_parameter(cfg, "runlength", 2.5);  // real-valued: fine
+  EXPECT_EQ(cfg.runlength, 2.5);
+}
+
+// --- scenario parsing -----------------------------------------------------
+
+TEST(Scenario, MinimalScenarioUsesPaperDefaults) {
+  const Scenario s = from_text(R"({"name": "t"})");
+  EXPECT_EQ(s.name, "t");
+  EXPECT_EQ(s.base.runlength,
+            core::MmsConfig::paper_defaults().runlength);
+  EXPECT_TRUE(s.axes.empty());
+  EXPECT_EQ(expand_grid(s).size(), 1u);  // base config alone
+  EXPECT_NE(s.source_hash, 0u);
+}
+
+TEST(Scenario, CrossProductGridFirstAxisOutermost) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "axes": [
+      {"param": "threads", "values": [1, 2]},
+      {"param": "p_remote", "values": [0.1, 0.2, 0.3]}
+    ]
+  })");
+  const auto grid = expand_grid(s);
+  ASSERT_EQ(grid.size(), 6u);
+  EXPECT_EQ(grid[0].threads_per_processor, 1);
+  EXPECT_EQ(grid[0].p_remote, 0.1);
+  EXPECT_EQ(grid[2].p_remote, 0.3);
+  EXPECT_EQ(grid[3].threads_per_processor, 2);  // inner axis wrapped
+  EXPECT_EQ(grid[3].p_remote, 0.1);
+}
+
+TEST(Scenario, RangeAxisMatchesCliSweepInterpolation) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "axes": [{"param": "p_remote", "range": {"from": 0, "to": 0.8, "steps": 9}}]
+  })");
+  const auto grid = expand_grid(s);
+  ASSERT_EQ(grid.size(), 9u);
+  EXPECT_EQ(grid[0].p_remote, 0.0);
+  EXPECT_EQ(grid[1].p_remote, 0.8 * 1 / 8);
+  EXPECT_EQ(grid[8].p_remote, 0.8);
+}
+
+TEST(Scenario, ZipAxisVariesParametersInLockstep) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "axes": [{"zip": [
+      {"param": "threads", "values": [1, 2, 4]},
+      {"param": "runlength", "values": [40, 20, 10]}
+    ]}]
+  })");
+  const auto grid = expand_grid(s);
+  ASSERT_EQ(grid.size(), 3u);
+  for (const auto& cfg : grid) {
+    EXPECT_EQ(cfg.threads_per_processor * cfg.runlength, 40.0);
+  }
+}
+
+TEST(Scenario, BaseOverridesAndAliases) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "base": {"runlength": 20, "topology": "mesh", "p_sw": 0.7},
+    "axes": [{"param": "n_t", "values": [4]}]
+  })");
+  EXPECT_EQ(s.base.runlength, 20.0);
+  EXPECT_EQ(s.base.topology, topo::TopologyKind::kMesh2D);
+  EXPECT_EQ(s.axes[0].components[0].param, "threads");  // alias resolved
+}
+
+TEST(Scenario, DefaultColumnsListAxisParamsThenMetrics) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "axes": [{"param": "p_remote", "values": [0.1]}],
+    "outputs": {"network_tolerance": true}
+  })");
+  const auto cols = s.output_columns();
+  ASSERT_GE(cols.size(), 2u);
+  EXPECT_EQ(cols.front(), "p_remote");
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "tol_network"), cols.end());
+}
+
+TEST(Scenario, ContentHashIgnoresFormattingButNotContent) {
+  const char* doc = R"({"name": "t", "axes": [{"param": "k", "values": [2]}]})";
+  const char* reformatted = R"({
+    "name": "t",
+    "axes": [ { "param" : "k", "values": [ 2 ] } ]
+  })";
+  const char* different =
+      R"({"name": "t", "axes": [{"param": "k", "values": [3]}]})";
+  EXPECT_EQ(from_text(doc).source_hash, from_text(reformatted).source_hash);
+  EXPECT_NE(from_text(doc).source_hash, from_text(different).source_hash);
+}
+
+// --- strict schema --------------------------------------------------------
+
+TEST(ScenarioSchema, RejectsUnknownAndMissingKeys) {
+  EXPECT_THROW(from_text(R"({"name": "t", "typo": 1})"), InvalidArgument);
+  EXPECT_THROW(from_text(R"({})"), InvalidArgument);  // missing name
+  EXPECT_THROW(from_text(R"({"name": "bad/name"})"), InvalidArgument);
+  EXPECT_THROW(from_text(R"({"name": "t", "base": {"nope": 1}})"),
+               InvalidArgument);
+}
+
+TEST(ScenarioSchema, RejectsBadAxes) {
+  // Unknown parameter.
+  EXPECT_THROW(
+      from_text(R"({"name":"t","axes":[{"param":"x","values":[1]}]})"),
+      InvalidArgument);
+  // values and range together.
+  EXPECT_THROW(from_text(R"({"name":"t","axes":[
+      {"param":"k","values":[1],"range":{"from":0,"to":1,"steps":2}}]})"),
+               InvalidArgument);
+  // Ragged zip.
+  EXPECT_THROW(from_text(R"({"name":"t","axes":[{"zip":[
+      {"param":"threads","values":[1,2]},
+      {"param":"runlength","values":[40]}]}]})"),
+               InvalidArgument);
+  // Same parameter on two axes.
+  EXPECT_THROW(from_text(R"({"name":"t","axes":[
+      {"param":"k","values":[2]},{"param":"k","values":[3]}]})"),
+               InvalidArgument);
+  // Fractional value for an integral parameter surfaces at expansion.
+  const Scenario s =
+      from_text(R"({"name":"t","axes":[{"param":"threads","values":[1.5]}]})");
+  EXPECT_THROW(expand_grid(s), InvalidArgument);
+}
+
+TEST(ScenarioSchema, ColumnsRequireMatchingOutputs) {
+  EXPECT_THROW(from_text(R"({"name":"t",
+      "outputs":{"columns":["tol_network"]}})"),
+               InvalidArgument);
+  EXPECT_THROW(from_text(R"({"name":"t",
+      "outputs":{"columns":["sim_U_p"]}})"),
+               InvalidArgument);
+  EXPECT_THROW(from_text(R"({"name":"t",
+      "outputs":{"columns":["nonsense"]}})"),
+               InvalidArgument);
+  // With the matching switches they parse.
+  EXPECT_NO_THROW(from_text(R"({"name":"t",
+      "outputs":{"network_tolerance":true,"columns":["tol_network"]},
+      "validation":{"engine":"des","time":100}})"));
+}
+
+TEST(ScenarioSchema, ValidationAndSolverSections) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "solver": {"max_iterations": 500, "workers": 2},
+    "validation": {"engine": "petri", "time": 5000, "seed": 7, "points": [0]}
+  })");
+  EXPECT_EQ(s.amva.max_iterations, 500);
+  EXPECT_EQ(s.workers, 2u);
+  ASSERT_TRUE(s.validation.has_value());
+  EXPECT_EQ(s.validation->engine, "petri");
+  EXPECT_EQ(s.validation->seed, 7u);
+  ASSERT_EQ(s.validation->points.size(), 1u);
+  EXPECT_THROW(from_text(R"({"name":"t","validation":{"engine":"x"}})"),
+               InvalidArgument);
+  EXPECT_THROW(from_text(R"({"name":"t","solver":{"max_iterations":0}})"),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace latol::exp

@@ -1,0 +1,240 @@
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace latol::io {
+namespace {
+
+// --- parsing: happy paths -------------------------------------------------
+
+TEST(JsonParse, Primitives) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse_json("-0.5").as_number(), -0.5);
+  EXPECT_DOUBLE_EQ(parse_json("1e3").as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(parse_json("2.5E-2").as_number(), 0.025);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+}
+
+TEST(JsonParse, NumbersAreExactDoubles) {
+  // The scenario engine depends on axis literals parsing to the same
+  // double the C++ source spells: 0.05 is 0.05, not "approximately".
+  EXPECT_EQ(parse_json("0.05").as_number(), 0.05);
+  EXPECT_EQ(parse_json("0.1").as_number(), 0.1);
+  EXPECT_EQ(parse_json("1e308").as_number(), 1e308);
+}
+
+TEST(JsonParse, Whitespace) {
+  const Json v = parse_json(" \t\r\n [ 1 , 2 ] \n");
+  ASSERT_TRUE(v.is_array());
+  EXPECT_EQ(v.as_array().size(), 2u);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse_json(R"("a\"b\\c\/d\b\f\n\r\t")").as_string(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parse_json(R"("Aé€")").as_string(),
+            "A\xC3\xA9\xE2\x82\xAC");  // A, é, €
+}
+
+TEST(JsonParse, ObjectPreservesInsertionOrder) {
+  const Json v = parse_json(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.as_object()[0].first, "z");
+  EXPECT_EQ(v.as_object()[1].first, "a");
+  EXPECT_EQ(v.as_object()[2].first, "m");
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 2.0);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(JsonParse, Nested) {
+  const Json v = parse_json(R"({"a": [1, {"b": [true, null]}], "c": {}})");
+  const Json* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->as_array()[1].find("b")->as_array()[1].is_null());
+  EXPECT_TRUE(v.find("c")->as_object().empty());
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(parse_json("[]").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+}
+
+// --- parsing: errors with locations ---------------------------------------
+
+TEST(JsonParse, ErrorCarriesLineAndColumn) {
+  try {
+    (void)parse_json("{\n  \"a\": 1,\n  \"b\": oops\n}");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_EQ(e.column(), 8u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, RejectsMalformed) {
+  EXPECT_THROW(parse_json(""), JsonParseError);
+  EXPECT_THROW(parse_json("tru"), JsonParseError);
+  EXPECT_THROW(parse_json("[1,]"), JsonParseError);
+  EXPECT_THROW(parse_json("[1 2]"), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\" 1}"), JsonParseError);
+  EXPECT_THROW(parse_json("{a: 1}"), JsonParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW(parse_json("1 2"), JsonParseError);  // trailing junk
+  EXPECT_THROW(parse_json("[1] x"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsNonRfcNumbers) {
+  EXPECT_THROW(parse_json("01"), JsonParseError);
+  EXPECT_THROW(parse_json("+1"), JsonParseError);
+  EXPECT_THROW(parse_json(".5"), JsonParseError);
+  EXPECT_THROW(parse_json("1."), JsonParseError);
+  EXPECT_THROW(parse_json("1e"), JsonParseError);
+  EXPECT_THROW(parse_json("NaN"), JsonParseError);
+  EXPECT_THROW(parse_json("Infinity"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsDuplicateKeys) {
+  EXPECT_THROW(parse_json(R"({"a": 1, "a": 2})"), JsonParseError);
+}
+
+TEST(JsonParse, RejectsBadStrings) {
+  EXPECT_THROW(parse_json("\"\x01\""), JsonParseError);  // raw control char
+  EXPECT_THROW(parse_json(R"("\x41")"), JsonParseError);  // unknown escape
+  EXPECT_THROW(parse_json(R"("\u12")"), JsonParseError);  // short \u
+  EXPECT_THROW(parse_json(R"("\ud800")"), JsonParseError);  // surrogate
+}
+
+TEST(JsonParse, RejectsExcessiveDepth) {
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  EXPECT_THROW(parse_json(deep), JsonParseError);
+}
+
+// --- writer ---------------------------------------------------------------
+
+TEST(JsonDump, Compact) {
+  const Json v =
+      parse_json(R"({"a": [1, 2.5, true, null], "b": "x"})");
+  EXPECT_EQ(v.dump(), R"({"a": [1, 2.5, true, null], "b": "x"})");
+}
+
+TEST(JsonDump, Pretty) {
+  Json v = Json::object();
+  v.set("a", Json::Array{1, 2});
+  EXPECT_EQ(v.dump(2), "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+}
+
+TEST(JsonDump, EscapesStrings) {
+  EXPECT_EQ(Json("a\"b\\c\n\t\x01").dump(),
+            R"("a\"b\\c\n\t\u0001")");
+}
+
+TEST(JsonDump, RoundTripsValues) {
+  const char* docs[] = {
+      "null", "true", "[0.1, 1e-300, 123456789012345]",
+      R"({"nested": {"deep": [[], {}]}, "s": "é"})",
+  };
+  for (const char* doc : docs) {
+    const Json v = parse_json(doc);
+    EXPECT_EQ(parse_json(v.dump()), v) << doc;
+    EXPECT_EQ(parse_json(v.dump(2)), v) << doc;
+  }
+}
+
+TEST(JsonNumber, Formatting) {
+  EXPECT_EQ(json_number(0.0), "0");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-7.0), "-7");
+  EXPECT_EQ(json_number(0.5), "0.5");
+  // Shortest round-trip: reading the text back gives the same double.
+  for (const double v : {0.1, 1.0 / 3.0, 6.02e23, -1e-9,
+                         std::numeric_limits<double>::denorm_min()}) {
+    EXPECT_EQ(parse_json(json_number(v)).as_number(), v) << v;
+  }
+  // Non-finite doubles have no JSON spelling; they become null.
+  EXPECT_EQ(json_number(std::nan("")), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+// --- accessors ------------------------------------------------------------
+
+TEST(JsonAccess, CheckedAccessorsThrowWithKindNames) {
+  const Json v = parse_json("[1]");
+  try {
+    (void)v.as_string();
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+  }
+  EXPECT_THROW((void)v.as_object(), InvalidArgument);
+  EXPECT_THROW((void)parse_json("{}").as_number(), InvalidArgument);
+}
+
+TEST(JsonAccess, SetReplacesInPlace) {
+  Json v = Json::object();
+  v.set("a", 1);
+  v.set("b", 2);
+  v.set("a", 3);
+  ASSERT_EQ(v.as_object().size(), 2u);
+  EXPECT_EQ(v.as_object()[0].first, "a");  // original position kept
+  EXPECT_DOUBLE_EQ(v.find("a")->as_number(), 3.0);
+}
+
+// --- files ----------------------------------------------------------------
+
+TEST(JsonFile, RoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "latol_json_test.json")
+          .string();
+  Json v = Json::object();
+  v.set("x", 0.1);
+  write_json_file(path, v);
+  EXPECT_EQ(parse_json_file(path), v);
+  std::remove(path.c_str());
+}
+
+TEST(JsonFile, MissingFileNamesPath) {
+  try {
+    (void)parse_json_file("/nonexistent_dir_zz/x.json");
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("/nonexistent_dir_zz/x.json"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonFile, ParseErrorNamesPathAndLocation) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "latol_json_bad.json")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "{\n  broken\n}\n";
+  }
+  try {
+    (void)parse_json_file(path);
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find(path), std::string::npos);
+    EXPECT_NE(what.find("line 2"), std::string::npos);
+    EXPECT_EQ(e.line(), 2u);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace latol::io
