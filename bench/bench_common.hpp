@@ -7,6 +7,9 @@
 // $b; done` regenerates the whole evaluation.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <limits>
 #include <memory>
@@ -16,6 +19,8 @@
 #include <vector>
 
 #include "core/latol.hpp"
+#include "obs/registry.hpp"
+#include "qn/robust.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
@@ -99,22 +104,88 @@ inline int report_sweep_health(const std::vector<core::SweepResult>& results,
 }
 
 /// CSV cell values for the `solver` / `converged` columns every sweep CSV
-/// carries (a failed point reports solver "error").
+/// carries (a failed point reports solver "error"). `converged` derives
+/// from the shared qn::solve_converged predicate, the same one behind the
+/// run-manifest counts — the bench CSVs and the scenario engine cannot
+/// disagree about health.
 inline std::string csv_solver(const core::SweepResult& r) {
   return r.error ? "error" : qn::solver_kind_name(r.perf.solver);
 }
 inline std::string csv_converged(const core::SweepResult& r) {
-  return (!r.error && r.perf.converged) ? "1" : "0";
+  return qn::solve_converged(r.error.has_value(), r.perf.converged) ? "1"
+                                                                    : "0";
 }
 inline std::string csv_solver(const core::MmsPerformance& perf) {
   return qn::solver_kind_name(perf.solver);
 }
 inline std::string csv_converged(const core::MmsPerformance& perf) {
-  return perf.converged ? "1" : "0";
+  return qn::solve_converged(false, perf.converged) ? "1" : "0";
 }
 
 /// Format a double the way CsvWriter's numeric overload does, for rows
 /// that mix numbers with the solver/converged string cells.
 inline std::string csv_num(double v) { return util::csv_number(v); }
+
+/// Guard for the DESIGN.md §9 overhead policy: with no registry installed
+/// every obs hook is one load + predicted branch, and a default solve must
+/// not pay more than ~1% for the instrumentation sprinkled through it.
+/// Measures both sides min-of-interleaved-trials (robust against CPU
+/// frequency drift), prices a solve at a generous hook budget far above
+/// what the code actually executes, and compares. Returns 0 when within
+/// the 1% policy, still 0 (with a loud warning) up to 10x the policy, and
+/// 1 only beyond that — a hard failure means the disabled fast path grew
+/// a lock or an allocation, not that the machine was noisy.
+inline int check_disabled_instrumentation_overhead() {
+  using Clock = std::chrono::steady_clock;
+  obs::Registry* const previous = obs::set_default_registry(nullptr);
+  const core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  constexpr int kTrials = 5;
+  constexpr int kHookBatch = 200000;
+  double solve_seconds = std::numeric_limits<double>::infinity();
+  double batch_seconds = std::numeric_limits<double>::infinity();
+  for (int trial = 0; trial < kTrials; ++trial) {
+    auto t0 = Clock::now();
+    const core::MmsPerformance perf = core::analyze(cfg);
+    auto t1 = Clock::now();
+    // Consume the result so the solve cannot be elided.
+    if (!(perf.processor_utilization >= 0.0)) std::abort();
+    solve_seconds =
+        std::min(solve_seconds,
+                 std::chrono::duration<double>(t1 - t0).count());
+    t0 = Clock::now();
+    for (int i = 0; i < kHookBatch; ++i) {
+      obs::count("bench.overhead.probe");
+      // Defeat hoisting of the null-registry load out of the loop; the
+      // measured cost must include the per-hook branch.
+      asm volatile("" ::: "memory");
+    }
+    t1 = Clock::now();
+    batch_seconds =
+        std::min(batch_seconds,
+                 std::chrono::duration<double>(t1 - t0).count());
+  }
+  obs::set_default_registry(previous);
+  // A solve executes a handful of hooks plus one trace-pointer branch per
+  // AMVA iteration (tens to hundreds); 1,000 is roughly two orders of
+  // magnitude of headroom over the hooks actually on the solve path.
+  constexpr double kHooksPerSolve = 1000.0;
+  const double per_solve_cost =
+      batch_seconds / kHookBatch * kHooksPerSolve;
+  const double share = per_solve_cost / solve_seconds;
+  std::cout << "disabled-instrumentation overhead: "
+            << batch_seconds / kHookBatch * 1e9 << " ns/hook, "
+            << share * 100.0 << "% of a default solve at " << kHooksPerSolve
+            << " hooks/solve (policy: <1%)\n";
+  if (share > 0.10) {
+    std::cout << "FAIL: disabled instrumentation is not near-free — the "
+                 "null-registry fast path regressed\n";
+    return 1;
+  }
+  if (share > 0.01) {
+    std::cout << "warning: disabled-instrumentation overhead exceeds the "
+                 "1% policy (noisy machine, or fast-path regression)\n";
+  }
+  return 0;
+}
 
 }  // namespace latol::bench

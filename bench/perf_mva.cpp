@@ -4,6 +4,7 @@
 // property for this implementation.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/latol.hpp"
 #include "json_reporter.hpp"
 #include "qn/mva_exact.hpp"
@@ -94,6 +95,10 @@ BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Arg(0);
 }  // namespace
 
 int main(int argc, char** argv) {
-  return latol::bench::run_benchmarks_with_json(argc, argv,
-                                                "BENCH_mva.json");
+  const int rc = latol::bench::run_benchmarks_with_json(argc, argv,
+                                                        "BENCH_mva.json");
+  if (rc != 0) return rc;
+  // Overhead policy guard (DESIGN.md §9): a disabled metric registry must
+  // stay invisible in the solver numbers above.
+  return latol::bench::check_disabled_instrumentation_overhead();
 }

@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Validate a latol metrics document against the documented schema.
+
+Usage: check_metrics.py <metrics.json>
+
+Checks the JSON written by `latol run/profile --metrics-out` (and the
+smaller `analyze`/`sweep` variants) against DESIGN.md §9. Standard
+library only, so CI can run it without installing anything. Exits 0 when
+the document is valid, 1 with a list of violations otherwise.
+"""
+
+import json
+import sys
+
+FORMAT = "latol-metrics-v1"
+
+STAGE_KEYS = ["expand_seconds", "solve_seconds", "validate_seconds",
+              "wall_seconds"]
+CACHE_KEYS = ["hits", "misses", "evictions", "preloaded"]
+POINT_NUMBERS = ["iterations", "residual", "residual_history_length",
+                 "littles_law_error", "flow_balance_error"]
+POINT_FLAGS = ["converged", "degraded"]
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def require(obj, key, types, where):
+    if not isinstance(obj, dict) or key not in obj:
+        fail(f"{where}: missing `{key}`")
+        return None
+    value = obj[key]
+    # bool is an int subclass in Python; never accept it where a number
+    # is required, and only accept it where a flag is.
+    if types is bool:
+        if not isinstance(value, bool):
+            fail(f"{where}.{key}: expected bool, got {type(value).__name__}")
+            return None
+    elif isinstance(value, bool) or not isinstance(value, types):
+        fail(f"{where}.{key}: expected {types}, got {type(value).__name__}")
+        return None
+    return value
+
+
+def check_point(point, where):
+    require(point, "solver", str, where)
+    for key in POINT_FLAGS:
+        require(point, key, bool, where)
+    for key in POINT_NUMBERS:
+        require(point, key, (int, float), where)
+
+
+def check_scenario_doc(doc):
+    """The full document of `latol run/profile --metrics-out`."""
+    require(doc, "scenario", str, "$")
+    require(doc, "scenario_hash", str, "$")
+    require(doc, "build", str, "$")
+    stages = require(doc, "stages", dict, "$")
+    if stages is not None:
+        for key in STAGE_KEYS:
+            require(stages, key, (int, float), "$.stages")
+    cache = require(doc, "cache", dict, "$")
+    if cache is not None:
+        for key in CACHE_KEYS:
+            require(cache, key, int, "$.cache")
+    points = require(doc, "points", list, "$")
+    if points is not None:
+        for i, point in enumerate(points):
+            where = f"$.points[{i}]"
+            if not isinstance(point, dict):
+                fail(f"{where}: expected object")
+                continue
+            require(point, "index", int, where)
+            require(point, "cache_hit", bool, where)
+            check_point(point, where)
+    warnings = require(doc, "warnings", list, "$")
+    if warnings is not None:
+        for i, warning in enumerate(warnings):
+            where = f"$.warnings[{i}]"
+            if not isinstance(warning, dict):
+                fail(f"{where}: expected object")
+                continue
+            require(warning, "point", int, where)
+            require(warning, "message", str, where)
+    if "registry" in doc:
+        registry = doc["registry"]
+        for section in ("counters", "gauges", "timers"):
+            require(registry, section, dict, "$.registry")
+
+
+def check_command_doc(doc, command):
+    """The smaller documents of `latol analyze/sweep --metrics-out`."""
+    require(doc, "build", str, "$")
+    if command == "analyze":
+        point = require(doc, "point", dict, "$")
+        if point is not None:
+            check_point(point, "$.point")
+        require(doc, "warnings", list, "$")
+    elif command == "sweep":
+        points = require(doc, "points", list, "$")
+        if points is not None:
+            for i, point in enumerate(points):
+                check_point(point, f"$.points[{i}]")
+    else:
+        fail(f"$.command: unknown command `{command}`")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_metrics: cannot read {sys.argv[1]}: {e}",
+              file=sys.stderr)
+        return 1
+    if not isinstance(doc, dict):
+        print("check_metrics: document is not a JSON object",
+              file=sys.stderr)
+        return 1
+    if doc.get("format") != FORMAT:
+        fail(f"$.format: expected `{FORMAT}`, got `{doc.get('format')}`")
+    elif "command" in doc:
+        check_command_doc(doc, doc["command"])
+    else:
+        check_scenario_doc(doc)
+    if errors:
+        for error in errors:
+            print(f"check_metrics: {error}", file=sys.stderr)
+        print(f"check_metrics: {sys.argv[1]}: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    print(f"check_metrics: {sys.argv[1]}: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,13 +3,17 @@
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <optional>
 #include <ostream>
+#include <sstream>
 
 #include "cli/options.hpp"
 #include "core/latol.hpp"
 #include "exp/parameter.hpp"
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "io/json.hpp"
+#include "obs/registry.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
 #include "util/table.hpp"
@@ -17,6 +21,85 @@
 namespace latol::cli {
 
 namespace {
+
+/// True when the invocation asked for any instrumentation artifact — the
+/// commands then opt into convergence tracing (and, for scenarios, the
+/// metric registry), which is off by default to keep the reproduction
+/// paths byte-identical and overhead-free.
+bool wants_instrumentation(const CliOptions& opts) {
+  return !opts.trace_path.empty() || !opts.metrics_path.empty();
+}
+
+/// Installs a metric registry as the process default for the lifetime of
+/// the command, restoring whatever was there before (tests nest CLIs).
+class ScopedRegistry {
+ public:
+  ScopedRegistry() : previous_(obs::set_default_registry(&registry_)) {}
+  ~ScopedRegistry() { obs::set_default_registry(previous_); }
+  ScopedRegistry(const ScopedRegistry&) = delete;
+  ScopedRegistry& operator=(const ScopedRegistry&) = delete;
+  [[nodiscard]] obs::Snapshot snapshot() const { return registry_.snapshot(); }
+
+ private:
+  obs::Registry registry_;
+  obs::Registry* previous_;
+};
+
+void write_json_artifact(const std::string& path, const io::Json& doc,
+                         const char* what, std::ostream& out) {
+  io::write_json_file(path, doc, 1);
+  out << "wrote " << what << " " << path << '\n';
+}
+
+/// One solve attempt (a link of the robust chain) as trace JSON.
+io::Json attempt_to_json(const qn::SolveAttempt& attempt) {
+  io::Json o = io::Json::object();
+  o.set("solver", qn::solver_kind_name(attempt.solver));
+  o.set("success", attempt.success);
+  o.set("iterations", static_cast<double>(attempt.iterations));
+  o.set("wall_seconds", attempt.wall_seconds);
+  if (!attempt.detail.empty()) o.set("detail", attempt.detail);
+  io::Json residuals = io::Json::array();
+  for (const double d : attempt.trace.residuals()) residuals.push_back(d);
+  o.set("residuals", std::move(residuals));
+  o.set("recorded", static_cast<double>(attempt.trace.total_recorded()));
+  o.set("truncated", attempt.trace.truncated());
+  return o;
+}
+
+/// The --metrics-out / --trace artifacts of a scenario run (`run` and
+/// `profile` share this; DESIGN.md §9 documents both formats).
+void emit_scenario_instrumentation(const CliOptions& opts,
+                                   const exp::Scenario& scenario,
+                                   const exp::RunResult& run,
+                                   const obs::Snapshot* snapshot,
+                                   std::ostream& out) {
+  if (!opts.metrics_path.empty()) {
+    write_json_artifact(opts.metrics_path,
+                        exp::metrics_to_json(scenario, run, snapshot),
+                        "metrics", out);
+  }
+  if (!opts.trace_path.empty()) {
+    io::Json points = io::Json::array();
+    for (std::size_t i = 0; i < run.points.size(); ++i) {
+      const exp::PointResult& p = run.points[i];
+      if (p.model.error) continue;
+      io::Json o = io::Json::object();
+      o.set("point", static_cast<double>(i));
+      o.set("solver", qn::solver_kind_name(p.model.perf.solver));
+      io::Json residuals = io::Json::array();
+      for (const double d : p.model.perf.residual_history)
+        residuals.push_back(d);
+      o.set("residuals", std::move(residuals));
+      points.push_back(std::move(o));
+    }
+    io::Json doc = io::Json::object();
+    doc.set("format", "latol-trace-v1");
+    doc.set("scenario", scenario.name);
+    doc.set("points", std::move(points));
+    write_json_artifact(opts.trace_path, doc, "trace", out);
+  }
+}
 
 /// Warn about a solve that did not come back clean; returns the exit code
 /// contribution (1 = degraded, 0 = clean). `what` names the solve in the
@@ -53,6 +136,7 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
   qn::RobustOptions ropts;
   ropts.amva = opts.amva;
+  ropts.record_traces = wants_instrumentation(opts);
   const core::RobustAnalysis analysis = core::analyze_robust(opts.config, ropts);
   const core::MmsPerformance& perf = analysis.perf;
   out << "U_p (processor utilization) = " << perf.processor_utilization
@@ -65,6 +149,40 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
       << "max switch utilization      = " << perf.switch_utilization << '\n'
       << "d_avg                       = " << perf.average_distance << '\n'
       << "solver                      = " << analysis.report.summary() << '\n';
+  if (!opts.trace_path.empty()) {
+    io::Json attempts = io::Json::array();
+    for (const qn::SolveAttempt& a : analysis.report.attempts)
+      attempts.push_back(attempt_to_json(a));
+    io::Json doc = io::Json::object();
+    doc.set("format", "latol-trace-v1");
+    doc.set("command", "analyze");
+    doc.set("attempts", std::move(attempts));
+    write_json_artifact(opts.trace_path, doc, "trace", out);
+  }
+  if (!opts.metrics_path.empty()) {
+    const qn::SolveReport& report = analysis.report;
+    io::Json point = io::Json::object();
+    point.set("solver", qn::solver_kind_name(perf.solver));
+    point.set("converged", perf.converged);
+    point.set("degraded", perf.degraded);
+    point.set("iterations", static_cast<double>(perf.solver_iterations));
+    point.set("residual", perf.residual);
+    point.set("residual_history_length",
+              static_cast<double>(perf.residual_history.size()));
+    point.set("littles_law_error", perf.littles_law_error);
+    point.set("flow_balance_error", perf.flow_balance_error);
+    point.set("wall_seconds", report.wall_seconds);
+    io::Json warnings = io::Json::array();
+    for (const std::string& w : report.invariants.warnings)
+      warnings.push_back(w);
+    io::Json doc = io::Json::object();
+    doc.set("format", "latol-metrics-v1");
+    doc.set("command", "analyze");
+    doc.set("build", exp::build_version());
+    doc.set("point", std::move(point));
+    doc.set("warnings", std::move(warnings));
+    write_json_artifact(opts.metrics_path, doc, "metrics", out);
+  }
   return warn_if_degraded(perf, "analyze", out);
 }
 
@@ -111,6 +229,10 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
   LATOL_REQUIRE(opts.sweep_steps >= 1, "sweep needs >= 1 step");
   util::Table table({opts.sweep_param, "U_p", "S_obs", "L_obs", "lambda_net",
                      "tol_network", "zone", "solver"});
+  qn::AmvaOptions amva = opts.amva;
+  amva.record_trace = wants_instrumentation(opts);
+  io::Json metric_points = io::Json::array();
+  io::Json trace_points = io::Json::array();
   int degraded = 0;
   for (int s = 0; s < opts.sweep_steps; ++s) {
     const double x =
@@ -126,9 +248,12 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
                              ? std::trunc(x)
                              : x);
     const core::ToleranceResult t =
-        core::tolerance_index(cfg, core::Subsystem::kNetwork, opts.amva);
-    const bool clean = !t.actual.degraded && t.actual.converged &&
-                       !t.ideal.degraded && t.ideal.converged;
+        core::tolerance_index(cfg, core::Subsystem::kNetwork, amva);
+    // Shared health predicate (DESIGN.md §7/§9): a sweep point is clean
+    // only when both the actual and the ideal solve are.
+    const bool clean =
+        qn::solve_clean(false, t.actual.converged, t.actual.degraded) &&
+        qn::solve_clean(false, t.ideal.converged, t.ideal.degraded);
     if (!clean) ++degraded;
     std::string solver = qn::solver_kind_name(t.actual.solver);
     if (!clean) solver += " [degraded]";
@@ -139,8 +264,49 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
                    util::Table::num(t.actual.message_rate, 4),
                    util::Table::num(t.index, 4),
                    core::zone_name(t.zone()), std::move(solver)});
+    if (!opts.metrics_path.empty()) {
+      io::Json p = io::Json::object();
+      p.set("index", static_cast<double>(s));
+      p.set(opts.sweep_param, x);
+      p.set("solver", qn::solver_kind_name(t.actual.solver));
+      p.set("converged", t.actual.converged);
+      p.set("degraded", !clean);
+      p.set("iterations", static_cast<double>(t.actual.solver_iterations));
+      p.set("residual", t.actual.residual);
+      p.set("residual_history_length",
+            static_cast<double>(t.actual.residual_history.size()));
+      p.set("littles_law_error", t.actual.littles_law_error);
+      p.set("flow_balance_error", t.actual.flow_balance_error);
+      metric_points.push_back(std::move(p));
+    }
+    if (!opts.trace_path.empty()) {
+      io::Json p = io::Json::object();
+      p.set("point", static_cast<double>(s));
+      p.set(opts.sweep_param, x);
+      p.set("solver", qn::solver_kind_name(t.actual.solver));
+      io::Json residuals = io::Json::array();
+      for (const double d : t.actual.residual_history)
+        residuals.push_back(d);
+      p.set("residuals", std::move(residuals));
+      trace_points.push_back(std::move(p));
+    }
   }
   table.print(out);
+  if (!opts.metrics_path.empty()) {
+    io::Json doc = io::Json::object();
+    doc.set("format", "latol-metrics-v1");
+    doc.set("command", "sweep");
+    doc.set("build", exp::build_version());
+    doc.set("points", std::move(metric_points));
+    write_json_artifact(opts.metrics_path, doc, "metrics", out);
+  }
+  if (!opts.trace_path.empty()) {
+    io::Json doc = io::Json::object();
+    doc.set("format", "latol-trace-v1");
+    doc.set("command", "sweep");
+    doc.set("points", std::move(trace_points));
+    write_json_artifact(opts.trace_path, doc, "trace", out);
+  }
   if (degraded > 0) {
     out << "warning: " << degraded << " of " << opts.sweep_steps
         << " sweep points are degraded (fallback solver or not converged)\n";
@@ -187,8 +353,16 @@ int cmd_simulate(const CliOptions& opts, std::ostream& out) {
 int cmd_run(const CliOptions& opts, std::ostream& out) {
   LATOL_REQUIRE(!opts.scenario_path.empty(),
                 "run needs a scenario file: latol run <scenario.json>");
-  const exp::Scenario scenario = exp::load_scenario(opts.scenario_path);
+  exp::Scenario scenario = exp::load_scenario(opts.scenario_path);
   std::filesystem::create_directories(opts.out_dir);
+
+  // Instrumented runs record solver traces; the flag is part of the
+  // solve-cache key, so traced and untraced runs never share entries and
+  // the untraced cache file stays byte-stable.
+  const bool instrumented = wants_instrumentation(opts);
+  scenario.amva.record_trace = instrumented;
+  std::optional<ScopedRegistry> registry;
+  if (instrumented) registry.emplace();
 
   exp::SolveCache cache;
   const std::string version = exp::build_version();
@@ -217,6 +391,10 @@ int cmd_run(const CliOptions& opts, std::ostream& out) {
                       exp::manifest_to_json(scenario, run));
   out << "wrote " << base << ".manifest.json\n";
   if (opts.run_cache) cache.save(cache_path, version);
+  if (instrumented) {
+    const obs::Snapshot snapshot = registry->snapshot();
+    emit_scenario_instrumentation(opts, scenario, run, &snapshot, out);
+  }
 
   const exp::RunStats& st = run.stats;
   out << "scenario `" << scenario.name << "`: " << st.grid_points
@@ -248,6 +426,107 @@ int cmd_run(const CliOptions& opts, std::ostream& out) {
   return 0;
 }
 
+/// Scientific notation for residuals/errors that span many decades (the
+/// fixed-precision Table::num would render 8e-11 as 0.000).
+std::string sci(double v) {
+  std::ostringstream os;
+  os << std::scientific << std::setprecision(2) << v;
+  return os.str();
+}
+
+/// `latol profile <scenario.json>`: solve the scenario with convergence
+/// tracing and the metric registry enabled, then print where the time
+/// went and how every point converged. Uses a transient solve cache (no
+/// load/save) so the timings reflect real solves; exit semantics match
+/// `run` (0 clean, 1 degraded/failed points, 3 everything failed).
+int cmd_profile(const CliOptions& opts, std::ostream& out) {
+  LATOL_REQUIRE(
+      !opts.scenario_path.empty(),
+      "profile needs a scenario file: latol profile <scenario.json>");
+  exp::Scenario scenario = exp::load_scenario(opts.scenario_path);
+  scenario.amva.record_trace = true;
+  ScopedRegistry registry;
+
+  exp::SolveCache cache;
+  exp::RunOptions ropts;
+  ropts.workers = opts.run_workers;
+  ropts.cache = &cache;
+  const exp::RunResult run = exp::run_scenario(scenario, ropts);
+  const exp::RunStats& st = run.stats;
+
+  out << "profile of scenario `" << scenario.name << "`: " << st.grid_points
+      << " grid points (" << st.unique_points << " unique), " << st.solves
+      << " solves, " << st.workers << " workers\n\n";
+
+  // Stage table: where run_scenario's wall time went (loading and output
+  // happen outside it, so shares are relative to the run itself).
+  util::Table stages({"stage", "seconds", "share"});
+  const double wall = st.wall_seconds > 0 ? st.wall_seconds : 1.0;
+  auto stage_row = [&](const char* name, double s) {
+    stages.add_row({name, util::Table::num(s, 6),
+                    util::Table::num(100.0 * s / wall, 1) + "%"});
+  };
+  stage_row("expand", st.expand_seconds);
+  stage_row("solve", st.solve_seconds);
+  stage_row("validate", st.validate_seconds);
+  stage_row("total", st.wall_seconds);
+  stages.print(out);
+  out << '\n';
+
+  // Per-solver timers from the registry: unlike the stage table these
+  // count every robust_solve link, including the ideal-system solves
+  // behind tolerance indices.
+  const obs::Snapshot snapshot = registry.snapshot();
+  util::Table timers({"timer", "calls", "seconds"});
+  for (const obs::Snapshot::TimerSample& t : snapshot.timers) {
+    timers.add_row({t.name, std::to_string(t.count),
+                    util::Table::num(t.seconds, 6)});
+  }
+  if (timers.rows() > 0) {
+    timers.print(out);
+    out << '\n';
+  }
+
+  // Convergence table: one row per grid point, in grid order.
+  util::Table conv({"point", "solver", "iters", "residual", "trace",
+                    "littles_err", "flow_err", "cache"});
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const exp::PointResult& p = run.points[i];
+    const char* cache_cell = p.cache_hit ? "hit" : "miss";
+    if (p.model.error) {
+      conv.add_row({std::to_string(i), "failed", "-", "-", "-", "-", "-",
+                    cache_cell});
+      continue;
+    }
+    const core::MmsPerformance& perf = p.model.perf;
+    std::string solver = qn::solver_kind_name(perf.solver);
+    if (!qn::solve_clean(false, perf.converged, perf.degraded))
+      solver += " [degraded]";
+    conv.add_row({std::to_string(i), std::move(solver),
+                  std::to_string(perf.solver_iterations), sci(perf.residual),
+                  std::to_string(perf.residual_history.size()),
+                  sci(perf.littles_law_error), sci(perf.flow_balance_error),
+                  cache_cell});
+  }
+  conv.print(out);
+  out << "cache: " << cache.hits() << " hits, " << cache.misses()
+      << " misses, " << cache.evictions() << " evictions\n";
+
+  emit_scenario_instrumentation(opts, scenario, run, &snapshot, out);
+
+  if (st.failed_points == st.grid_points && st.grid_points > 0) {
+    throw qn::SolverError(qn::SolverErrorCode::kNumerical,
+                          "every grid point failed to solve");
+  }
+  if (st.failed_points > 0 || st.degraded_points > 0) {
+    out << "warning: " << st.degraded_points << " degraded, "
+        << st.failed_points << " failed of " << st.grid_points
+        << " grid points\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_command(const CliOptions& opts, std::ostream& out) {
@@ -256,6 +535,7 @@ int run_command(const CliOptions& opts, std::ostream& out) {
     return 0;
   }
   if (opts.command == "run") return cmd_run(opts, out);
+  if (opts.command == "profile") return cmd_profile(opts, out);
   opts.config.validate();
   if (opts.command == "analyze") return cmd_analyze(opts, out);
   if (opts.command == "tolerance") return cmd_tolerance(opts, out);

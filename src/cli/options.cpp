@@ -60,7 +60,7 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.command == "analyze" || opts.command == "tolerance" ||
       opts.command == "bottleneck" || opts.command == "sweep" ||
       opts.command == "simulate" || opts.command == "run" ||
-      opts.command == "help";
+      opts.command == "profile" || opts.command == "help";
   if (!known) {
     throw InvalidArgument("unknown command `" + opts.command + "`\n" +
                           usage());
@@ -72,10 +72,12 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       LATOL_REQUIRE(i + 1 < args.size(), "flag " << flag << " needs a value");
       return args[++i];
     };
-    if (opts.command == "run" && !flag.starts_with("--")) {
+    if ((opts.command == "run" || opts.command == "profile") &&
+        !flag.starts_with("--")) {
       LATOL_REQUIRE(opts.scenario_path.empty(),
-                    "run takes one scenario file, got `"
-                        << opts.scenario_path << "` and `" << flag << "`");
+                    opts.command << " takes one scenario file, got `"
+                                 << opts.scenario_path << "` and `" << flag
+                                 << "`");
       opts.scenario_path = flag;
     } else if (flag == "--out") {
       opts.out_dir = value();
@@ -93,6 +95,10 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.cache_path = value();
     } else if (flag == "--no-cache") {
       opts.run_cache = false;
+    } else if (flag == "--trace") {
+      opts.trace_path = value();
+    } else if (flag == "--metrics-out") {
+      opts.metrics_path = value();
     } else if (flag == "--k") {
       opts.config.k = parse_int(flag, value());
     } else if (flag == "--topology") {
@@ -159,6 +165,8 @@ std::string usage() {
         "  simulate    discrete-event (or --petri) simulation vs the model\n"
         "  run         execute a JSON scenario file; write CSV/JSON results\n"
         "              plus a run manifest (DESIGN.md §8)\n"
+        "  profile     run a scenario with instrumentation on; print\n"
+        "              per-stage timings and per-point convergence\n"
         "  help        this text\n\n"
         "machine/workload flags (defaults = paper Table 1):\n"
         "  --k N                 size parameter (torus/mesh side, ring size,\n"
@@ -192,6 +200,12 @@ std::string usage() {
         "  --workers N     worker threads (0 = hardware)     [0]\n"
         "  --cache FILE    solve-cache file    [<out>/latol_cache.json]\n"
         "  --no-cache      do not load/save the solve cache\n\n"
+        "profile usage: latol profile <scenario.json> [--workers N]\n"
+        "  solves the scenario with convergence tracing and the metric\n"
+        "  registry enabled (transient cache; results are not written)\n\n"
+        "instrumentation flags (analyze, sweep, run, profile; DESIGN.md §9):\n"
+        "  --metrics-out FILE  write the metrics JSON document\n"
+        "  --trace FILE        write per-iteration convergence traces\n\n"
         "exit codes:\n"
         "  0  clean result\n"
         "  1  degraded result (fallback solver answered / not converged)\n"

@@ -17,7 +17,8 @@ namespace latol::cli {
 
 /// Parsed invocation.
 struct CliOptions {
-  /// analyze | tolerance | bottleneck | sweep | simulate | run | help
+  /// analyze | tolerance | bottleneck | sweep | simulate | run | profile |
+  /// help
   std::string command = "help";
   core::MmsConfig config = core::MmsConfig::paper_defaults();
 
@@ -36,7 +37,11 @@ struct CliOptions {
   std::uint64_t seed = 1;
   bool use_petri = false;  ///< STPN instead of the direct event simulator
 
-  // --- run (scenario batch) ---
+  // --- instrumentation (analyze/sweep/run/profile; DESIGN.md §9) ---
+  std::string trace_path;    ///< --trace FILE: convergence traces as JSON
+  std::string metrics_path;  ///< --metrics-out FILE: metrics document
+
+  // --- run/profile (scenario batch) ---
   std::string scenario_path;       ///< positional `latol run <scenario.json>`
   std::string out_dir = ".";       ///< --out DIR
   std::string run_format = "both"; ///< --format json|csv|both

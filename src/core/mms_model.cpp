@@ -166,6 +166,12 @@ void stamp_provenance(MmsPerformance& perf, const qn::SolveReport& report) {
   perf.solver = report.solver;
   perf.degraded = report.degraded;
   perf.residual = report.residual;
+  perf.littles_law_error = report.invariants.littles_law_error;
+  perf.flow_balance_error = report.invariants.flow_balance_error;
+  // The accepted solve is the last attempt (earlier ones failed); its
+  // trace is empty unless RobustOptions::record_traces was on.
+  if (!report.attempts.empty() && report.attempts.back().success)
+    perf.residual_history = report.attempts.back().trace.residuals();
 }
 
 }  // namespace
@@ -176,6 +182,7 @@ std::vector<MmsPerformance> analyze_per_node(const MmsConfig& config,
   const qn::ClosedNetwork net = model.build_network();
   qn::RobustOptions ropts;
   ropts.amva = options;
+  ropts.record_traces = options.record_trace;
   const qn::SolveReport report = robust_solve_or_throw(net, ropts);
   std::vector<MmsPerformance> out;
   const int P = model.topology().num_nodes();
@@ -193,6 +200,7 @@ DetailedAnalysis analyze_detailed(const MmsConfig& config,
   qn::ClosedNetwork net = model.build_network();
   qn::RobustOptions ropts;
   ropts.amva = options;
+  ropts.record_traces = options.record_trace;
   qn::SolveReport report = robust_solve_or_throw(net, ropts);
   MmsPerformance perf = extract_performance(model, net, report.solution);
   stamp_provenance(perf, report);
@@ -223,6 +231,7 @@ MmsPerformance analyze(const MmsConfig& config,
                  qn::SolverKind::kExactMva, qn::SolverKind::kBounds};
   ropts.amva = options.amva;
   ropts.linearizer.tolerance = options.amva.tolerance;
+  ropts.record_traces = options.amva.record_trace;
   const qn::SolveReport report = robust_solve_or_throw(net, ropts);
   MmsPerformance perf = extract_performance(model, net, report.solution);
   stamp_provenance(perf, report);

@@ -14,6 +14,7 @@
 
 #include <cstddef>
 #include <memory>
+#include <vector>
 
 #include "core/mms_config.hpp"
 #include "qn/mva_approx.hpp"
@@ -80,6 +81,12 @@ struct MmsPerformance {
   qn::SolverKind solver = qn::SolverKind::kAmva;  ///< producer of the numbers
   bool degraded = false;  ///< a fallback solver answered, not the requested one
   double residual = 0;    ///< Schweitzer fixed-point residual of the solution
+  double littles_law_error = 0;   ///< qn::InvariantReport — N = X*R per class
+  double flow_balance_error = 0;  ///< qn::InvariantReport — visit-ratio gaps
+  /// Per-iteration convergence deltas of the accepted solve; populated only
+  /// when AmvaOptions::record_trace was set (DESIGN.md §9), possibly capped
+  /// at obs::ConvergenceTrace::kDefaultCapacity entries.
+  std::vector<double> residual_history;
 };
 
 /// Approximate-MVA flavor used by analyze()/tolerance_index().

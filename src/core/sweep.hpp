@@ -18,6 +18,7 @@
 #include "core/mms_model.hpp"
 #include "core/tolerance.hpp"
 #include "qn/mva_approx.hpp"
+#include "qn/robust.hpp"
 #include "qn/solver_error.hpp"
 
 namespace latol::core {
@@ -47,9 +48,11 @@ struct SweepResult {
   /// failures outside the solver taxonomy (e.g. bad_alloc).
   std::optional<qn::SolverErrorCode> error_code;
 
-  /// A clean, non-degraded, converged answer.
+  /// A clean, non-degraded, converged answer (the shared qn definition —
+  /// the manifest's degraded count and the CSV converged column derive
+  /// from the same predicates, so they cannot drift).
   [[nodiscard]] bool healthy() const {
-    return !error && !perf.degraded && perf.converged;
+    return qn::solve_clean(error.has_value(), perf.converged, perf.degraded);
   }
 };
 

@@ -33,7 +33,7 @@ void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
                    SolveCache& cache, PointResult& point) {
   core::SweepResult& r = point.model;
   try {
-    r.perf = cache.analyze(cfg, scenario.amva);
+    r.perf = cache.analyze(cfg, scenario.amva, &point.cache_hit);
     if (scenario.network_tolerance) {
       const core::MmsPerformance ideal = cache.analyze(
           core::ideal_config(cfg, core::Subsystem::kNetwork,
@@ -97,7 +97,11 @@ SimPoint simulate_point(const core::MmsConfig& cfg,
 }  // namespace
 
 RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
-  const auto start = std::chrono::steady_clock::now();
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+  const auto start = Clock::now();
   RunResult run;
   run.grid = expand_grid(scenario);
   run.points.resize(run.grid.size());
@@ -114,13 +118,17 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     representative[i] = it->second;
     if (inserted) unique_points.push_back(i);
   }
+  run.stats.expand_seconds = elapsed(start);
+  obs::time_add("exp.stage.expand", run.stats.expand_seconds);
 
   SolveCache transient;
   SolveCache& cache = options.cache != nullptr ? *options.cache : transient;
   const std::size_t preloaded = cache.size();
   const std::size_t hits_before = cache.hits();
   const std::size_t misses_before = cache.misses();
+  const std::size_t evictions_before = cache.evictions();
 
+  const auto solve_start = Clock::now();
   const std::size_t workers =
       options.workers != 0 ? options.workers : scenario.workers;
   util::parallel_for(
@@ -133,9 +141,12 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   for (std::size_t i = 0; i < run.grid.size(); ++i) {
     if (representative[i] != i) run.points[i] = run.points[representative[i]];
   }
+  run.stats.solve_seconds = elapsed(solve_start);
+  obs::time_add("exp.stage.solve", run.stats.solve_seconds);
 
   // Simulator validation of the requested points (skipping points whose
   // model solve already failed — the simulator would reject them too).
+  const auto validate_start = Clock::now();
   if (scenario.validation.has_value()) {
     const ValidationSpec& spec = *scenario.validation;
     std::vector<std::size_t> targets = spec.points;
@@ -161,6 +172,8 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
           }
         },
         workers);
+    run.stats.validate_seconds = elapsed(validate_start);
+    obs::time_add("exp.stage.validate", run.stats.validate_seconds);
   }
 
   // Accounting.
@@ -170,6 +183,7 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   st.solves = cache.misses() - misses_before;
   st.cache_hits = cache.hits() - hits_before;
   st.cache_preloaded = preloaded;
+  st.cache_evictions = cache.evictions() - evictions_before;
   st.workers = workers != 0
                    ? workers
                    : std::max(1u, std::thread::hardware_concurrency());
@@ -251,7 +265,8 @@ Cell cell_value(const std::string& column, const core::MmsConfig& cfg,
                                    : qn::solver_kind_name(perf.solver));
   }
   if (column == "converged") {
-    return Cell::boolean(!p.model.error && perf.converged);
+    return Cell::boolean(
+        qn::solve_converged(p.model.error.has_value(), perf.converged));
   }
   if (column == "error") {
     return p.model.error ? Cell::str(*p.model.error) : Cell::missing();
@@ -383,11 +398,17 @@ io::Json manifest_to_json(const Scenario& scenario, const RunResult& run) {
   doc.set("solves", st.solves);
   doc.set("cache_hits", st.cache_hits);
   doc.set("cache_preloaded", st.cache_preloaded);
+  doc.set("cache_evictions", st.cache_evictions);
   doc.set("degraded_points", st.degraded_points);
   doc.set("failed_points", st.failed_points);
   doc.set("simulated_points", st.simulated_points);
   doc.set("workers", st.workers);
   doc.set("wall_seconds", st.wall_seconds);
+  io::Json stages = io::Json::object();
+  stages.set("expand_seconds", st.expand_seconds);
+  stages.set("solve_seconds", st.solve_seconds);
+  stages.set("validate_seconds", st.validate_seconds);
+  doc.set("stages", std::move(stages));
   io::Json counts = io::Json::object();
   for (const auto& [name, n] : st.solver_counts) counts.set(name, n);
   doc.set("solver_provenance", std::move(counts));
@@ -398,6 +419,95 @@ io::Json manifest_to_json(const Scenario& scenario, const RunResult& run) {
     v.set("seed", static_cast<double>(scenario.validation->seed));
     doc.set("validation", std::move(v));
   }
+  return doc;
+}
+
+io::Json snapshot_to_json(const obs::Snapshot& snapshot) {
+  io::Json doc = io::Json::object();
+  io::Json counters = io::Json::object();
+  for (const auto& c : snapshot.counters)
+    counters.set(c.name, static_cast<double>(c.value));
+  doc.set("counters", std::move(counters));
+  io::Json gauges = io::Json::object();
+  for (const auto& g : snapshot.gauges) gauges.set(g.name, g.value);
+  doc.set("gauges", std::move(gauges));
+  io::Json timers = io::Json::object();
+  for (const auto& t : snapshot.timers) {
+    io::Json entry = io::Json::object();
+    entry.set("seconds", t.seconds);
+    entry.set("count", static_cast<double>(t.count));
+    timers.set(t.name, std::move(entry));
+  }
+  doc.set("timers", std::move(timers));
+  return doc;
+}
+
+io::Json metrics_to_json(const Scenario& scenario, const RunResult& run,
+                         const obs::Snapshot* registry) {
+  const RunStats& st = run.stats;
+  io::Json doc = io::Json::object();
+  doc.set("format", "latol-metrics-v1");
+  doc.set("scenario", scenario.name);
+  doc.set("scenario_hash", hash_hex(scenario.source_hash));
+  doc.set("build", build_version());
+
+  io::Json stages = io::Json::object();
+  stages.set("expand_seconds", st.expand_seconds);
+  stages.set("solve_seconds", st.solve_seconds);
+  stages.set("validate_seconds", st.validate_seconds);
+  stages.set("wall_seconds", st.wall_seconds);
+  doc.set("stages", std::move(stages));
+
+  io::Json cache = io::Json::object();
+  cache.set("hits", st.cache_hits);
+  cache.set("misses", st.solves);
+  cache.set("evictions", st.cache_evictions);
+  cache.set("preloaded", st.cache_preloaded);
+  doc.set("cache", std::move(cache));
+
+  io::Json points = io::Json::array();
+  io::Json warnings = io::Json::array();
+  for (std::size_t i = 0; i < run.points.size(); ++i) {
+    const PointResult& p = run.points[i];
+    const core::MmsPerformance& perf = p.model.perf;
+    const bool has_error = p.model.error.has_value();
+    io::Json pt = io::Json::object();
+    pt.set("index", static_cast<double>(i));
+    pt.set("solver", has_error ? io::Json("error")
+                               : io::Json(qn::solver_kind_name(perf.solver)));
+    pt.set("converged", qn::solve_converged(has_error, perf.converged));
+    pt.set("degraded", !has_error && (perf.degraded || p.ideal_degraded));
+    pt.set("iterations", static_cast<double>(perf.solver_iterations));
+    pt.set("residual", perf.residual);
+    pt.set("residual_history_length",
+           static_cast<double>(perf.residual_history.size()));
+    pt.set("littles_law_error", perf.littles_law_error);
+    pt.set("flow_balance_error", perf.flow_balance_error);
+    pt.set("cache_hit", p.cache_hit);
+    points.push_back(std::move(pt));
+
+    const auto warn = [&](const std::string& message) {
+      io::Json w = io::Json::object();
+      w.set("point", static_cast<double>(i));
+      w.set("message", message);
+      warnings.push_back(std::move(w));
+    };
+    if (has_error) {
+      warn("solve failed: " + *p.model.error);
+    } else {
+      if (perf.littles_law_error > qn::InvariantReport::kWarnThreshold) {
+        warn("Little's law violated: relative error " +
+             io::json_number(perf.littles_law_error));
+      }
+      if (perf.flow_balance_error > qn::InvariantReport::kWarnThreshold) {
+        warn("flow balance violated: relative error " +
+             io::json_number(perf.flow_balance_error));
+      }
+    }
+  }
+  doc.set("points", std::move(points));
+  doc.set("warnings", std::move(warnings));
+  if (registry != nullptr) doc.set("registry", snapshot_to_json(*registry));
   return doc;
 }
 

@@ -22,6 +22,7 @@
 #include "exp/scenario.hpp"
 #include "exp/solve_cache.hpp"
 #include "io/json.hpp"
+#include "obs/registry.hpp"
 
 namespace latol::exp {
 
@@ -45,6 +46,9 @@ struct PointResult {
   /// An ideal-system solve behind a tolerance index was degraded or
   /// unconverged (the actual-system health lives in `model`).
   bool ideal_degraded = false;
+  /// The main solve of this point was served from the cache (duplicate
+  /// grid points copy their representative's value).
+  bool cache_hit = false;
 };
 
 /// Aggregate run accounting for the manifest.
@@ -54,11 +58,18 @@ struct RunStats {
   std::size_t solves = 0;          ///< analyze() calls actually executed
   std::size_t cache_hits = 0;      ///< served from the cache (incl. preload)
   std::size_t cache_preloaded = 0; ///< entries loaded from a cache file
+  std::size_t cache_evictions = 0; ///< entries dropped by the capacity bound
   std::size_t degraded_points = 0; ///< answered by fallback / not converged
   std::size_t failed_points = 0;   ///< no answer at all (error recorded)
   std::size_t simulated_points = 0;
   std::size_t workers = 0;         ///< worker threads used
   double wall_seconds = 0;
+  // Per-stage wall time (also mirrored into the obs registry as
+  // exp.stage.* timers when one is installed); `latol profile` prints
+  // these as its stage table.
+  double expand_seconds = 0;    ///< grid expansion + dedup
+  double solve_seconds = 0;     ///< parallel model solves
+  double validate_seconds = 0;  ///< simulator validation (0 when skipped)
   /// Points answered per solver kind, name -> count, sorted by name.
   std::vector<std::pair<std::string, std::size_t>> solver_counts;
 };
@@ -101,6 +112,19 @@ void write_results_csv(const Scenario& scenario, const RunResult& run,
 /// provenance counts.
 [[nodiscard]] io::Json manifest_to_json(const Scenario& scenario,
                                         const RunResult& run);
+
+/// The metrics document ("latol-metrics-v1", DESIGN.md §9): per-point
+/// solver diagnostics (iterations, residual + history length, invariant
+/// checks, cache hit), cache accounting, stage timings, warnings, and —
+/// when `registry` is non-null — a snapshot of its counters/gauges/timers.
+/// Unlike the result rows this document varies run-to-run (timings).
+[[nodiscard]] io::Json metrics_to_json(const Scenario& scenario,
+                                       const RunResult& run,
+                                       const obs::Snapshot* registry = nullptr);
+
+/// Render a registry snapshot as {"counters": {...}, "gauges": {...},
+/// "timers": {name: {"seconds", "count"}}} (slot-creation order).
+[[nodiscard]] io::Json snapshot_to_json(const obs::Snapshot& snapshot);
 
 /// Version string baked at configure time (`git describe --always
 /// --dirty`), "unknown" outside a git checkout. Stamps manifests and

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "io/json.hpp"
+#include "obs/registry.hpp"
 #include "qn/robust.hpp"
 #include "topo/topology.hpp"
 #include "util/error.hpp"
@@ -15,7 +16,9 @@ namespace latol::exp {
 
 namespace {
 
-constexpr const char* kCacheFormat = "latol-solve-cache-1";
+// Bumped to -2 when MmsPerformance grew invariant errors and the residual
+// history: -1 files lack the new fields and are ignored wholesale.
+constexpr const char* kCacheFormat = "latol-solve-cache-2";
 
 qn::SolverKind solver_kind_from_name(const std::string& name) {
   for (const qn::SolverKind kind :
@@ -41,6 +44,11 @@ io::Json perf_to_json(const core::MmsPerformance& p) {
   o.set("solver", qn::solver_kind_name(p.solver));
   o.set("degraded", p.degraded);
   o.set("residual", p.residual);
+  o.set("littles_law_error", p.littles_law_error);
+  o.set("flow_balance_error", p.flow_balance_error);
+  io::Json history = io::Json::array();
+  for (const double d : p.residual_history) history.push_back(d);
+  o.set("residual_history", std::move(history));
   return o;
 }
 
@@ -77,6 +85,14 @@ core::MmsPerformance perf_from_json(const io::Json& o) {
   p.solver = solver_kind_from_name(solver->as_string());
   p.degraded = flag("degraded");
   p.residual = num("residual");
+  p.littles_law_error = num("littles_law_error");
+  p.flow_balance_error = num("flow_balance_error");
+  const io::Json* history = o.find("residual_history");
+  if (history == nullptr || !history->is_array()) {
+    throw InvalidArgument("cache entry missing `residual_history`");
+  }
+  for (const io::Json& d : history->as_array())
+    p.residual_history.push_back(d.as_number());
   return p;
 }
 
@@ -117,11 +133,13 @@ std::string SolveCache::config_key(const core::MmsConfig& config,
   key += ";damp=" + num(options.damping);
   key += ";divf=" + num(options.divergence_factor);
   key += ";divw=" + std::to_string(options.divergence_window);
+  key += ";trace=" + std::to_string(options.record_trace ? 1 : 0);
   return key;
 }
 
 core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
-                                         const qn::AmvaOptions& options) {
+                                         const qn::AmvaOptions& options,
+                                         bool* was_hit) {
   const std::string key = config_key(config, options);
   std::shared_future<core::MmsPerformance> future;
   std::promise<core::MmsPerformance> promise;
@@ -133,12 +151,16 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
       compute = true;
       future = promise.get_future().share();
       entries_.emplace(key, future);
+      insertion_order_.push_back(key);
+      evict_over_capacity_locked();
     } else {
       future = it->second;
     }
   }
+  if (was_hit != nullptr) *was_hit = !compute;
   if (compute) {
     misses_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("exp.cache.misses");
     try {
       promise.set_value(core::analyze(config, options));
     } catch (...) {
@@ -146,6 +168,7 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
     }
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("exp.cache.hits");
   }
   return future.get();
 }
@@ -153,6 +176,37 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
 std::size_t SolveCache::size() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return entries_.size();
+}
+
+void SolveCache::set_capacity(std::size_t capacity) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  capacity_ = capacity;
+  evict_over_capacity_locked();
+}
+
+void SolveCache::evict_over_capacity_locked() {
+  if (capacity_ == 0 || entries_.size() <= capacity_) return;
+  // Oldest-first scan; in-flight entries are kept (later duplicates must
+  // coalesce onto them) and re-queued in their original order.
+  std::deque<std::string> in_flight;
+  while (!insertion_order_.empty() && entries_.size() > capacity_) {
+    std::string key = std::move(insertion_order_.front());
+    insertion_order_.pop_front();
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) continue;  // stale order entry
+    if (it->second.wait_for(std::chrono::seconds(0)) !=
+        std::future_status::ready) {
+      in_flight.push_back(std::move(key));
+      continue;
+    }
+    entries_.erase(it);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("exp.cache.evictions");
+  }
+  while (!in_flight.empty()) {
+    insertion_order_.push_front(std::move(in_flight.back()));
+    in_flight.pop_back();
+  }
 }
 
 std::size_t SolveCache::load(const std::string& path,
@@ -184,9 +238,11 @@ std::size_t SolveCache::load(const std::string& path,
     }
     if (entries_.emplace(key->as_string(), ready_future(perf_from_json(*perf)))
             .second) {
+      insertion_order_.push_back(key->as_string());
       ++loaded;
     }
   }
+  evict_over_capacity_locked();
   return loaded;
 }
 

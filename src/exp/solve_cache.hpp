@@ -24,6 +24,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <deque>
 #include <future>
 #include <mutex>
 #include <string>
@@ -41,11 +42,17 @@ class SolveCache {
   SolveCache& operator=(const SolveCache&) = delete;
 
   /// Memoized core::analyze. Exceptions are cached too: every duplicate
-  /// of a failing configuration rethrows the original error.
+  /// of a failing configuration rethrows the original error. When
+  /// `was_hit` is non-null it is set to whether this call was served from
+  /// an existing entry (including coalescing onto an in-flight solve) —
+  /// the per-point cache provenance the metrics stream reports.
   [[nodiscard]] core::MmsPerformance analyze(const core::MmsConfig& config,
-                                             const qn::AmvaOptions& options);
+                                             const qn::AmvaOptions& options,
+                                             bool* was_hit = nullptr);
 
-  /// Canonical, collision-free cache key for (config, options).
+  /// Canonical, collision-free cache key for (config, options). Includes
+  /// AmvaOptions::record_trace, so traced and untraced solves of the same
+  /// configuration never share an entry.
   [[nodiscard]] static std::string config_key(const core::MmsConfig& config,
                                               const qn::AmvaOptions& options);
 
@@ -62,15 +69,28 @@ class SolveCache {
   [[nodiscard]] std::size_t hits() const { return hits_.load(); }
   /// Lookups that had to solve.
   [[nodiscard]] std::size_t misses() const { return misses_.load(); }
+  /// Entries dropped by the capacity bound since construction.
+  [[nodiscard]] std::size_t evictions() const { return evictions_.load(); }
   /// Entries currently in the cache.
   [[nodiscard]] std::size_t size() const;
 
+  /// Bound the entry count (0 = unlimited, the default). When an insert
+  /// pushes the cache past the bound, the oldest *completed* entries are
+  /// dropped FIFO (in-flight solves are never evicted — later duplicates
+  /// must still coalesce onto them).
+  void set_capacity(std::size_t capacity);
+
  private:
+  void evict_over_capacity_locked();
+
   mutable std::mutex mutex_;
   std::unordered_map<std::string, std::shared_future<core::MmsPerformance>>
       entries_;
+  std::deque<std::string> insertion_order_;
+  std::size_t capacity_ = 0;
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
+  std::atomic<std::size_t> evictions_{0};
 };
 
 }  // namespace latol::exp

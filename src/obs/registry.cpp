@@ -1,0 +1,70 @@
+#include "obs/registry.hpp"
+
+#include <atomic>
+
+namespace latol::obs {
+
+namespace {
+
+template <class Slot, class Deque>
+Slot& find_or_create(std::mutex& mutex, Deque& slots, std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex);
+  for (auto& entry : slots) {
+    if (entry.name == name) return entry.slot;
+  }
+  // Atomics are immovable; default-construct the slot in place and then
+  // name it (deques never relocate existing elements, so the reference
+  // stays valid for the registry's lifetime).
+  auto& entry = slots.emplace_back();
+  entry.name = std::string(name);
+  return entry.slot;
+}
+
+std::atomic<Registry*> g_default_registry{nullptr};
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return find_or_create<Counter>(mutex_, counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return find_or_create<Gauge>(mutex_, gauges_, name);
+}
+
+Timer& Registry::timer(std::string_view name) {
+  return find_or_create<Timer>(mutex_, timers_, name);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& entry : counters_)
+    snap.counters.push_back({entry.name, entry.slot.value()});
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& entry : gauges_)
+    snap.gauges.push_back({entry.name, entry.slot.value()});
+  snap.timers.reserve(timers_.size());
+  for (const auto& entry : timers_)
+    snap.timers.push_back({entry.name, entry.slot.seconds(),
+                           entry.slot.count()});
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& entry : counters_) entry.slot.reset();
+  for (auto& entry : gauges_) entry.slot.reset();
+  for (auto& entry : timers_) entry.slot.reset();
+}
+
+Registry* default_registry() {
+  return g_default_registry.load(std::memory_order_acquire);
+}
+
+Registry* set_default_registry(Registry* registry) {
+  return g_default_registry.exchange(registry, std::memory_order_acq_rel);
+}
+
+}  // namespace latol::obs

@@ -1,0 +1,59 @@
+// Convergence trace: the per-iteration residual history of one iterative
+// solve (AMVA deltas, Linearizer core deltas).
+//
+// Solvers take an optional `ConvergenceTrace*` sink (null by default — no
+// recording, no overhead beyond a pointer test per iteration). The trace
+// is caller-owned and single-threaded by design: each solve records into
+// its own sink; robust_solve wires a fresh sink per attempt.
+//
+// Recording is capped so a 200k-iteration non-converging solve cannot
+// balloon memory or the metrics JSON: past `capacity` entries the values
+// are dropped but still counted, so `total_recorded()` is always the true
+// iteration count.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace latol::obs {
+
+class ConvergenceTrace {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit ConvergenceTrace(std::size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  /// Record one iteration's convergence measure (max absolute queue-length
+  /// or fraction change). Values beyond the capacity are counted but not
+  /// stored.
+  void record(double delta) {
+    ++total_;
+    if (deltas_.size() < capacity_) deltas_.push_back(delta);
+  }
+
+  /// Stored residuals, oldest first (at most `capacity()` of them).
+  [[nodiscard]] const std::vector<double>& residuals() const {
+    return deltas_;
+  }
+
+  /// Number of record() calls, including dropped ones — the solver's true
+  /// iteration count even when the trace is truncated.
+  [[nodiscard]] std::size_t total_recorded() const { return total_; }
+
+  [[nodiscard]] bool truncated() const { return total_ > deltas_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] bool empty() const { return total_ == 0; }
+
+  void clear() {
+    deltas_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t total_ = 0;
+  std::vector<double> deltas_;
+};
+
+}  // namespace latol::obs

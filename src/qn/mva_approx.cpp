@@ -111,6 +111,7 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
         sol.queue_length(c, m) = updated;
       }
     }
+    if (options.trace != nullptr) options.trace->record(delta);
     if (!std::isfinite(delta)) {
       throw SolverError(SolverErrorCode::kNumerical,
                         "iterate delta became non-finite at iteration " +

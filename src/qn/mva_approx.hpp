@@ -16,6 +16,7 @@
 // the paper can sweep hundred-processor systems.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
 
@@ -38,6 +39,14 @@ struct AmvaOptions {
   /// iterating further would only burn the budget on garbage.
   double divergence_factor = 1e6;
   long divergence_window = 32;
+  /// Ask robust_solve()/core::analyze() to record per-iteration residual
+  /// traces (DESIGN.md §9). Part of the solve-cache key — traced and
+  /// untraced results never share a cache entry.
+  bool record_trace = false;
+  /// Optional convergence sink: when non-null, solve_amva records each
+  /// iteration's delta into it (caller-owned; survives a solver throw, so
+  /// a diverging solve leaves a partial trace behind for diagnosis).
+  obs::ConvergenceTrace* trace = nullptr;
 };
 
 /// Solve `net` with Bard–Schweitzer AMVA. Classes with zero population get

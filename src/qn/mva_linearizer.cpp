@@ -105,6 +105,7 @@ CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
         out.fractions(j, m) = f;
       }
     }
+    if (options.trace != nullptr) options.trace->record(delta);
     if (!std::isfinite(delta)) {
       throw SolverError(SolverErrorCode::kNumerical,
                         "core iterate delta became non-finite at iteration " +

@@ -11,6 +11,7 @@
 // on the Schweitzer solver.
 #pragma once
 
+#include "obs/trace.hpp"
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
 
@@ -28,6 +29,11 @@ struct LinearizerOptions {
   /// AmvaOptions::divergence_factor / divergence_window.
   double divergence_factor = 1e6;
   long divergence_window = 32;
+  /// Optional convergence sink: when non-null, every Core iteration's
+  /// delta is recorded into it, across all Core solves in call order (the
+  /// full-population solve first, then the reduced-population solves of
+  /// each outer pass). Caller-owned; survives a solver throw.
+  obs::ConvergenceTrace* trace = nullptr;
 };
 
 /// Solve `net` with Linearizer. Same contract as solve_amva (including the

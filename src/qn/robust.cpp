@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/registry.hpp"
 #include "qn/bounds.hpp"
 #include "qn/mva_exact.hpp"
 #include "util/error.hpp"
@@ -54,6 +55,21 @@ std::string exact_mva_gate(const ClosedNetwork& net, std::size_t max_states) {
     states *= span;
   }
   return {};
+}
+
+/// Stable registry-timer name per chain link.
+const char* solver_timer_name(SolverKind kind) {
+  switch (kind) {
+    case SolverKind::kAmva:
+      return "qn.solver.amva";
+    case SolverKind::kLinearizer:
+      return "qn.solver.linearizer";
+    case SolverKind::kExactMva:
+      return "qn.solver.exact-mva";
+    case SolverKind::kBounds:
+      return "qn.solver.bounds";
+  }
+  return "qn.solver.unknown";
 }
 
 }  // namespace
@@ -110,6 +126,76 @@ double fixed_point_residual(const ClosedNetwork& net, const MvaSolution& sol) {
     }
   }
   return residual;
+}
+
+InvariantReport check_invariants(const ClosedNetwork& net,
+                                 const MvaSolution& sol) {
+  const std::size_t C = net.num_classes();
+  const std::size_t M = net.num_stations();
+  LATOL_REQUIRE(sol.throughput.size() == C &&
+                    sol.queue_length.rows() == C &&
+                    sol.queue_length.cols() == M &&
+                    sol.utilization.size() == M,
+                "solution shape does not match network ("
+                    << sol.throughput.size() << " classes, "
+                    << sol.utilization.size() << " stations vs " << C << "x"
+                    << M << ")");
+
+  InvariantReport report;
+  auto join = [](double a, double b) {
+    return std::isfinite(a) && std::isfinite(b) ? std::max(a, b)
+           : std::isfinite(a)                   ? b
+                                                : a;
+  };
+
+  // Little's law per class: N_c = X_c * R_c with R_c = sum_m v w. Station
+  // level: n_{c,m} = X_c v_{c,m} w_{c,m}. Both relative to N_c.
+  for (std::size_t c = 0; c < C; ++c) {
+    const long pop = net.population(c);
+    if (pop == 0) continue;
+    const double nc = static_cast<double>(pop);
+    double response = 0.0;
+    double station_gap = 0.0;
+    for (std::size_t m = 0; m < M; ++m) {
+      const double v = net.visit_ratio(c, m);
+      if (v <= 0.0) continue;
+      response += v * sol.waiting(c, m);
+      station_gap = join(
+          station_gap, std::fabs(sol.throughput[c] * v * sol.waiting(c, m) -
+                                 sol.queue_length(c, m)) /
+                           nc);
+    }
+    report.littles_law_error =
+        join(report.littles_law_error,
+             std::fabs(nc - sol.throughput[c] * response) / nc);
+    report.flow_balance_error = join(report.flow_balance_error, station_gap);
+  }
+
+  // Visit-ratio / flow-balance consistency: the reported utilization of
+  // every station must equal the throughput-weighted demand through it.
+  for (std::size_t m = 0; m < M; ++m) {
+    double u = 0.0;
+    for (std::size_t c = 0; c < C; ++c)
+      u += sol.throughput[c] * net.demand(c, m);
+    report.flow_balance_error =
+        join(report.flow_balance_error,
+             std::fabs(u - sol.utilization[m]) / std::max(1.0, std::fabs(u)));
+  }
+
+  if (!(report.littles_law_error <= InvariantReport::kWarnThreshold)) {
+    std::ostringstream os;
+    os << "Little's law violated: max relative error "
+       << report.littles_law_error << " of N = X*R across classes";
+    report.warnings.push_back(os.str());
+  }
+  if (!(report.flow_balance_error <= InvariantReport::kWarnThreshold)) {
+    std::ostringstream os;
+    os << "flow balance violated: max relative error "
+       << report.flow_balance_error
+       << " across station queue lengths and utilizations";
+    report.warnings.push_back(os.str());
+  }
+  return report;
 }
 
 MvaSolution bounds_solution(const ClosedNetwork& net) {
@@ -210,20 +296,29 @@ SolveReport robust_solve(const ClosedNetwork& net,
     return report;
   }
 
+  obs::count("qn.robust.solves");
   for (const SolverKind link : options.chain) {
     SolveAttempt attempt;
     attempt.solver = link;
+    if (options.record_traces)
+      attempt.trace = obs::ConvergenceTrace(options.trace_capacity);
     const auto t_attempt = Clock::now();
     try {
       MvaSolution sol;
       bool skipped = false;
       switch (link) {
-        case SolverKind::kAmva:
-          sol = solve_amva(net, options.amva);
+        case SolverKind::kAmva: {
+          AmvaOptions amva = options.amva;
+          amva.trace = options.record_traces ? &attempt.trace : nullptr;
+          sol = solve_amva(net, amva);
           break;
-        case SolverKind::kLinearizer:
-          sol = solve_linearizer(net, options.linearizer);
+        }
+        case SolverKind::kLinearizer: {
+          LinearizerOptions lin = options.linearizer;
+          lin.trace = options.record_traces ? &attempt.trace : nullptr;
+          sol = solve_linearizer(net, lin);
           break;
+        }
         case SolverKind::kExactMva: {
           const std::string gate =
               exact_mva_gate(net, options.exact_max_states);
@@ -241,6 +336,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
       }
       attempt.wall_seconds = seconds_since(t_attempt);
       if (!skipped) {
+        obs::time_add(solver_timer_name(link), attempt.wall_seconds);
         attempt.iterations = sol.iterations;
         if (!sol.converged) {
           throw SolverError(SolverErrorCode::kIterationBudget,
@@ -263,12 +359,14 @@ SolveReport robust_solve(const ClosedNetwork& net,
       }
     } catch (const SolverError& e) {
       attempt.wall_seconds = seconds_since(t_attempt);
+      obs::time_add(solver_timer_name(link), attempt.wall_seconds);
       attempt.error = e.code();
       attempt.detail = e.what();
     } catch (const InvalidArgument& e) {
       // A solver rejecting this (already validated) network means the
       // *solver* does not apply to it, e.g. exact MVA on non-product-form.
       attempt.wall_seconds = seconds_since(t_attempt);
+      obs::time_add(solver_timer_name(link), attempt.wall_seconds);
       attempt.error = SolverErrorCode::kInvalidNetwork;
       attempt.detail = e.what();
     }
@@ -287,8 +385,13 @@ SolveReport robust_solve(const ClosedNetwork& net,
         break;
       }
     }
+    obs::count("qn.robust.failed");
   } else {
     report.residual = fixed_point_residual(net, report.solution);
+    report.invariants = check_invariants(net, report.solution);
+    if (report.degraded) obs::count("qn.robust.degraded");
+    if (!report.invariants.warnings.empty())
+      obs::count("qn.invariant.warnings", report.invariants.warnings.size());
   }
   report.wall_seconds = seconds_since(t_start);
   return report;

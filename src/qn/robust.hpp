@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "qn/mva_approx.hpp"
 #include "qn/mva_linearizer.hpp"
 #include "qn/network.hpp"
@@ -54,6 +55,14 @@ struct RobustOptions {
   /// prod_c (N_c + 1) fits this budget (and the network is product form
   /// with single-server queueing stations); otherwise the link is skipped.
   std::size_t exact_max_states = 2'000'000;
+  /// Record per-iteration convergence traces into SolveAttempt::trace
+  /// (each attempt gets its own sink, so a failed AMVA attempt keeps its
+  /// partial history alongside the fallback that answered). Off by
+  /// default: tracing costs one vector append per solver iteration.
+  bool record_traces = false;
+  /// Per-attempt trace capacity (entries beyond it are counted, not
+  /// stored); see obs::ConvergenceTrace.
+  std::size_t trace_capacity = obs::ConvergenceTrace::kDefaultCapacity;
 };
 
 /// One link of the chain, as it actually went.
@@ -66,7 +75,57 @@ struct SolveAttempt {
   long iterations = 0;
   double wall_seconds = 0.0;
   std::string detail;  ///< error message or skip reason; empty on success
+  /// Per-iteration residual history of this attempt; empty unless
+  /// RobustOptions::record_traces was set (and the solver is iterative —
+  /// exact MVA and bounds leave it empty).
+  obs::ConvergenceTrace trace;
 };
+
+/// Solution-consistency checks (Hill's "sanity checks should ride along"):
+/// cheap invariants every accepted solve is measured against. Violations
+/// are reported as warnings in the metrics stream, never hard failures —
+/// a bounds answer legitimately breaks Little's law, and callers must
+/// still see it.
+struct InvariantReport {
+  /// Little's law per class: max over classes of
+  /// |N_c - X_c * sum_m v_{c,m} w_{c,m}| / N_c.
+  double littles_law_error = 0.0;
+  /// Flow balance / visit-ratio consistency: max over stations of the gap
+  /// between reported utilization and sum_c X_c * D_{c,m} (relative to
+  /// max(1, U_m)), joined with the station-level Little's-law gap
+  /// max |n_{c,m} - X_c v_{c,m} w_{c,m}| / N_c.
+  double flow_balance_error = 0.0;
+  /// Human-readable violations above kWarnThreshold; empty when clean.
+  std::vector<std::string> warnings;
+
+  static constexpr double kWarnThreshold = 1e-6;
+};
+
+/// Evaluate the invariants of `sol` against `net`. Never throws on a bad
+/// solution (that is the point); throws InvalidArgument only when the
+/// shapes do not match the network.
+[[nodiscard]] InvariantReport check_invariants(const ClosedNetwork& net,
+                                               const MvaSolution& sol);
+
+// --- one shared definition of solve health ---------------------------------
+//
+// "Converged" and "clean/degraded" used to be re-derived ad hoc by the
+// sweep engine, the experiment runner, the CLI, and the benches, and the
+// definitions drifted. Every consumer now goes through these two
+// predicates (regression-tested in tests/exp/runner_test.cpp).
+
+/// A point's numbers are trustworthy: some solver produced a converged
+/// answer (possibly a fallback).
+[[nodiscard]] constexpr bool solve_converged(bool has_error, bool converged) {
+  return !has_error && converged;
+}
+
+/// A point is clean: converged AND answered by the requested solver. The
+/// complement of this predicate is what manifests count as "degraded".
+[[nodiscard]] constexpr bool solve_clean(bool has_error, bool converged,
+                                         bool degraded) {
+  return solve_converged(has_error, converged) && !degraded;
+}
 
 /// What robust_solve() produced and how it got there.
 struct SolveReport {
@@ -86,6 +145,8 @@ struct SolveReport {
   double wall_seconds = 0.0;
   /// Every link tried (or skipped), in chain order.
   std::vector<SolveAttempt> attempts;
+  /// Invariant checks of the accepted solution (zeroed when !ok()).
+  InvariantReport invariants;
   /// Set when no link produced an answer; `solution` is then meaningless.
   std::optional<SolverErrorCode> error;
 

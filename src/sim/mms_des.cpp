@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/registry.hpp"
 #include "sim/des.hpp"
 #include "sim/fcfs_server.hpp"
 #include "sim/stats.hpp"
@@ -196,6 +197,8 @@ class MmsSimulation {
     r.cycles = cycles_;
     r.remote_legs = remote_legs_;
     r.events = sim_.events_executed();
+    r.latency_samples = network_latency_.count();
+    r.rng_draws = rng_.draws();
     return r;
   }
 
@@ -226,6 +229,13 @@ SimulationResult simulate_mms(const SimulationConfig& config) {
     MmsSimulation simulation(config);
     SimulationResult result = simulation.run();
     result.seed = config.seed;
+    // One aggregate flush per replication (never per event), so the
+    // instrumented hot path stays identical with and without a registry.
+    obs::count("sim.des.runs");
+    obs::count("sim.des.events", result.events);
+    obs::count("sim.des.cycles", result.cycles);
+    obs::count("sim.des.latency_samples", result.latency_samples);
+    obs::count("sim.des.rng_draws", result.rng_draws);
     return result;
   } catch (const InvalidArgument& e) {
     throw InvalidArgument(std::string(e.what()) + " [seed=" +

@@ -3,6 +3,7 @@
 #include <memory>
 #include <string>
 
+#include "obs/registry.hpp"
 #include "topo/topology.hpp"
 #include "topo/traffic.hpp"
 #include "util/error.hpp"
@@ -209,8 +210,14 @@ PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
   // Tag validation failures with the seed so the replication that exposed
   // them can be reproduced exactly.
   try {
-    return simulate_checked(config, sim_time, warmup_fraction, seed,
-                            memory_dist);
+    PetriMmsResult result = simulate_checked(config, sim_time, warmup_fraction,
+                                             seed, memory_dist);
+    // Aggregate flush, once per replication (see mms_des.cpp).
+    obs::count("sim.stpn.runs");
+    obs::count("sim.stpn.firings", result.total_firings);
+    obs::count("sim.stpn.tokens_moved", result.tokens_moved);
+    obs::count("sim.stpn.rng_draws", result.rng_draws);
+    return result;
   } catch (const InvalidArgument& e) {
     throw InvalidArgument(std::string(e.what()) + " [seed=" +
                           std::to_string(seed) + "]");
@@ -233,6 +240,8 @@ PetriMmsResult simulate_checked(const core::MmsConfig& config,
   PetriMmsResult out;
   out.seed = seed;
   out.total_firings = stats.total_firings;
+  out.tokens_moved = stats.tokens_moved;
+  out.rng_draws = stats.rng_draws;
   const auto P = static_cast<double>(model.processors);
   double exec_rate = 0.0;
   for (const TransitionId t : model.exec) exec_rate += stats.firing_rate[t];

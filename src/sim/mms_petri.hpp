@@ -71,6 +71,8 @@ struct PetriMmsResult {
   double network_latency = 0;  ///< S_obs via Little's law
   double memory_latency = 0;   ///< L_obs via Little's law
   std::uint64_t total_firings = 0;
+  std::uint64_t tokens_moved = 0;  ///< tokens consumed + produced
+  std::uint64_t rng_draws = 0;     ///< random variates consumed
   std::uint64_t seed = 0;      ///< RNG seed of this replication
 };
 

@@ -156,10 +156,12 @@ void PetriSimulator::fire(TransitionId t, double now) {
     LATOL_REQUIRE(marking_[arc.place] >= 0,
                   "negative marking at " << net_.place_name(arc.place));
     token_avg_[arc.place].set(now, static_cast<double>(marking_[arc.place]));
+    tokens_moved_ += static_cast<std::uint64_t>(arc.weight);
   }
   for (const auto& arc : tr.outputs) {
     marking_[arc.place] += arc.weight;
     token_avg_[arc.place].set(now, static_cast<double>(marking_[arc.place]));
+    tokens_moved_ += static_cast<std::uint64_t>(arc.weight);
   }
   // The fired transition's clock is spent.
   clock_[t] = std::numeric_limits<double>::infinity();
@@ -246,6 +248,8 @@ PetriStats PetriSimulator::run(double horizon, double warmup) {
   PetriStats stats;
   stats.firings = firings_;
   stats.total_firings = total_firings_;
+  stats.tokens_moved = tokens_moved_;
+  stats.rng_draws = rng_.draws();
   stats.observed_time = horizon - warmup;
   stats.firing_rate.resize(net_.num_transitions());
   for (std::size_t t = 0; t < net_.num_transitions(); ++t)

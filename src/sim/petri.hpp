@@ -101,6 +101,8 @@ struct PetriStats {
   std::vector<double> mean_tokens;      ///< time-averaged marking per place
   double observed_time = 0;             ///< horizon - warmup
   std::uint64_t total_firings = 0;      ///< including warmup
+  std::uint64_t tokens_moved = 0;       ///< consumed + produced, incl. warmup
+  std::uint64_t rng_draws = 0;          ///< random variates consumed
 };
 
 /// Token-game simulator over a StochasticPetriNet.
@@ -130,6 +132,7 @@ class PetriSimulator {
   std::vector<TimeAverage> token_avg_;
   std::vector<std::uint64_t> firings_;
   std::uint64_t total_firings_ = 0;
+  std::uint64_t tokens_moved_ = 0;
 
   // Frontier of immediate transitions that may have become enabled; keeps
   // drain_immediates() O(local changes) instead of O(all transitions).

@@ -28,6 +28,7 @@ class Rng {
 
   /// Uniform double in [0, 1).
   [[nodiscard]] double uniform01() {
+    ++draws_;
     return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
   }
 
@@ -35,6 +36,7 @@ class Rng {
   [[nodiscard]] double exponential(double mean) {
     LATOL_REQUIRE(mean >= 0.0, "exponential mean " << mean);
     if (mean == 0.0) return 0.0;
+    ++draws_;
     return std::exponential_distribution<double>(1.0 / mean)(engine_);
   }
 
@@ -53,17 +55,28 @@ class Rng {
   /// Uniform integer in [0, n).
   [[nodiscard]] std::size_t uniform_index(std::size_t n) {
     LATOL_REQUIRE(n > 0, "uniform_index over empty range");
+    ++draws_;
     return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
   }
 
   /// Sample an index from an unnormalized discrete distribution.
   [[nodiscard]] std::size_t discrete(std::span<const double> weights);
 
-  /// Derive an independent stream (for per-component generators).
-  [[nodiscard]] Rng split() { return Rng(engine_()); }
+  /// Derive an independent stream (for per-component generators). The
+  /// seeding draw counts against this generator; the child starts at 0.
+  [[nodiscard]] Rng split() {
+    ++draws_;
+    return Rng(engine_());
+  }
+
+  /// Variates drawn so far (deterministic draws such as service() with a
+  /// deterministic distribution consume no randomness and are not
+  /// counted). Feeds the sim.*.rng_draws metrics (DESIGN.md §9).
+  [[nodiscard]] std::uint64_t draws() const { return draws_; }
 
  private:
   std::mt19937_64 engine_;
+  std::uint64_t draws_ = 0;
 };
 
 inline std::size_t Rng::discrete(std::span<const double> weights) {

@@ -337,10 +337,157 @@ TEST_F(CliRunScenario, PartialFailureExitsOneTotalFailureThree) {
             3);
 }
 
+// --- instrumentation: --metrics-out / --trace / latol profile -------------
+
+TEST(CliParse, ProfileAndInstrumentationFlags) {
+  const CliOptions opts = parse_command_line(
+      {"profile", "exp.json", "--workers", "2", "--metrics-out", "m.json",
+       "--trace", "t.json"});
+  EXPECT_EQ(opts.command, "profile");
+  EXPECT_EQ(opts.scenario_path, "exp.json");
+  EXPECT_EQ(opts.run_workers, 2u);
+  EXPECT_EQ(opts.metrics_path, "m.json");
+  EXPECT_EQ(opts.trace_path, "t.json");
+  // The flags parse on the single-config commands too.
+  EXPECT_EQ(parse_command_line({"analyze", "--metrics-out", "m.json"})
+                .metrics_path,
+            "m.json");
+  EXPECT_EQ(parse_command_line({"sweep", "--trace", "t.json"}).trace_path,
+            "t.json");
+  // profile takes exactly one scenario file, and usage documents it.
+  EXPECT_THROW((void)parse_command_line({"profile", "a.json", "b.json"}),
+               InvalidArgument);
+  EXPECT_NE(usage().find("profile"), std::string::npos);
+  EXPECT_NE(usage().find("--metrics-out"), std::string::npos);
+}
+
+TEST_F(CliRunScenario, RunEmitsMetricsAndTraceArtifacts) {
+  const std::string path = write_scenario(R"({
+    "name": "instr",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2]}],
+    "outputs": {"network_tolerance": true}
+  })");
+  const std::string metrics_path = dir_ + "/metrics.json";
+  const std::string trace_path = dir_ + "/trace.json";
+  std::ostringstream out, err;
+  const int rc = cli_main({"run", path, "--out", dir_, "--no-cache",
+                           "--metrics-out", metrics_path, "--trace",
+                           trace_path},
+                          out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+
+  const io::Json metrics = io::parse_json_file(metrics_path);
+  EXPECT_EQ(metrics.find("format")->as_string(), "latol-metrics-v1");
+  EXPECT_EQ(metrics.find("scenario")->as_string(), "instr");
+  ASSERT_NE(metrics.find("cache"), nullptr);
+  ASSERT_NE(metrics.find("stages"), nullptr);
+  const auto& points = metrics.find("points")->as_array();
+  ASSERT_EQ(points.size(), 2u);
+  for (const io::Json& p : points) {
+    EXPECT_GT(p.find("iterations")->as_number(), 0.0);
+    EXPECT_GT(p.find("residual_history_length")->as_number(), 0.0);
+    EXPECT_LT(p.find("littles_law_error")->as_number(), 1e-6);
+  }
+  // The registry snapshot rode along (run installs one when instrumented).
+  ASSERT_NE(metrics.find("registry"), nullptr);
+  EXPECT_NE(metrics.find("registry")->find("counters")->find(
+                "qn.robust.solves"),
+            nullptr);
+
+  const io::Json trace = io::parse_json_file(trace_path);
+  EXPECT_EQ(trace.find("format")->as_string(), "latol-trace-v1");
+  const auto& tpoints = trace.find("points")->as_array();
+  ASSERT_EQ(tpoints.size(), 2u);
+  EXPECT_FALSE(tpoints[0].find("residuals")->as_array().empty());
+
+  // Byte-identity: instrumentation must not change the result artifacts.
+  const std::string instrumented_csv = read_all(dir_ + "/instr.csv");
+  std::filesystem::remove(dir_ + "/instr.csv");
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"run", path, "--out", dir_, "--no-cache"}, out2, err2),
+            0);
+  EXPECT_EQ(read_all(dir_ + "/instr.csv"), instrumented_csv);
+}
+
+TEST_F(CliRunScenario, AnalyzeAndSweepEmitMetricsAndTraces) {
+  const std::string metrics_path = dir_ + "/analyze_metrics.json";
+  const std::string trace_path = dir_ + "/analyze_trace.json";
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"analyze", "--k", "2", "--metrics-out", metrics_path,
+                      "--trace", trace_path},
+                     out, err),
+            0);
+  const io::Json metrics = io::parse_json_file(metrics_path);
+  EXPECT_EQ(metrics.find("command")->as_string(), "analyze");
+  const io::Json* point = metrics.find("point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_GT(point->find("iterations")->as_number(), 0.0);
+  EXPECT_EQ(point->find("iterations")->as_number(),
+            point->find("residual_history_length")->as_number());
+  const io::Json trace = io::parse_json_file(trace_path);
+  const auto& attempts = trace.find("attempts")->as_array();
+  ASSERT_EQ(attempts.size(), 1u);  // amva answered first try
+  EXPECT_EQ(attempts[0].find("solver")->as_string(), "amva");
+  EXPECT_FALSE(attempts[0].find("residuals")->as_array().empty());
+  EXPECT_FALSE(attempts[0].find("truncated")->as_bool());
+
+  const std::string sweep_metrics = dir_ + "/sweep_metrics.json";
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"sweep", "--k", "2", "--steps", "3", "--metrics-out",
+                      sweep_metrics},
+                     out2, err2),
+            0);
+  const io::Json sm = io::parse_json_file(sweep_metrics);
+  EXPECT_EQ(sm.find("command")->as_string(), "sweep");
+  EXPECT_EQ(sm.find("points")->as_array().size(), 3u);
+}
+
+TEST_F(CliRunScenario, ProfilePrintsStageAndConvergenceTables) {
+  const std::string path = write_scenario(R"({
+    "name": "prof",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2, 0.3]}],
+    "outputs": {"network_tolerance": true}
+  })");
+  std::ostringstream out, err;
+  const int rc = cli_main({"profile", path}, out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  const std::string text = out.str();
+  // Stage timing table.
+  EXPECT_NE(text.find("stage"), std::string::npos);
+  EXPECT_NE(text.find("expand"), std::string::npos);
+  EXPECT_NE(text.find("solve"), std::string::npos);
+  // Per-solver timers fed by the registry it installed.
+  EXPECT_NE(text.find("qn.solver.amva"), std::string::npos);
+  // Convergence table with one row per grid point plus cache accounting.
+  EXPECT_NE(text.find("residual"), std::string::npos);
+  EXPECT_NE(text.find("littles_err"), std::string::npos);
+  EXPECT_NE(text.find("cache:"), std::string::npos);
+  // No result/cache files: profile only reports.
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/prof.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/latol_cache.json"));
+}
+
+TEST_F(CliRunScenario, ProfileFlagsDegradedScenarios) {
+  const std::string path = write_scenario(R"({
+    "name": "starved",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.2]}],
+    "solver": {"max_iterations": 2}
+  })");
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"profile", path}, out, err), 1);
+  EXPECT_NE(out.str().find("[degraded]"), std::string::npos);
+  EXPECT_NE(out.str().find("warning"), std::string::npos);
+}
+
 TEST_F(CliRunScenario, UsageErrorsExitTwo) {
   std::ostringstream out, err;
   // Missing scenario file argument.
   EXPECT_EQ(cli_main({"run"}, out, err), 2);
+  // `profile` shares the scenario plumbing and the exit code.
+  EXPECT_EQ(cli_main({"profile"}, out, err), 2);
   // Nonexistent scenario file.
   EXPECT_EQ(cli_main({"run", dir_ + "/nope.json"}, out, err), 2);
   // Malformed JSON names line/column.

@@ -10,6 +10,8 @@
 #include "exp/scenario.hpp"
 #include "exp/solve_cache.hpp"
 #include "io/json.hpp"
+#include "obs/registry.hpp"
+#include "qn/robust.hpp"
 #include "util/error.hpp"
 
 namespace latol::exp {
@@ -188,6 +190,172 @@ TEST(Runner, ManifestRecordsProvenance) {
   EXPECT_EQ(counted, 6.0);
 }
 
+// The one shared definition of solve health (qn/robust.hpp documents this
+// truth table as regression-tested here).
+TEST(HealthPredicates, TruthTable) {
+  static_assert(qn::solve_converged(false, true));
+  static_assert(!qn::solve_converged(true, true));
+  static_assert(!qn::solve_converged(false, false));
+  static_assert(qn::solve_clean(false, true, false));
+  static_assert(!qn::solve_clean(false, true, true));   // fallback answered
+  static_assert(!qn::solve_clean(false, false, false)); // not converged
+  static_assert(!qn::solve_clean(true, true, false));   // errored
+  SUCCEED();
+}
+
+// Regression: the manifest's degraded count and the CSV `converged` column
+// used to be computed in two places and could drift. Both now derive from
+// the shared qn predicates — force degraded-but-converged points (AMVA
+// starved of iterations, Linearizer fallback answers) and check the two
+// artifacts agree with the predicates and each other.
+TEST(HealthPredicates, ManifestAndCsvDeriveFromTheSamePredicates) {
+  const Scenario scenario = from_text(R"({
+    "name": "degraded",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.2, 0.4]}],
+    "solver": {"max_iterations": 2},
+    "outputs": {"columns": ["p_remote", "solver", "converged"]}
+  })");
+  const RunResult run = run_scenario(scenario);
+  ASSERT_EQ(run.points.size(), 2u);
+  std::size_t unhealthy = 0;
+  for (const PointResult& p : run.points) {
+    // The fallback converged, so the points are degraded yet converged —
+    // exactly the case where the two ad-hoc definitions used to disagree.
+    EXPECT_TRUE(p.model.perf.degraded);
+    EXPECT_TRUE(qn::solve_converged(p.model.error.has_value(),
+                                    p.model.perf.converged));
+    EXPECT_FALSE(p.model.healthy());
+    if (!p.model.healthy() || p.ideal_degraded) ++unhealthy;
+  }
+  const io::Json m = manifest_to_json(scenario, run);
+  EXPECT_EQ(m.find("degraded_points")->as_number(),
+            static_cast<double>(unhealthy));
+  EXPECT_EQ(run.stats.degraded_points, unhealthy);
+  std::ostringstream csv;
+  write_results_csv(scenario, run, csv);
+  // Every data row's `converged` cell (last column) must match
+  // qn::solve_converged — here "1" despite the degraded flag.
+  const std::string text = csv.str();
+  std::size_t rows = 0;
+  for (std::size_t pos = text.find('\n');
+       pos != std::string::npos && pos + 1 < text.size();
+       pos = text.find('\n', pos + 1)) {
+    const std::size_t end = text.find('\n', pos + 1);
+    const std::string row = text.substr(pos + 1, end - pos - 1);
+    if (row.empty()) continue;
+    EXPECT_EQ(row.substr(row.rfind(',') + 1), "1") << row;
+    ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+}
+
+TEST(SolveCache, ReportsPerLookupHitsAndTraceKeying) {
+  SolveCache cache;
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.k = 2;
+  const qn::AmvaOptions plain;
+  bool hit = true;
+  const core::MmsPerformance first = cache.analyze(cfg, plain, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_TRUE(first.residual_history.empty());
+  (void)cache.analyze(cfg, plain, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  // record_trace is part of the key: a traced solve of the same
+  // configuration is a distinct entry and actually carries its history.
+  qn::AmvaOptions traced;
+  traced.record_trace = true;
+  const core::MmsPerformance with_trace = cache.analyze(cfg, traced, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_FALSE(with_trace.residual_history.empty());
+  EXPECT_EQ(with_trace.residual_history.size(),
+            static_cast<std::size_t>(with_trace.solver_iterations));
+  // Identical numbers either way: tracing only observes.
+  EXPECT_EQ(first.processor_utilization, with_trace.processor_utilization);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SolveCache, CapacityEvictsOldestCompletedEntriesFifo) {
+  SolveCache cache;
+  qn::AmvaOptions opts;
+  auto config_for = [](double p) {
+    core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+    cfg.k = 2;
+    cfg.p_remote = p;
+    return cfg;
+  };
+  for (const double p : {0.1, 0.2, 0.3}) {
+    (void)cache.analyze(config_for(p), opts);
+  }
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 0u);
+  cache.set_capacity(2);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  // The oldest entry (p=0.1) was dropped: solving it again is a miss; the
+  // newest (p=0.3) is still a hit.
+  bool hit = true;
+  (void)cache.analyze(config_for(0.3), opts, &hit);
+  EXPECT_TRUE(hit);
+  (void)cache.analyze(config_for(0.1), opts, &hit);
+  EXPECT_FALSE(hit);
+  // That insert pushed past capacity again and evicted FIFO.
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 2u);
+  // Capacity 0 = unlimited again.
+  cache.set_capacity(0);
+  (void)cache.analyze(config_for(0.5), opts);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(Runner, MetricsDocumentRoundTripsThroughIo) {
+  Scenario scenario = from_text(kSmallScenario);
+  scenario.amva.record_trace = true;
+  obs::Registry registry;
+  obs::Registry* const previous = obs::set_default_registry(&registry);
+  SolveCache cache;
+  RunOptions opts;
+  opts.cache = &cache;
+  const RunResult run = run_scenario(scenario, opts);
+  obs::set_default_registry(previous);
+
+  const obs::Snapshot snapshot = registry.snapshot();
+  const io::Json rendered = metrics_to_json(scenario, run, &snapshot);
+  // The document must survive a full serialize/parse round trip.
+  const io::Json doc = io::parse_json(rendered.dump(2));
+  EXPECT_EQ(doc.find("format")->as_string(), "latol-metrics-v1");
+  EXPECT_EQ(doc.find("scenario")->as_string(), "small");
+  EXPECT_EQ(doc.find("build")->as_string(), build_version());
+  ASSERT_NE(doc.find("stages"), nullptr);
+  EXPECT_GE(doc.find("stages")->find("wall_seconds")->as_number(), 0.0);
+  ASSERT_NE(doc.find("cache"), nullptr);
+  EXPECT_EQ(doc.find("cache")->find("misses")->as_number(),
+            static_cast<double>(run.stats.solves));
+  const auto& points = doc.find("points")->as_array();
+  ASSERT_EQ(points.size(), 6u);
+  for (const io::Json& p : points) {
+    EXPECT_TRUE(p.find("converged")->as_bool());
+    EXPECT_FALSE(p.find("degraded")->as_bool());
+    EXPECT_GT(p.find("iterations")->as_number(), 0.0);
+    EXPECT_GT(p.find("residual_history_length")->as_number(), 0.0);
+    // Little's law holds to numerical precision on clean solves.
+    EXPECT_LT(p.find("littles_law_error")->as_number(), 1e-6);
+    EXPECT_LT(p.find("flow_balance_error")->as_number(), 1e-6);
+  }
+  // Clean run: the invariant warnings stream is empty.
+  EXPECT_TRUE(doc.find("warnings")->as_array().empty());
+  // The registry snapshot rode along with the solver counters.
+  const io::Json* counters = doc.find("registry")->find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("qn.robust.solves"), nullptr);
+  EXPECT_GE(counters->find("qn.robust.solves")->as_number(),
+            static_cast<double>(run.stats.solves));
+  // Without a snapshot the registry section is absent.
+  EXPECT_EQ(metrics_to_json(scenario, run).find("registry"), nullptr);
+}
+
 TEST(SolveCachePersistence, RoundTripsAndGatesOnVersion) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "latol_cache_test.json")
@@ -228,7 +396,7 @@ TEST(SolveCachePersistence, RejectsMalformedEntries) {
       (std::filesystem::temp_directory_path() / "latol_cache_bad.json")
           .string();
   io::Json doc = io::Json::object();
-  doc.set("format", "latol-solve-cache-1");
+  doc.set("format", "latol-solve-cache-2");
   doc.set("version", "v1");
   io::Json entry = io::Json::object();
   entry.set("key", "k");  // missing perf

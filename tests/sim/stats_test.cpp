@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "util/error.hpp"
 
 namespace latol::sim {
@@ -92,6 +94,49 @@ TEST(BatchMeans, EmptyIsSafe) {
   BatchMeans b(4);
   EXPECT_DOUBLE_EQ(b.mean(), 0.0);
   EXPECT_DOUBLE_EQ(b.half_width_95(), 0.0);
+}
+
+TEST(OnlineStats, ZeroVarianceConstantStream) {
+  OnlineStats s;
+  for (int i = 0; i < 100; ++i) s.add(4.25);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.25);
+  EXPECT_NEAR(s.variance(), 0.0, 1e-24);
+  EXPECT_NEAR(s.stddev(), 0.0, 1e-12);
+}
+
+TEST(OnlineStats, MatchesClosedFormForArithmeticSequence) {
+  // For 1..n the sample variance has the closed form n(n+1)/12.
+  OnlineStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.mean(), 50.5);
+  EXPECT_NEAR(s.variance(), 100.0 * 101.0 / 12.0, 1e-9);
+}
+
+TEST(BatchMeans, SingleSampleHasZeroWidthInterval) {
+  BatchMeans b(4);
+  b.add(42.0);
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_DOUBLE_EQ(b.mean(), 42.0);
+  // Only one batch has data: no variance estimate, width 0 by contract.
+  EXPECT_DOUBLE_EQ(b.half_width_95(), 0.0);
+}
+
+TEST(BatchMeans, HalfWidthMatchesClosedFormTwoBatches) {
+  // Round-robin over 2 batches: {0, 0} and {10, 10}, batch means 0 and 10.
+  // Mean of means 5, sample variance 50, half width 1.96*sqrt(50/2) = 9.8.
+  BatchMeans b(2);
+  for (const double x : {0.0, 10.0, 0.0, 10.0}) b.add(x);
+  EXPECT_DOUBLE_EQ(b.mean(), 5.0);
+  EXPECT_NEAR(b.half_width_95(), 9.8, 1e-12);
+}
+
+TEST(BatchMeans, HalfWidthMatchesClosedFormFourBatches) {
+  // 1..8 round-robin over 4 batches: batch means 3, 4, 5, 6. Variance of
+  // means 5/3, half width 1.96*sqrt(5/12).
+  BatchMeans b(4);
+  for (int i = 1; i <= 8; ++i) b.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(b.mean(), 4.5);
+  EXPECT_NEAR(b.half_width_95(), 1.96 * std::sqrt(5.0 / 12.0), 1e-12);
 }
 
 }  // namespace
