@@ -88,11 +88,14 @@ inline int report_sweep_health(const std::vector<core::SweepResult>& results,
   int unhealthy = 0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const core::SweepResult& r = results[i];
-    if (r.healthy()) continue;
+    if (r.healthy() && !r.ideal_degraded) continue;
     ++unhealthy;
     if (r.error) {
       std::cout << "[solve failed] " << context << " point " << i << ": "
                 << *r.error << '\n';
+    } else if (r.ideal_degraded && r.healthy()) {
+      std::cout << "[not converged] " << context << " point " << i
+                << ": ideal-system solve degraded\n";
     } else {
       std::cout << "[not converged] " << context << " point " << i
                 << ": answered by " << qn::solver_kind_name(r.perf.solver)

@@ -8,6 +8,8 @@
 #include "core/latol.hpp"
 #include "json_reporter.hpp"
 #include "qn/mva_exact.hpp"
+#include "qn/mva_linearizer.hpp"
+#include "qn/workspace.hpp"
 
 namespace {
 
@@ -91,6 +93,63 @@ void BM_ParallelSweep(benchmark::State& state) {
                           static_cast<long>(grid.size()));
 }
 BENCHMARK(BM_ParallelSweep)->Arg(1)->Arg(4)->Arg(0);
+
+// Sweep throughput on the paper's large-machine regime (Figs. 9-10):
+// points/sec over a k=6 (P=36) tolerance sweep, serial pool vs the shared
+// work-stealing pool. This is the number docs/PERFORMANCE.md quotes for
+// "how fast can we regenerate a figure".
+void BM_SweepPointsPerSecLargeMachine(benchmark::State& state) {
+  std::vector<core::MmsConfig> grid;
+  for (int n_t = 1; n_t <= 4; ++n_t) {
+    for (const double p : {0.1, 0.2, 0.3, 0.4}) {
+      core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+      cfg.k = 6;
+      cfg.threads_per_processor = n_t;
+      cfg.p_remote = p;
+      grid.push_back(cfg);
+    }
+  }
+  core::SweepOptions opts;
+  opts.network_tolerance = true;
+  opts.workers = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::sweep(grid, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(grid.size()));
+  state.SetLabel(state.range(0) == 0 ? "shared pool"
+                                     : std::to_string(state.range(0)) +
+                                           " worker(s)");
+}
+BENCHMARK(BM_SweepPointsPerSecLargeMachine)->Arg(1)->Arg(0);
+
+// The Linearizer rides the same flat workspace kernel as AMVA; its cost is
+// ~(C + 1) x 3 Core solves (DESIGN.md §10, docs/PERFORMANCE.md).
+void BM_LinearizerSolve(benchmark::State& state) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.k = static_cast<int>(state.range(0));
+  const core::MmsModel model(cfg);
+  const qn::ClosedNetwork net = model.build_network();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qn::solve_linearizer(net));
+  }
+  state.SetLabel("P=" + std::to_string(cfg.num_processors()));
+}
+BENCHMARK(BM_LinearizerSolve)->Arg(2)->Arg(4);
+
+// Reusing one explicit workspace across solves — the sweep hot path — vs
+// paying the thread_local lookup per solve. Mostly documents that the
+// arena amortizes to zero allocation per point.
+void BM_AmvaWorkspaceReuse(benchmark::State& state) {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  const core::MmsModel model(cfg);
+  const qn::ClosedNetwork net = model.build_network();
+  qn::SolverWorkspace ws;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(qn::solve_amva(net, {}, ws));
+  }
+}
+BENCHMARK(BM_AmvaWorkspaceReuse);
 
 }  // namespace
 

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Guard against solver performance regressions.
+
+Usage: check_bench_regression.py <baseline.json> <current.json> [--limit PCT]
+
+Compares two BENCH_*.json files (the format written by the perf_*
+binaries' JSON tee, see docs/PERFORMANCE.md) benchmark-by-benchmark on
+cpu_time. Because the baseline is committed from a different machine than
+the CI runner, raw times are not comparable; instead each benchmark's
+ratio current/baseline is normalized by the median ratio across all
+shared benchmarks. The median captures the machine-speed difference; a
+benchmark whose normalized ratio exceeds 1 + limit (default 20%) has
+slowed down relative to its peers and fails the check.
+
+Benchmarks present in only one file are reported but do not fail — new
+benchmarks have no baseline yet, and retired ones no current number.
+Standard library only. Exits 0 when within limits, 1 otherwise.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for b in doc["benchmarks"]:
+        # Aggregate rows (name/mean, name/median, ...) would double-count.
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = float(b["cpu_time"])
+    return out
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--limit", type=float, default=20.0,
+                    help="allowed slowdown in percent after normalization "
+                         "(default 20)")
+    args = ap.parse_args(argv[1:])
+
+    base = load(args.baseline)
+    curr = load(args.current)
+
+    shared = sorted(set(base) & set(curr))
+    for name in sorted(set(base) - set(curr)):
+        print(f"note: `{name}` only in baseline (retired?)")
+    for name in sorted(set(curr) - set(base)):
+        print(f"note: `{name}` only in current (no baseline yet)")
+    if len(shared) < 3:
+        print(f"error: only {len(shared)} shared benchmark(s); need >= 3 "
+              f"for a meaningful median normalization")
+        return 1
+
+    ratios = {n: curr[n] / base[n] for n in shared if base[n] > 0}
+    median = statistics.median(ratios.values())
+    print(f"median current/baseline ratio: {median:.3f} "
+          f"(machine-speed normalization factor)")
+
+    threshold = 1.0 + args.limit / 100.0
+    failures = 0
+    for name in shared:
+        norm = ratios[name] / median
+        flag = ""
+        if norm > threshold:
+            flag = f"  <-- REGRESSION (> {args.limit:.0f}%)"
+            failures += 1
+        print(f"  {name}: {norm - 1.0:+.1%} vs peers{flag}")
+    if failures:
+        print(f"\ncheck_bench_regression: {failures} benchmark(s) slowed "
+              f"down more than {args.limit:.0f}% relative to the rest.")
+        return 1
+    print("check_bench_regression: no regression beyond "
+          f"{args.limit:.0f}%.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Header documentation lint: every namespace-scope declaration in a
+public header must carry a doc comment.
+
+Usage: check_docs.py [src_dir ...]   (default: src)
+
+Walks every *.hpp under the given directories and requires that each
+declaration at namespace scope (class/struct/enum definitions, free
+functions, type aliases, constants) is immediately preceded by a `///`
+Doxygen comment or a `//` comment block. Pure forward declarations
+(`class X;`) are exempt — the documentation lives at the definition.
+
+This is a line-based heuristic, not a C++ parser: it tracks brace depth
+to tell namespace scope from class/function bodies, which is reliable for
+this codebase's clang-format style. Standard library only so CI can run
+it without installing anything. Exits 0 when clean, 1 with a list of
+undocumented declarations otherwise.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+FORWARD_DECL = re.compile(r"^(class|struct)\s+\w+\s*;\s*(//.*)?$")
+# Out-of-line member definitions (`T Class::member(...)`) are documented at
+# the in-class declaration, not at the definition.
+MEMBER_DEF = re.compile(r"^[^=(]*\b\w+::\w+\s*\(")
+NAMESPACE_LINE = re.compile(r"^(inline\s+)?namespace\b")
+SKIP_PREFIXES = (
+    "#", "//", "/*", "*", "{", "}", "public:", "private:", "protected:",
+    "extern \"C\"",
+)
+
+
+def strip_strings(line):
+    """Blank out string/char literals so braces inside them don't count."""
+    return re.sub(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'', '""', line)
+
+
+def lint_file(path):
+    """Return a list of (line_number, text) undocumented declarations."""
+    lines = path.read_text().splitlines()
+    violations = []
+    # Scope stack entries: "ns" for namespace braces, "other" for
+    # everything else (class bodies, function bodies, enum lists, ...).
+    stack = []
+    in_block_comment = False
+    in_preproc = False  # continuation lines of a backslash-continued #define
+    in_statement = False  # continuation lines of a multi-line declaration
+    prev_significant = ""  # last non-blank line at any scope
+
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+
+        if in_preproc:
+            prev_significant = line or prev_significant
+            in_preproc = line.endswith("\\")
+            continue
+        if line.startswith("#"):
+            prev_significant = line
+            in_preproc = line.endswith("\\")
+            continue
+
+        if in_block_comment:
+            prev_significant = "//"
+            if "*/" in line:
+                in_block_comment = False
+            continue
+
+        if not line:
+            continue
+
+        code = strip_strings(line)
+        # Drop trailing // comments before brace counting.
+        code = re.sub(r"//.*$", "", code).strip()
+
+        if line.startswith("/*"):
+            prev_significant = "//"
+            if "*/" not in line:
+                in_block_comment = True
+            continue
+
+        at_ns_scope = all(kind == "ns" for kind in stack)
+        starts_decl = (
+            at_ns_scope
+            and not in_statement
+            and code
+            and not line.startswith(SKIP_PREFIXES)
+            and not NAMESPACE_LINE.match(code)
+            and not FORWARD_DECL.match(line)
+            and not MEMBER_DEF.match(line)
+        )
+        if starts_decl:
+            documented = prev_significant.startswith(("///", "//", "*/"))
+            if not documented:
+                violations.append((lineno, line))
+            in_statement = True
+
+        # Track statement/brace structure.
+        for ch in code:
+            if ch == "{":
+                is_ns = NAMESPACE_LINE.match(code) is not None
+                stack.append("ns" if is_ns else "other")
+            elif ch == "}":
+                if stack:
+                    stack.pop()
+                in_statement = False
+        if in_statement and all(k == "ns" for k in stack) \
+                and code.endswith((";", "}")):
+            in_statement = False
+
+        prev_significant = line
+
+    return violations
+
+
+def main(argv):
+    roots = [Path(p) for p in (argv[1:] or ["src"])]
+    failures = 0
+    for root in roots:
+        for path in sorted(root.rglob("*.hpp")):
+            for lineno, text in lint_file(path):
+                print(f"{path}:{lineno}: undocumented namespace-scope "
+                      f"declaration: {text}")
+                failures += 1
+    if failures:
+        print(f"\ncheck_docs: {failures} undocumented declaration(s); "
+              f"add a /// comment above each.")
+        return 1
+    print("check_docs: all namespace-scope declarations are documented.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,11 +1,13 @@
 // Implementations of the `latol` CLI commands.
 #include <cmath>
+#include <exception>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include "cli/options.hpp"
 #include "core/latol.hpp"
@@ -17,6 +19,7 @@
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace latol::cli {
 
@@ -231,24 +234,53 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
                      "tol_network", "zone", "solver"});
   qn::AmvaOptions amva = opts.amva;
   amva.record_trace = wants_instrumentation(opts);
+
+  // Solve the steps in parallel (--jobs; 0 = shared pool). Each step
+  // writes only its own slot, so the table below is byte-identical to the
+  // old serial loop for every worker count; a step's exception is captured
+  // and rethrown in step order before anything is printed, preserving the
+  // serial loop's failure behavior and exit codes.
+  struct SweepStep {
+    double x = 0.0;
+    core::ToleranceResult t;
+    std::exception_ptr error;
+  };
+  std::vector<SweepStep> steps(static_cast<std::size_t>(opts.sweep_steps));
+  util::parallel_for(
+      steps.size(),
+      [&](std::size_t s) {
+        SweepStep& step = steps[s];
+        step.x = opts.sweep_steps == 1
+                     ? opts.sweep_from
+                     : opts.sweep_from +
+                           (opts.sweep_to - opts.sweep_from) *
+                               static_cast<double>(s) / (opts.sweep_steps - 1);
+        try {
+          core::MmsConfig cfg = opts.config;
+          // Integral parameters keep the historical sweep behavior of
+          // truncating fractional grid values (a 1..8 sweep in 9 steps must
+          // still work).
+          exp::apply_parameter(cfg, opts.sweep_param,
+                               exp::parameter_is_integral(opts.sweep_param)
+                                   ? std::trunc(step.x)
+                                   : step.x);
+          step.t = core::tolerance_index(cfg, core::Subsystem::kNetwork, amva);
+        } catch (...) {
+          step.error = std::current_exception();
+        }
+      },
+      opts.run_workers);
+  for (const SweepStep& step : steps) {
+    if (step.error) std::rethrow_exception(step.error);
+  }
+
   io::Json metric_points = io::Json::array();
   io::Json trace_points = io::Json::array();
   int degraded = 0;
   for (int s = 0; s < opts.sweep_steps; ++s) {
-    const double x =
-        opts.sweep_steps == 1
-            ? opts.sweep_from
-            : opts.sweep_from + (opts.sweep_to - opts.sweep_from) * s /
-                                    (opts.sweep_steps - 1);
-    core::MmsConfig cfg = opts.config;
-    // Integral parameters keep the historical sweep behavior of truncating
-    // fractional grid values (a 1..8 sweep in 9 steps must still work).
-    exp::apply_parameter(cfg, opts.sweep_param,
-                         exp::parameter_is_integral(opts.sweep_param)
-                             ? std::trunc(x)
-                             : x);
-    const core::ToleranceResult t =
-        core::tolerance_index(cfg, core::Subsystem::kNetwork, amva);
+    const SweepStep& step = steps[static_cast<std::size_t>(s)];
+    const double x = step.x;
+    const core::ToleranceResult& t = step.t;
     // Shared health predicate (DESIGN.md §7/§9): a sweep point is clean
     // only when both the actual and the ideal solve are.
     const bool clean =

@@ -87,9 +87,9 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
                         opts.run_format == "both",
                     "--format expects json|csv|both, got `" << opts.run_format
                                                             << "`");
-    } else if (flag == "--workers") {
+    } else if (flag == "--workers" || flag == "--jobs") {
       const int n = parse_int(flag, value());
-      LATOL_REQUIRE(n >= 0, "--workers must be >= 0");
+      LATOL_REQUIRE(n >= 0, flag << " must be >= 0");
       opts.run_workers = static_cast<std::size_t>(n);
     } else if (flag == "--cache") {
       opts.cache_path = value();
@@ -189,7 +189,10 @@ std::string usage() {
         "  --param X   p_remote|threads|runlength|switch_delay|\n"
         "              memory_latency|k|p_sw|context_switch|\n"
         "              memory_ports                          [p_remote]\n"
-        "  --from A --to B --steps N                         [0 0.8 9]\n\n"
+        "  --from A --to B --steps N                         [0 0.8 9]\n"
+        "  --jobs N    parallel sweep workers (0 = shared pool sized to\n"
+        "              the hardware); output is byte-identical for every\n"
+        "              worker count                          [0]\n\n"
         "simulate flags:\n"
         "  --time T    simulated time units                  [100000]\n"
         "  --seed N    RNG seed                              [1]\n"
@@ -197,7 +200,8 @@ std::string usage() {
         "run usage: latol run <scenario.json> [flags]\n"
         "  --out DIR       output directory                  [.]\n"
         "  --format F      json|csv|both                     [both]\n"
-        "  --workers N     worker threads (0 = hardware)     [0]\n"
+        "  --workers N     worker threads (0 = hardware); --jobs is an\n"
+        "                  alias                             [0]\n"
         "  --cache FILE    solve-cache file    [<out>/latol_cache.json]\n"
         "  --no-cache      do not load/save the solve cache\n\n"
         "profile usage: latol profile <scenario.json> [--workers N]\n"

@@ -45,7 +45,7 @@ struct CliOptions {
   std::string scenario_path;       ///< positional `latol run <scenario.json>`
   std::string out_dir = ".";       ///< --out DIR
   std::string run_format = "both"; ///< --format json|csv|both
-  std::size_t run_workers = 0;     ///< --workers N (0 = scenario/hardware)
+  std::size_t run_workers = 0;  ///< --workers/--jobs N (0 = scenario/shared)
   bool run_cache = true;           ///< --no-cache disables persistence
   std::string cache_path;          ///< --cache FILE (default <out>/latol_cache.json)
 };

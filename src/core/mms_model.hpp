@@ -117,6 +117,8 @@ struct RobustAnalysis {
   MmsPerformance perf;
   qn::SolveReport report;
 };
+/// Solve `config` through the qn::robust_solve fallback chain and return
+/// the performance measures with the full per-attempt report.
 [[nodiscard]] RobustAnalysis analyze_robust(const MmsConfig& config,
                                             const qn::RobustOptions& options = {});
 
@@ -131,6 +133,8 @@ struct DetailedAnalysis {
   qn::ClosedNetwork network;
   qn::MvaSolution solution;
 };
+/// Solve `config` with AMVA and return the measures together with the
+/// network and raw solution.
 [[nodiscard]] DetailedAnalysis analyze_detailed(
     const MmsConfig& config, const qn::AmvaOptions& options = {});
 

@@ -22,12 +22,14 @@ std::vector<SweepResult> sweep(std::span<const MmsConfig> grid,
                 cfg, Subsystem::kNetwork, options.network_method, options.amva);
             r.perf = t.actual;
             r.tol_network = t.index;
+            r.ideal_degraded |= t.ideal.degraded || !t.ideal.converged;
           }
           if (options.memory_tolerance) {
             const ToleranceResult t =
                 tolerance_index(cfg, Subsystem::kMemory, options.amva);
             r.perf = t.actual;
             r.tol_memory = t.index;
+            r.ideal_degraded |= t.ideal.degraded || !t.ideal.converged;
           }
           if (!options.network_tolerance && !options.memory_tolerance) {
             r.perf = analyze(cfg, options.amva);

@@ -28,7 +28,10 @@ struct SweepOptions {
   bool network_tolerance = false;
   IdealMethod network_method = IdealMethod::kModifyWorkload;
   bool memory_tolerance = false;
-  std::size_t workers = 0;  ///< 0 = hardware concurrency
+  /// 0 = the shared process-wide pool (util::ThreadPool::shared()), > 0 a
+  /// transient pool of that many threads. Results are bit-identical for
+  /// every value (DESIGN.md §10).
+  std::size_t workers = 0;
   qn::AmvaOptions amva{};
 };
 
@@ -40,6 +43,12 @@ struct SweepResult {
   MmsPerformance perf;
   std::optional<double> tol_network;
   std::optional<double> tol_memory;
+  /// Tolerance modes solve an extra ideal system per point; this flags an
+  /// ideal solve that was degraded or unconverged (the reported index is
+  /// then built on a shaky denominator). Always false outside tolerance
+  /// modes. Mirrors exp::PointResult::ideal_degraded so CLI, benches, and
+  /// the experiment engine agree on what a degraded point is.
+  bool ideal_degraded = false;
   /// Set when the solve threw (bad config, or even the fallback chain
   /// failed); the other fields are then default-initialized.
   std::optional<std::string> error;

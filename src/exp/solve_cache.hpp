@@ -35,6 +35,10 @@
 
 namespace latol::exp {
 
+/// Content-addressed store of solved points, keyed by the full
+/// MmsConfig + solver options (DESIGN.md §8). In-memory with optional
+/// JSON persistence so repeated `latol run` invocations skip unchanged
+/// grid points.
 class SolveCache {
  public:
   SolveCache() = default;

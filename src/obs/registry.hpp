@@ -144,14 +144,17 @@ Registry* set_default_registry(Registry* registry);
 
 // --- null-tolerant helpers: the form instrumented code actually uses ----
 
+/// Bump counter `name` in the default registry; no-op when none is set.
 inline void count(std::string_view name, std::uint64_t n = 1) {
   if (Registry* r = default_registry()) r->counter(name).add(n);
 }
 
+/// Set gauge `name` in the default registry; no-op when none is set.
 inline void gauge_set(std::string_view name, double value) {
   if (Registry* r = default_registry()) r->gauge(name).set(value);
 }
 
+/// Add to timer `name` in the default registry; no-op when none is set.
 inline void time_add(std::string_view name, double seconds) {
   if (Registry* r = default_registry()) r->timer(name).add_seconds(seconds);
 }

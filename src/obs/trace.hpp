@@ -17,6 +17,9 @@
 
 namespace latol::obs {
 
+/// Bounded recorder of per-iteration convergence residuals (DESIGN.md
+/// §9). Solvers push each iteration's delta; the ring keeps the newest
+/// `capacity` samples so diverging solves cannot grow it unboundedly.
 class ConvergenceTrace {
  public:
   static constexpr std::size_t kDefaultCapacity = 4096;

@@ -5,11 +5,13 @@
 #include <string>
 
 #include "qn/solver_error.hpp"
+#include "qn/workspace.hpp"
 #include "util/error.hpp"
 
 namespace latol::qn {
 
-MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
+MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options,
+                       SolverWorkspace& ws) {
   net.validate();
   LATOL_REQUIRE(options.tolerance > 0.0, "tolerance " << options.tolerance);
   LATOL_REQUIRE(options.damping > 0.0 && options.damping <= 1.0,
@@ -19,33 +21,28 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
   LATOL_REQUIRE(options.divergence_window >= 0,
                 "divergence_window " << options.divergence_window);
 
-  const std::size_t C = net.num_classes();
-  const std::size_t M = net.num_stations();
-
-  MvaSolution sol;
-  sol.throughput.assign(C, 0.0);
-  sol.waiting = util::Matrix(C, M, 0.0);
-  sol.queue_length = util::Matrix(C, M, 0.0);
-  sol.utilization.assign(M, 0.0);
+  ws.bind(net);
+  const std::size_t C = ws.num_classes();
 
   // Initial guess: spread each class's population over its stations in
   // proportion to service demand (any positive spread converges; this one
   // starts near the answer for balanced networks).
   for (std::size_t c = 0; c < C; ++c) {
-    const double total = net.total_demand(c);
-    if (net.population(c) == 0 || total <= 0.0) continue;
-    for (std::size_t m = 0; m < M; ++m) {
-      sol.queue_length(c, m) =
-          static_cast<double>(net.population(c)) * net.demand(c, m) / total;
+    const double total = ws.total_demand[c];
+    if (ws.population[c] == 0 || total <= 0.0) continue;
+    for (std::size_t i = ws.first[c]; i < ws.first[c + 1]; ++i) {
+      ws.queue[i] = ws.population_f[c] * ws.demand[i] / total;
     }
   }
 
   // Per-station total queue lengths, maintained across iterations.
-  std::vector<double> station_total(M, 0.0);
-  auto refresh_totals = [&] {
-    for (std::size_t m = 0; m < M; ++m) station_total[m] = sol.station_queue(m);
-  };
-  refresh_totals();
+  // Classes accumulate in increasing c per station, matching the dense
+  // station_queue() sum.
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t i = ws.first[c]; i < ws.first[c + 1]; ++i) {
+      ws.station_total[ws.station[i]] += ws.queue[i];
+    }
+  }
 
   bool converged = false;
   long iter = 0;
@@ -53,32 +50,26 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
   for (; iter < options.max_iterations; ++iter) {
     double delta = 0.0;
     for (std::size_t c = 0; c < C; ++c) {
-      const long pop = net.population(c);
+      const long pop = ws.population[c];
       if (pop == 0) continue;
-      const double nc = static_cast<double>(pop);
+      const double nc = ws.population_f[c];
+      const double self_seen = (nc - 1.0) / nc;
+      const std::size_t begin = ws.first[c];
+      const std::size_t end = ws.first[c + 1];
 
-      // Residence times under the Schweitzer arrival approximation.
+      // Residence times under the Schweitzer arrival approximation, with
+      // the Seidmann multi-server terms folded into per-slot constants.
       double cycle = 0.0;
-      for (std::size_t m = 0; m < M; ++m) {
-        const double v = net.visit_ratio(c, m);
-        if (v <= 0.0) {
-          sol.waiting(c, m) = 0.0;
-          continue;
+      for (std::size_t i = begin; i < end; ++i) {
+        double w = ws.service[i];
+        if (ws.queueing[i] != 0) {
+          const double q = ws.queue[i];
+          const double seen = ws.station_total[ws.station[i]] - q +
+                              self_seen * q;
+          w = ws.seidmann_fixed[i] + ws.seidmann_rate[i] * (1.0 + seen);
         }
-        const double s = net.service_time(c, m);
-        double w = s;
-        if (net.station(m).kind == StationKind::kQueueing) {
-          const double seen = station_total[m] - sol.queue_length(c, m) +
-                              ((nc - 1.0) / nc) * sol.queue_length(c, m);
-          const auto servers = static_cast<double>(net.station(m).servers);
-          // Seidmann approximation for multi-server stations: a fixed
-          // delay of s(m-1)/m plus a single server of speed m. Exact for
-          // servers == 1.
-          w = s * (servers - 1.0) / servers +
-              (s / servers) * (1.0 + seen);
-        }
-        sol.waiting(c, m) = w;
-        cycle += v * w;
+        ws.waiting[i] = w;
+        cycle += ws.visit[i] * w;
       }
       // A validated network has positive total demand for every populated
       // class, so a vanishing or non-finite cycle time here can only come
@@ -90,25 +81,26 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
                               std::to_string(iter));
       }
       const double lambda = nc / cycle;
-      sol.throughput[c] = lambda;
+      ws.throughput[c] = lambda;
 
       // Queue-length update (with optional under-relaxation), keeping the
       // running per-station totals in sync so later classes in this sweep
       // see the newest estimates (Gauss–Seidel style, faster than Jacobi).
-      for (std::size_t m = 0; m < M; ++m) {
-        const double target = lambda * net.visit_ratio(c, m) * sol.waiting(c, m);
-        const double updated = sol.queue_length(c, m) +
-                               options.damping * (target - sol.queue_length(c, m));
+      for (std::size_t i = begin; i < end; ++i) {
+        const double target = lambda * ws.visit[i] * ws.waiting[i];
+        const double updated =
+            ws.queue[i] + options.damping * (target - ws.queue[i]);
         if (!std::isfinite(updated)) {
           throw SolverError(SolverErrorCode::kNumerical,
                             "queue length of class " + std::to_string(c) +
-                                " at station " + std::to_string(m) +
+                                " at station " +
+                                std::to_string(ws.station[i]) +
                                 " became non-finite at iteration " +
                                 std::to_string(iter));
         }
-        delta = std::max(delta, std::fabs(updated - sol.queue_length(c, m)));
-        station_total[m] += updated - sol.queue_length(c, m);
-        sol.queue_length(c, m) = updated;
+        delta = std::max(delta, std::fabs(updated - ws.queue[i]));
+        ws.station_total[ws.station[i]] += updated - ws.queue[i];
+        ws.queue[i] = updated;
       }
     }
     if (options.trace != nullptr) options.trace->record(delta);
@@ -133,15 +125,17 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
     best_delta = std::min(best_delta, delta);
   }
 
+  MvaSolution sol = ws.scatter_solution();
   sol.iterations = iter;
   sol.converged = converged;
-  for (std::size_t m = 0; m < M; ++m) {
-    double u = 0.0;
-    for (std::size_t c = 0; c < C; ++c)
-      u += sol.throughput[c] * net.demand(c, m);
-    sol.utilization[m] = u;
-  }
   return sol;
+}
+
+MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options) {
+  // One arena per thread, reused across solves — a parameter sweep pays
+  // for allocation on its first point only (DESIGN.md §10).
+  thread_local SolverWorkspace workspace;
+  return solve_amva(net, options, workspace);
 }
 
 }  // namespace latol::qn

@@ -22,6 +22,8 @@
 
 namespace latol::qn {
 
+class SolverWorkspace;
+
 /// Options for the AMVA fixed-point iteration.
 struct AmvaOptions {
   /// Convergence threshold on the max absolute change of any per-class
@@ -56,5 +58,13 @@ struct AmvaOptions {
 /// `converged` — robust_solve classifies that as kIterationBudget).
 [[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
                                      const AmvaOptions& options = {});
+
+/// Same solve, but running in a caller-provided SolverWorkspace (see
+/// qn/workspace.hpp) instead of the per-thread default arena. Use when
+/// sweeping many networks to control exactly which allocations are reused;
+/// results are bit-identical to the default overload.
+[[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
+                                     const AmvaOptions& options,
+                                     SolverWorkspace& ws);
 
 }  // namespace latol::qn

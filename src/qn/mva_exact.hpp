@@ -21,7 +21,13 @@ namespace latol::qn {
 /// Solve `net` exactly. Throws InvalidArgument when the network violates
 /// the product-form conditions or the lattice would exceed `max_states`
 /// population vectors (guard against accidental blow-up).
+///
+/// Large population-lattice levels are processed in parallel (each level
+/// depends only on the previous one, and every point writes a disjoint
+/// row): `workers` == 0 uses the shared pool, > 0 a transient pool of
+/// that size. Results are bit-identical for every worker count.
 [[nodiscard]] MvaSolution solve_mva_exact(const ClosedNetwork& net,
-                                          std::size_t max_states = 50'000'000);
+                                          std::size_t max_states = 50'000'000,
+                                          std::size_t workers = 0);
 
 }  // namespace latol::qn

@@ -1,50 +1,50 @@
 #include "qn/mva_linearizer.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "qn/solver_error.hpp"
+#include "qn/workspace.hpp"
 #include "util/error.hpp"
 
 namespace latol::qn {
 
 namespace {
 
-/// Queue-length fractions F(c, m) = n_{c,m} / N_c from one Core solve,
-/// plus the full solution at that population.
-struct CoreResult {
-  util::Matrix fractions;  // C x M
-  MvaSolution solution;
+/// Outcome of one Core fixed point; the iterate itself lives in the
+/// workspace (waiting/queue/throughput) and in `fractions`.
+struct CoreOutcome {
   bool converged = true;
   long iterations = 0;
 };
 
 /// One Schweitzer-style fixed point at population `pop`, using the
-/// correction terms D(i, m, j): the queue of class i at station m seen by
+/// correction terms d(slot, j): the queue of class i at station m seen by
 /// an arriving class-j customer is (pop_i - delta_ij)(F_{i,m} + D_{i,m,j}).
-CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
-                      const std::vector<util::Matrix>& corrections,
-                      const LinearizerOptions& options) {
-  const std::size_t C = net.num_classes();
-  const std::size_t M = net.num_stations();
-
-  CoreResult out;
-  out.fractions = util::Matrix(C, M, 0.0);
-  out.solution.throughput.assign(C, 0.0);
-  out.solution.waiting = util::Matrix(C, M, 0.0);
-  out.solution.queue_length = util::Matrix(C, M, 0.0);
-  out.solution.utilization.assign(M, 0.0);
+/// Writes the queue-length fractions F(c, m) = n_{c,m} / N_c into
+/// `fractions` (one entry per workspace slot) and leaves the final
+/// waiting/queue/throughput iterate in `ws`.
+CoreOutcome solve_core(SolverWorkspace& ws, const std::vector<long>& pop,
+                       const std::vector<double>& pop_f,
+                       const std::vector<double>& corrections,
+                       const LinearizerOptions& options, double* fractions) {
+  const std::size_t C = ws.num_classes();
+  const std::size_t S = ws.num_slots();
 
   // Initialize fractions proportional to demand.
+  std::fill_n(fractions, S, 0.0);
   for (std::size_t c = 0; c < C; ++c) {
-    const double total = net.total_demand(c);
+    const double total = ws.total_demand[c];
     if (pop[c] == 0 || total <= 0.0) continue;
-    for (std::size_t m = 0; m < M; ++m)
-      out.fractions(c, m) = net.demand(c, m) / total;
+    for (std::size_t i = ws.first[c]; i < ws.first[c + 1]; ++i) {
+      fractions[i] = ws.demand[i] / total;
+    }
   }
 
+  CoreOutcome out;
   bool converged = false;
   long iter = 0;
   double best_delta = std::numeric_limits<double>::infinity();
@@ -52,32 +52,32 @@ CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
     double delta = 0.0;
     for (std::size_t j = 0; j < C; ++j) {
       if (pop[j] == 0) continue;
-      const auto nj = static_cast<double>(pop[j]);
+      const double nj = pop_f[j];
+      const std::size_t begin = ws.first[j];
+      const std::size_t end = ws.first[j + 1];
       double cycle = 0.0;
-      for (std::size_t m = 0; m < M; ++m) {
-        const double v = net.visit_ratio(j, m);
-        if (v <= 0.0) {
-          out.solution.waiting(j, m) = 0.0;
-          continue;
-        }
-        double w = net.service_time(j, m);
-        if (net.station(m).kind == StationKind::kQueueing) {
+      for (std::size_t k = begin; k < end; ++k) {
+        double w = ws.service[k];
+        if (ws.queueing[k] != 0) {
+          const std::size_t m = ws.station[k];
+          // Queue seen on arrival: the station's visiting classes in
+          // increasing class order (the station-major view preserves the
+          // dense kernel's summation order).
           double seen = 0.0;
-          for (std::size_t i = 0; i < C; ++i) {
-            if (pop[i] == 0) continue;
-            const double ni =
-                static_cast<double>(pop[i]) - (i == j ? 1.0 : 0.0);
+          for (std::size_t t = ws.by_station_first[m];
+               t < ws.by_station_first[m + 1]; ++t) {
+            const std::size_t slot = ws.by_station_slot[t];
+            const std::size_t i = ws.slot_class[slot];
+            const double ni = pop_f[i] - (i == j ? 1.0 : 0.0);
             if (ni <= 0.0) continue;
-            seen += ni * (out.fractions(i, m) + corrections[i](m, j));
+            seen += ni * (fractions[slot] + corrections[slot * C + j]);
           }
-          const double s = net.service_time(j, m);
-          const auto servers = static_cast<double>(net.station(m).servers);
           // Seidmann approximation (exact for servers == 1).
-          w = s * (servers - 1.0) / servers +
-              (s / servers) * (1.0 + std::max(0.0, seen));
+          w = ws.seidmann_fixed[k] +
+              ws.seidmann_rate[k] * (1.0 + std::max(0.0, seen));
         }
-        out.solution.waiting(j, m) = w;
-        cycle += v * w;
+        ws.waiting[k] = w;
+        cycle += ws.visit[k] * w;
       }
       // With a validated network a vanishing or non-finite cycle time can
       // only be numerical breakdown (see solve_amva).
@@ -88,21 +88,21 @@ CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
                               std::to_string(iter));
       }
       const double lambda = nj / cycle;
-      out.solution.throughput[j] = lambda;
-      for (std::size_t m = 0; m < M; ++m) {
-        const double q =
-            lambda * net.visit_ratio(j, m) * out.solution.waiting(j, m);
+      ws.throughput[j] = lambda;
+      for (std::size_t k = begin; k < end; ++k) {
+        const double q = lambda * ws.visit[k] * ws.waiting[k];
         if (!std::isfinite(q)) {
           throw SolverError(SolverErrorCode::kNumerical,
                             "queue length of class " + std::to_string(j) +
-                                " at station " + std::to_string(m) +
+                                " at station " +
+                                std::to_string(ws.station[k]) +
                                 " became non-finite at core iteration " +
                                 std::to_string(iter));
         }
-        out.solution.queue_length(j, m) = q;
+        ws.queue[k] = q;
         const double f = q / nj;
-        delta = std::max(delta, std::fabs(f - out.fractions(j, m)));
-        out.fractions(j, m) = f;
+        delta = std::max(delta, std::fabs(f - fractions[k]));
+        fractions[k] = f;
       }
     }
     if (options.trace != nullptr) options.trace->record(delta);
@@ -128,19 +128,14 @@ CoreResult solve_core(const ClosedNetwork& net, const std::vector<long>& pop,
   }
   out.converged = converged;
   out.iterations = iter;
-  for (std::size_t m = 0; m < M; ++m) {
-    double u = 0.0;
-    for (std::size_t c = 0; c < C; ++c)
-      u += out.solution.throughput[c] * net.demand(c, m);
-    out.solution.utilization[m] = u;
-  }
   return out;
 }
 
 }  // namespace
 
 MvaSolution solve_linearizer(const ClosedNetwork& net,
-                             const LinearizerOptions& options) {
+                             const LinearizerOptions& options,
+                             SolverWorkspace& ws) {
   net.validate();
   LATOL_REQUIRE(options.outer_iterations >= 1,
                 "outer_iterations " << options.outer_iterations);
@@ -148,45 +143,69 @@ MvaSolution solve_linearizer(const ClosedNetwork& net,
                 "divergence_factor " << options.divergence_factor);
   LATOL_REQUIRE(options.divergence_window >= 0,
                 "divergence_window " << options.divergence_window);
-  const std::size_t C = net.num_classes();
-  const std::size_t M = net.num_stations();
 
-  std::vector<long> full(C);
-  for (std::size_t c = 0; c < C; ++c) full[c] = net.population(c);
+  ws.bind(net);
+  const std::size_t C = ws.num_classes();
+  const std::size_t S = ws.num_slots();
 
-  // corrections[i](m, j) = D_{i,m,j}; start with the Schweitzer assumption
-  // D = 0 (removing a customer leaves fractions unchanged).
-  std::vector<util::Matrix> corrections(C, util::Matrix(M, C, 0.0));
+  // Linearizer-specific scratch, reused across solves like the workspace
+  // itself. corrections holds d(slot, j) = D_{i,m,j} for slot = (i, m);
+  // reduced_fractions holds one fraction vector per reduced population.
+  thread_local std::vector<long> pop;
+  thread_local std::vector<double> pop_f;
+  thread_local std::vector<double> corrections;
+  thread_local std::vector<double> full_fractions;
+  thread_local std::vector<double> reduced_fractions;
 
-  CoreResult at_full = solve_core(net, full, corrections, options);
+  pop.assign(ws.population.begin(), ws.population.end());
+  pop_f.assign(ws.population_f.begin(), ws.population_f.end());
+  // Start with the Schweitzer assumption D = 0 (removing a customer
+  // leaves fractions unchanged).
+  corrections.assign(S * C, 0.0);
+  full_fractions.resize(S);
+  reduced_fractions.resize(C * S);
+
+  CoreOutcome at_full =
+      solve_core(ws, pop, pop_f, corrections, options, full_fractions.data());
   long total_iterations = at_full.iterations;
   for (int outer = 0; outer < options.outer_iterations; ++outer) {
     // Solve each reduced population N - 1_j with the current corrections.
-    std::vector<CoreResult> reduced;
-    reduced.reserve(C);
     for (std::size_t j = 0; j < C; ++j) {
-      std::vector<long> pop = full;
-      if (pop[j] > 0) pop[j] -= 1;
-      reduced.push_back(solve_core(net, pop, corrections, options));
-      total_iterations += reduced.back().iterations;
+      const long saved = pop[j];
+      const double saved_f = pop_f[j];
+      if (pop[j] > 0) {
+        pop[j] -= 1;
+        pop_f[j] = static_cast<double>(pop[j]);
+      }
+      const CoreOutcome reduced = solve_core(ws, pop, pop_f, corrections,
+                                             options,
+                                             &reduced_fractions[j * S]);
+      total_iterations += reduced.iterations;
+      pop[j] = saved;
+      pop_f[j] = saved_f;
     }
     // Update the correction terms from the observed fraction shifts.
-    for (std::size_t i = 0; i < C; ++i) {
-      for (std::size_t m = 0; m < M; ++m) {
-        for (std::size_t j = 0; j < C; ++j) {
-          corrections[i](m, j) =
-              reduced[j].fractions(i, m) - at_full.fractions(i, m);
-        }
+    for (std::size_t s = 0; s < S; ++s) {
+      for (std::size_t j = 0; j < C; ++j) {
+        corrections[s * C + j] = reduced_fractions[j * S + s] -
+                                 full_fractions[s];
       }
     }
-    at_full = solve_core(net, full, corrections, options);
+    at_full = solve_core(ws, pop, pop_f, corrections, options,
+                         full_fractions.data());
     total_iterations += at_full.iterations;
   }
 
-  MvaSolution sol = std::move(at_full.solution);
+  MvaSolution sol = ws.scatter_solution();
   sol.converged = at_full.converged;
   sol.iterations = total_iterations;
   return sol;
+}
+
+MvaSolution solve_linearizer(const ClosedNetwork& net,
+                             const LinearizerOptions& options) {
+  thread_local SolverWorkspace workspace;
+  return solve_linearizer(net, options, workspace);
 }
 
 }  // namespace latol::qn

@@ -17,6 +17,8 @@
 
 namespace latol::qn {
 
+class SolverWorkspace;
+
 /// Options for the Linearizer iteration.
 struct LinearizerOptions {
   /// Outer correction updates (2-3 suffice; Chandy & Neuse use 3).
@@ -40,5 +42,12 @@ struct LinearizerOptions {
 /// SolverError guards on NaN/overflowed or diverging Core iterates).
 [[nodiscard]] MvaSolution solve_linearizer(
     const ClosedNetwork& net, const LinearizerOptions& options = {});
+
+/// Same solve in a caller-provided SolverWorkspace (qn/workspace.hpp)
+/// instead of the per-thread default arena; results are bit-identical to
+/// the default overload.
+[[nodiscard]] MvaSolution solve_linearizer(const ClosedNetwork& net,
+                                           const LinearizerOptions& options,
+                                           SolverWorkspace& ws);
 
 }  // namespace latol::qn

@@ -30,7 +30,9 @@
 
 namespace latol::sim {
 
+/// Index of a place in PetriNet's place vector.
 using PlaceId = std::size_t;
+/// Index of a transition in PetriNet's transition vector.
 using TransitionId = std::size_t;
 
 /// Transition delay family.

@@ -63,6 +63,7 @@ enum class TopologyKind {
   kHypercube,  // side is log2(nodes)
 };
 
+/// Human-readable name of `kind` ("torus", "mesh", ...).
 [[nodiscard]] const char* topology_kind_name(TopologyKind kind);
 
 /// Factory: build a topology of `kind` with `side` nodes per dimension

@@ -28,6 +28,8 @@ class ConvergenceError : public std::runtime_error {
 
 namespace detail {
 
+/// Implementation of LATOL_REQUIRE: formats `file:line: requirement ...`
+/// and throws InvalidArgument. Not for direct use.
 [[noreturn]] inline void throw_requirement_failure(
     const char* expr, const std::string& message,
     const std::source_location loc = std::source_location::current()) {

@@ -38,6 +38,7 @@ class Table {
   std::vector<std::vector<std::string>> rows_;
 };
 
+/// Render the table with aligned columns.
 std::ostream& operator<<(std::ostream& os, const Table& t);
 
 /// Print a section banner used between blocks of a bench's output.

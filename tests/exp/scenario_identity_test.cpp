@@ -1,0 +1,50 @@
+// Byte-identity of the paper scenarios across sweep paths (the PR 4 hard
+// constraint, DESIGN.md §10): the checked-in fig04/table3 scenarios must
+// render identical result files whether solved serially or on the
+// work-stealing pool. CI additionally diffs the CLI outputs against the
+// bench CSVs; this test pins the property at the library layer so a
+// regression fails in seconds, not at the CI diff step.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+
+#ifndef LATOL_SCENARIO_DIR
+#error "build must define LATOL_SCENARIO_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace latol::exp {
+namespace {
+
+std::string render(const Scenario& scenario, std::size_t workers) {
+  RunOptions opts;
+  opts.workers = workers;
+  const RunResult run = run_scenario(scenario, opts);
+  std::ostringstream csv;
+  write_results_csv(scenario, run, csv);
+  return csv.str() + results_to_json(scenario, run).dump(2);
+}
+
+class ScenarioByteIdentity : public testing::TestWithParam<const char*> {};
+
+TEST_P(ScenarioByteIdentity, SerialAndParallelSweepsMatchByteForByte) {
+  const Scenario scenario =
+      load_scenario(std::string(LATOL_SCENARIO_DIR) + "/" + GetParam());
+  const std::string serial = render(scenario, 1);
+  EXPECT_EQ(serial, render(scenario, 4));
+  EXPECT_EQ(serial, render(scenario, 0));  // scenario default (hardware)
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperScenarios, ScenarioByteIdentity,
+                         testing::Values("fig04_workload.json",
+                                         "table3_partitioning.json"),
+                         [](const auto& info) {
+                           std::string name = info.param;
+                           return name.substr(0, name.find('_'));
+                         });
+
+}  // namespace
+}  // namespace latol::exp

@@ -1,0 +1,104 @@
+// Bit-identity contracts of the flat-workspace solver kernels
+// (DESIGN.md §10): the explicit-workspace overloads, workspace reuse
+// across different networks, and the parallel exact-MVA lattice must all
+// reproduce the default serial paths byte-for-byte, not just within
+// tolerance.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "qn/mva_approx.hpp"
+#include "qn/mva_exact.hpp"
+#include "qn/mva_linearizer.hpp"
+#include "qn/network.hpp"
+#include "qn/workspace.hpp"
+
+namespace latol::qn {
+namespace {
+
+// Exact double equality across every solution field. EXPECT_EQ on doubles
+// is deliberate: the whole point is bitwise reproducibility.
+void expect_bitwise_equal(const MvaSolution& a, const MvaSolution& b) {
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.waiting.data(), b.waiting.data());
+  EXPECT_EQ(a.queue_length.data(), b.queue_length.data());
+  EXPECT_EQ(a.utilization, b.utilization);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.converged, b.converged);
+}
+
+ClosedNetwork two_class_network(long population) {
+  ClosedNetwork net({{"p0", StationKind::kQueueing},
+                     {"p1", StationKind::kQueueing},
+                     {"mem", StationKind::kQueueing}},
+                    2);
+  for (std::size_t c = 0; c < 2; ++c) {
+    net.set_population(c, population);
+    net.set_visit_ratio(c, c, 1.0);
+    net.set_visit_ratio(c, 2, 1.0);
+    net.set_service_time(c, c, 10.0);
+    net.set_service_time(c, 2, 5.0);
+  }
+  return net;
+}
+
+ClosedNetwork delay_heavy_network() {
+  ClosedNetwork net({{"cpu", StationKind::kQueueing},
+                     {"think", StationKind::kDelay},
+                     {"disk", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, 12);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 1.0);
+  net.set_visit_ratio(0, 2, 0.6);
+  net.set_service_time(0, 0, 2.0);
+  net.set_service_time(0, 1, 25.0);
+  net.set_service_time(0, 2, 4.5);
+  return net;
+}
+
+TEST(SolverWorkspace, AmvaExplicitWorkspaceMatchesDefaultBitwise) {
+  const ClosedNetwork net = two_class_network(16);
+  SolverWorkspace ws;
+  expect_bitwise_equal(solve_amva(net, {}), solve_amva(net, {}, ws));
+}
+
+TEST(SolverWorkspace, LinearizerExplicitWorkspaceMatchesDefaultBitwise) {
+  const ClosedNetwork net = two_class_network(8);
+  SolverWorkspace ws;
+  expect_bitwise_equal(solve_linearizer(net, {}),
+                       solve_linearizer(net, {}, ws));
+}
+
+// One workspace re-bound across networks of different shapes must behave
+// as if freshly constructed — stale state from a previous (larger) bind
+// must not leak into the next solve.
+TEST(SolverWorkspace, ReuseAcrossDifferentNetworksMatchesFresh) {
+  const ClosedNetwork big = two_class_network(32);
+  const ClosedNetwork small = delay_heavy_network();
+
+  SolverWorkspace reused;
+  (void)solve_amva(big, {}, reused);  // leave big-network residue behind
+  const MvaSolution after_reuse = solve_amva(small, {}, reused);
+
+  SolverWorkspace fresh;
+  expect_bitwise_equal(solve_amva(small, {}, fresh), after_reuse);
+
+  // And back up in size again.
+  SolverWorkspace fresh_big;
+  expect_bitwise_equal(solve_amva(big, {}, fresh_big),
+                       solve_amva(big, {}, reused));
+}
+
+// The level-synchronous parallel lattice writes each population point into
+// a disjoint row, so the result is bit-identical for every worker count
+// and every stealing interleaving.
+TEST(SolverWorkspace, ExactMvaParallelMatchesSerialBitwise) {
+  const ClosedNetwork net = two_class_network(64);
+  const MvaSolution serial = solve_mva_exact(net, 50'000'000, 1);
+  expect_bitwise_equal(serial, solve_mva_exact(net, 50'000'000, 4));
+  expect_bitwise_equal(serial, solve_mva_exact(net));  // shared pool
+}
+
+}  // namespace
+}  // namespace latol::qn
