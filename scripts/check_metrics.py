@@ -2,14 +2,20 @@
 """Validate a latol metrics document against the documented schema.
 
 Usage: check_metrics.py <metrics.json>
+       check_metrics.py --prom <metrics.txt>
 
 Checks the JSON written by `latol run/profile --metrics-out` (and the
-smaller `analyze`/`sweep` variants) against DESIGN.md §9. Standard
-library only, so CI can run it without installing anything. Exits 0 when
-the document is valid, 1 with a list of violations otherwise.
+smaller `analyze`/`sweep` variants) against DESIGN.md §9. With --prom,
+checks a Prometheus text exposition scraped from the daemon's GET
+/metrics instead (DESIGN.md §11): well-formed sample lines, a # TYPE
+declaration per metric, counters named *_total / *_count, and the
+always-present serve gauges. Standard library only, so CI can run it
+without installing anything. Exits 0 when the document is valid, 1 with
+a list of violations otherwise.
 """
 
 import json
+import re
 import sys
 
 FORMAT = "latol-metrics-v1"
@@ -108,7 +114,88 @@ def check_command_doc(doc, command):
         fail(f"$.command: unknown command `{command}`")
 
 
+PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+PROM_REQUIRED = ["latol_serve_queue_depth", "latol_serve_in_flight"]
+
+
+def parse_prom_value(text):
+    if text in ("NaN", "+Inf", "-Inf"):
+        return 0.0
+    return float(text)  # raises ValueError on junk
+
+
+def check_prom_text(text):
+    """A Prometheus exposition from the daemon's GET /metrics."""
+    declared = {}  # metric name -> TYPE
+    sampled = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        where = f"line {lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    fail(f"{where}: malformed TYPE declaration")
+                    continue
+                _, _, name, kind = parts
+                if not PROM_NAME.match(name):
+                    fail(f"{where}: illegal metric name `{name}`")
+                if kind not in ("counter", "gauge"):
+                    fail(f"{where}: unexpected metric type `{kind}`")
+                if name in declared:
+                    fail(f"{where}: duplicate TYPE for `{name}`")
+                declared[name] = kind
+            continue
+        parts = line.split()
+        if len(parts) != 2:
+            fail(f"{where}: expected `name value`, got `{line}`")
+            continue
+        name, value = parts
+        if not PROM_NAME.match(name):
+            fail(f"{where}: illegal metric name `{name}`")
+            continue
+        try:
+            number = parse_prom_value(value)
+        except ValueError:
+            fail(f"{where}: `{name}` has non-numeric value `{value}`")
+            continue
+        sampled.add(name)
+        if name not in declared:
+            fail(f"{where}: `{name}` sampled without a TYPE declaration")
+            continue
+        if declared[name] == "counter":
+            if not (name.endswith("_total") or name.endswith("_count")
+                    or name.endswith("_seconds_total")):
+                fail(f"{where}: counter `{name}` must end in _total/_count")
+            if number < 0:
+                fail(f"{where}: counter `{name}` is negative ({value})")
+    for name in declared:
+        if name not in sampled:
+            fail(f"TYPE declared for `{name}` but no sample followed")
+    for name in PROM_REQUIRED:
+        if name not in sampled:
+            fail(f"required serve metric `{name}` is missing")
+
+
 def main():
+    if len(sys.argv) == 3 and sys.argv[1] == "--prom":
+        try:
+            with open(sys.argv[2], encoding="utf-8") as f:
+                text = f.read()
+        except OSError as e:
+            print(f"check_metrics: cannot read {sys.argv[2]}: {e}",
+                  file=sys.stderr)
+            return 1
+        check_prom_text(text)
+        if errors:
+            for error in errors:
+                print(f"check_metrics: {error}", file=sys.stderr)
+            print(f"check_metrics: {sys.argv[2]}: "
+                  f"{len(errors)} violation(s)", file=sys.stderr)
+            return 1
+        print(f"check_metrics: {sys.argv[2]}: ok")
+        return 0
     if len(sys.argv) != 2:
         print(__doc__.strip(), file=sys.stderr)
         return 2

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cli/options.hpp"
+#include "cli/serve_cmd.hpp"
 #include "core/latol.hpp"
 #include "exp/parameter.hpp"
 #include "exp/runner.hpp"
@@ -401,11 +402,16 @@ int cmd_run(const CliOptions& opts, std::ostream& out) {
   const std::string cache_path = opts.cache_path.empty()
                                      ? opts.out_dir + "/latol_cache.json"
                                      : opts.cache_path;
-  if (opts.run_cache) cache.load(cache_path, version);
+  if (opts.run_cache) {
+    std::string cache_warning;
+    cache.load(cache_path, version, &cache_warning);
+    if (!cache_warning.empty()) out << "warning: " << cache_warning << '\n';
+  }
 
   exp::RunOptions ropts;
   ropts.workers = opts.run_workers;
   ropts.cache = &cache;
+  ropts.point_timeout_ms = opts.point_timeout_ms;
   const exp::RunResult run = exp::run_scenario(scenario, ropts);
 
   const std::string base = opts.out_dir + "/" + scenario.name;
@@ -452,7 +458,11 @@ int cmd_run(const CliOptions& opts, std::ostream& out) {
   if (st.failed_points > 0 || st.degraded_points > 0) {
     out << "warning: " << st.degraded_points << " degraded, "
         << st.failed_points << " failed of " << st.grid_points
-        << " grid points\n";
+        << " grid points";
+    if (st.deadline_points > 0) {
+      out << " (" << st.deadline_points << " hit the point timeout)";
+    }
+    out << '\n';
     return 1;
   }
   return 0;
@@ -568,6 +578,7 @@ int run_command(const CliOptions& opts, std::ostream& out) {
   }
   if (opts.command == "run") return cmd_run(opts, out);
   if (opts.command == "profile") return cmd_profile(opts, out);
+  if (opts.command == "serve") return cmd_serve(opts, out);
   opts.config.validate();
   if (opts.command == "analyze") return cmd_analyze(opts, out);
   if (opts.command == "tolerance") return cmd_tolerance(opts, out);

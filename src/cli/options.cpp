@@ -60,7 +60,8 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.command == "analyze" || opts.command == "tolerance" ||
       opts.command == "bottleneck" || opts.command == "sweep" ||
       opts.command == "simulate" || opts.command == "run" ||
-      opts.command == "profile" || opts.command == "help";
+      opts.command == "profile" || opts.command == "serve" ||
+      opts.command == "help";
   if (!known) {
     throw InvalidArgument("unknown command `" + opts.command + "`\n" +
                           usage());
@@ -79,6 +80,11 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
                                  << opts.scenario_path << "` and `" << flag
                                  << "`");
       opts.scenario_path = flag;
+    } else if (opts.command == "serve" && !flag.starts_with("--")) {
+      LATOL_REQUIRE(opts.serve_config_path.empty(),
+                    "serve takes one config file, got `"
+                        << opts.serve_config_path << "` and `" << flag << "`");
+      opts.serve_config_path = flag;
     } else if (flag == "--out") {
       opts.out_dir = value();
     } else if (flag == "--format") {
@@ -95,6 +101,10 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.cache_path = value();
     } else if (flag == "--no-cache") {
       opts.run_cache = false;
+    } else if (flag == "--point-timeout") {
+      opts.point_timeout_ms = parse_double(flag, value());
+      LATOL_REQUIRE(opts.point_timeout_ms >= 0,
+                    "--point-timeout must be >= 0 (milliseconds)");
     } else if (flag == "--trace") {
       opts.trace_path = value();
     } else if (flag == "--metrics-out") {
@@ -167,6 +177,9 @@ std::string usage() {
         "              plus a run manifest (DESIGN.md §8)\n"
         "  profile     run a scenario with instrumentation on; print\n"
         "              per-stage timings and per-point convergence\n"
+        "  serve       long-running analysis daemon (HTTP over TCP) with\n"
+        "              admission control, request deadlines, and graceful\n"
+        "              drain (DESIGN.md §11)\n"
         "  help        this text\n\n"
         "machine/workload flags (defaults = paper Table 1):\n"
         "  --k N                 size parameter (torus/mesh side, ring size,\n"
@@ -203,10 +216,24 @@ std::string usage() {
         "  --workers N     worker threads (0 = hardware); --jobs is an\n"
         "                  alias                             [0]\n"
         "  --cache FILE    solve-cache file    [<out>/latol_cache.json]\n"
-        "  --no-cache      do not load/save the solve cache\n\n"
+        "  --no-cache      do not load/save the solve cache\n"
+        "  --point-timeout MS  per-point wall-clock budget; a point over\n"
+        "                  budget is marked failed (deadline-exceeded) and\n"
+        "                  the run continues                 [off]\n\n"
         "profile usage: latol profile <scenario.json> [--workers N]\n"
         "  solves the scenario with convergence tracing and the metric\n"
         "  registry enabled (transient cache; results are not written)\n\n"
+        "serve usage: latol serve <config.json>\n"
+        "  binds host:port from the config and answers GET /healthz,\n"
+        "  GET /metrics (Prometheus text), POST /v1/{analyze,tolerance,\n"
+        "  bottleneck,sweep} ({\"args\": [...]}; output matches the CLI\n"
+        "  byte-for-byte), and POST /v1/scenario (scenario JSON body)\n"
+        "  against one warm solve cache. X-Deadline-Ms arms a per-request\n"
+        "  deadline (expired -> 504). SIGTERM/SIGINT drain gracefully:\n"
+        "  stop accepting, shed queued (503), finish in-flight, flush the\n"
+        "  cache atomically.\n"
+        "  server exit codes: 0 clean drain, 2 usage/config error,\n"
+        "  4 runtime failure (accept loop died)\n\n"
         "instrumentation flags (analyze, sweep, run, profile; DESIGN.md §9):\n"
         "  --metrics-out FILE  write the metrics JSON document\n"
         "  --trace FILE        write per-iteration convergence traces\n\n"

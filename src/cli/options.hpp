@@ -18,7 +18,7 @@ namespace latol::cli {
 /// Parsed invocation.
 struct CliOptions {
   /// analyze | tolerance | bottleneck | sweep | simulate | run | profile |
-  /// help
+  /// serve | help
   std::string command = "help";
   core::MmsConfig config = core::MmsConfig::paper_defaults();
 
@@ -48,6 +48,13 @@ struct CliOptions {
   std::size_t run_workers = 0;  ///< --workers/--jobs N (0 = scenario/shared)
   bool run_cache = true;           ///< --no-cache disables persistence
   std::string cache_path;          ///< --cache FILE (default <out>/latol_cache.json)
+  /// --point-timeout MS: per-point wall-clock budget for `run`; a point
+  /// exceeding it is marked failed with error deadline-exceeded and
+  /// counted in the manifest's deadline_points (0 = no budget).
+  double point_timeout_ms = 0.0;
+
+  // --- serve ---
+  std::string serve_config_path;  ///< positional `latol serve <config.json>`
 };
 
 /// Parse `args` (argv[1:]). Throws latol::InvalidArgument with a

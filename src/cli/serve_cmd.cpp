@@ -1,0 +1,80 @@
+#include "cli/serve_cmd.hpp"
+
+#include <csignal>
+
+#include <atomic>
+#include <ostream>
+
+#include "qn/solver_error.hpp"
+#include "util/error.hpp"
+
+namespace latol::cli {
+
+namespace {
+
+/// The live server for the signal handler. Written only by cmd_serve,
+/// which installs the handlers after the store and restores the default
+/// disposition before clearing it.
+std::atomic<serve::Server*> g_serve_instance{nullptr};
+
+void handle_stop_signal(int /*signum*/) {
+  // Async-signal-safe: request_stop is an atomic store plus a pipe write.
+  serve::Server* server = g_serve_instance.load(std::memory_order_acquire);
+  if (server != nullptr) server->request_stop();
+}
+
+}  // namespace
+
+serve::CommandRunner make_command_runner() {
+  return [](const std::vector<std::string>& args,
+            const util::CancelToken* cancel, std::ostream& out) -> int {
+    try {
+      CliOptions opts = parse_command_line(args);
+      opts.amva.cancel = cancel;
+      return run_command(opts, out);
+    } catch (const InvalidArgument& e) {
+      out << "latol: " << e.what() << '\n';
+      return 2;
+    } catch (const qn::SolverError& e) {
+      out << "latol: " << e.what() << '\n';
+      return e.code() == qn::SolverErrorCode::kDeadlineExceeded
+                 ? serve::kDeadlineExit
+                 : 3;
+    } catch (const std::exception& e) {
+      out << "latol: " << e.what() << '\n';
+      return 3;
+    }
+  };
+}
+
+int cmd_serve(const CliOptions& options, std::ostream& out) {
+  LATOL_REQUIRE(!options.serve_config_path.empty(),
+                "serve needs a config file: latol serve <config.json>");
+  const serve::ServerConfig config =
+      serve::ServerConfig::load(options.serve_config_path);
+  serve::Server server(config, make_command_runner(), &out);
+
+  g_serve_instance.store(&server, std::memory_order_release);
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigemptyset(&action.sa_mask);
+  (void)sigaction(SIGTERM, &action, nullptr);
+  (void)sigaction(SIGINT, &action, nullptr);
+
+  int code = 4;
+  try {
+    server.start();
+    code = server.run();
+  } catch (...) {
+    (void)std::signal(SIGTERM, SIG_DFL);
+    (void)std::signal(SIGINT, SIG_DFL);
+    g_serve_instance.store(nullptr, std::memory_order_release);
+    throw;
+  }
+  (void)std::signal(SIGTERM, SIG_DFL);
+  (void)std::signal(SIGINT, SIG_DFL);
+  g_serve_instance.store(nullptr, std::memory_order_release);
+  return code;
+}
+
+}  // namespace latol::cli

@@ -1,0 +1,31 @@
+// Wiring between the CLI and the analysis daemon (`latol serve`).
+//
+// The serve library sits below the CLI, yet its POST /v1/<command>
+// responses must be byte-identical to `latol <command>` stdout — so the
+// CLI hands the daemon its own entry point as a serve::CommandRunner
+// callback instead of the daemon linking the CLI (DESIGN.md §11).
+#pragma once
+
+#include <iosfwd>
+
+#include "cli/options.hpp"
+#include "serve/server.hpp"
+
+namespace latol::cli {
+
+/// The CLI entry point packaged for the daemon: parse `args` with
+/// parse_command_line, inject `cancel` as the solver deadline, run the
+/// command, and map exceptions to exit codes the way cli_main does —
+/// plus serve::kDeadlineExit when the solve died of deadline-exceeded.
+/// Never throws (the daemon's workers must not unwind).
+[[nodiscard]] serve::CommandRunner make_command_runner();
+
+/// `latol serve <config.json>`: load the server config, wire
+/// SIGTERM/SIGINT to a graceful drain, and run the daemon until a stop
+/// is requested. Returns the process exit code (0 clean drain, 4 runtime
+/// failure); config errors throw InvalidArgument, which cli_main maps
+/// to 2. Lifecycle lines ("listening on host:port", drain summary) go
+/// to `out`.
+int cmd_serve(const CliOptions& options, std::ostream& out);
+
+}  // namespace latol::cli

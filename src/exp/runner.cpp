@@ -29,16 +29,36 @@ namespace {
 /// Solve one grid point through the cache. Mirrors core::sweep's failure
 /// isolation and tolerance_index's math exactly — same numbers, but the
 /// ideal-system solve is shared across every point with the same ideal.
+///
+/// Deadlines: each point gets a child token chained to the run-wide one,
+/// armed with the per-point budget when configured. The token is not part
+/// of the cache key, so a timed-out point and a later retry still share
+/// (and coalesce onto) the same cache entry.
 void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
-                   SolveCache& cache, PointResult& point) {
+                   SolveCache& cache, const RunOptions& run_options,
+                   PointResult& point) {
+  util::CancelToken point_token(run_options.cancel);
+  qn::AmvaOptions amva = scenario.amva;
+  if (run_options.cancel != nullptr || run_options.point_timeout_ms > 0.0) {
+    if (run_options.point_timeout_ms > 0.0) {
+      point_token.set_deadline_after(run_options.point_timeout_ms / 1000.0);
+    }
+    amva.cancel = &point_token;
+  }
   core::SweepResult& r = point.model;
   try {
-    r.perf = cache.analyze(cfg, scenario.amva, &point.cache_hit);
+    // A point whose deadline fired while it sat in the queue never starts
+    // a solve — the driving loop must not wedge behind dead work.
+    if (amva.cancel != nullptr && amva.cancel->expired()) {
+      throw qn::SolverError(qn::SolverErrorCode::kDeadlineExceeded,
+                            "point deadline expired before solve started");
+    }
+    r.perf = cache.analyze(cfg, amva, &point.cache_hit);
     if (scenario.network_tolerance) {
       const core::MmsPerformance ideal = cache.analyze(
           core::ideal_config(cfg, core::Subsystem::kNetwork,
                              scenario.network_method),
-          scenario.amva);
+          amva);
       LATOL_REQUIRE(ideal.processor_utilization > 0.0,
                     "ideal system has zero processor utilization");
       r.tol_network =
@@ -49,7 +69,7 @@ void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
       const core::MmsPerformance ideal = cache.analyze(
           core::ideal_config(cfg, core::Subsystem::kMemory,
                              core::IdealMethod::kZeroDelay),
-          scenario.amva);
+          amva);
       LATOL_REQUIRE(ideal.processor_utilization > 0.0,
                     "ideal system has zero processor utilization");
       r.tol_memory =
@@ -135,7 +155,7 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
       unique_points.size(),
       [&](std::size_t j) {
         const std::size_t i = unique_points[j];
-        compute_point(run.grid[i], scenario, cache, run.points[i]);
+        compute_point(run.grid[i], scenario, cache, options, run.points[i]);
       },
       workers);
   for (std::size_t i = 0; i < run.grid.size(); ++i) {
@@ -165,6 +185,15 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
           const std::size_t i = targets[j];
           PointResult& point = run.points[i];
           if (point.model.error) return;
+          // Simulations are not iterative solvers, so the run-wide token
+          // is honoured between points: once it fires, remaining targets
+          // are marked instead of simulated.
+          if (options.cancel != nullptr && options.cancel->expired()) {
+            point.model.error = "validation: deadline expired before "
+                                "simulation started";
+            point.model.error_code = qn::SolverErrorCode::kDeadlineExceeded;
+            return;
+          }
           try {
             point.sim = simulate_point(run.grid[i], spec, i);
           } catch (const std::exception& e) {
@@ -191,6 +220,9 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   for (const PointResult& p : run.points) {
     if (p.model.error) {
       ++st.failed_points;
+      if (p.model.error_code == qn::SolverErrorCode::kDeadlineExceeded) {
+        ++st.deadline_points;
+      }
       ++counts["error"];
       continue;
     }
@@ -401,6 +433,7 @@ io::Json manifest_to_json(const Scenario& scenario, const RunResult& run) {
   doc.set("cache_evictions", st.cache_evictions);
   doc.set("degraded_points", st.degraded_points);
   doc.set("failed_points", st.failed_points);
+  doc.set("deadline_points", st.deadline_points);
   doc.set("simulated_points", st.simulated_points);
   doc.set("workers", st.workers);
   doc.set("wall_seconds", st.wall_seconds);

@@ -23,6 +23,7 @@
 #include "exp/solve_cache.hpp"
 #include "io/json.hpp"
 #include "obs/registry.hpp"
+#include "util/cancel.hpp"
 
 namespace latol::exp {
 
@@ -61,6 +62,7 @@ struct RunStats {
   std::size_t cache_evictions = 0; ///< entries dropped by the capacity bound
   std::size_t degraded_points = 0; ///< answered by fallback / not converged
   std::size_t failed_points = 0;   ///< no answer at all (error recorded)
+  std::size_t deadline_points = 0; ///< of the failed: hit a deadline/timeout
   std::size_t simulated_points = 0;
   std::size_t workers = 0;         ///< worker threads used
   double wall_seconds = 0;
@@ -81,6 +83,16 @@ struct RunOptions {
   /// Shared/persistent cache; nullptr runs with a private transient one
   /// (in-run dedup still works, nothing survives the call).
   SolveCache* cache = nullptr;
+  /// Run-wide cooperative cancellation (server drain / request deadline):
+  /// when non-null and expired, remaining points fail with
+  /// deadline-exceeded instead of solving; in-flight solves abort at
+  /// their next iteration. Per-point failure isolation applies — the run
+  /// still returns, with the affected points marked.
+  const util::CancelToken* cancel = nullptr;
+  /// Per-point wall-clock budget in milliseconds (0 = none). A point
+  /// exceeding it is marked failed with error code deadline-exceeded and
+  /// counted in RunStats::deadline_points; other points are unaffected.
+  double point_timeout_ms = 0.0;
 };
 
 /// A completed run.

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <fstream>
+#include <system_error>
 #include <utility>
 #include <vector>
 
@@ -161,10 +163,23 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
   if (compute) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     obs::count("exp.cache.misses");
+    bool transient_failure = false;
     try {
       promise.set_value(core::analyze(config, options));
+    } catch (const qn::SolverError& e) {
+      // A deadline is a property of THIS caller's patience, not of the
+      // configuration — caching it would poison every future lookup of a
+      // perfectly solvable point. Waiters coalesced onto this solve still
+      // see the exception; the entry is then dropped so the next caller
+      // recomputes.
+      transient_failure = e.code() == qn::SolverErrorCode::kDeadlineExceeded;
+      promise.set_exception(std::current_exception());
     } catch (...) {
       promise.set_exception(std::current_exception());
+    }
+    if (transient_failure) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      entries_.erase(key);
     }
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
@@ -210,35 +225,60 @@ void SolveCache::evict_over_capacity_locked() {
 }
 
 std::size_t SolveCache::load(const std::string& path,
-                             const std::string& version) {
+                             const std::string& version,
+                             std::string* warning) {
   {
     const std::ifstream probe(path);
     if (!probe.good()) return 0;  // no cache yet — a cold run
   }
-  const io::Json doc = io::parse_json_file(path);
-  const io::Json* format = doc.find("format");
-  const io::Json* file_version = doc.find("version");
-  const io::Json* entries = doc.find("entries");
-  if (format == nullptr || !format->is_string() ||
-      format->as_string() != kCacheFormat) {
-    return 0;  // unrecognized file — leave it alone
+  // Quarantine rather than abort: a cache is an optimization, so any kind
+  // of corruption (truncated write from a killed process, disk damage,
+  // hand editing) must degrade to a cold run. The bad file is moved aside
+  // so the next save() does not have to overwrite evidence.
+  const auto quarantine = [&](const std::string& why) -> std::size_t {
+    const std::string moved = path + ".corrupt";
+    std::error_code ec;
+    std::filesystem::rename(path, moved, ec);
+    if (warning != nullptr) {
+      *warning = "ignoring corrupt solve cache `" + path + "` (" + why +
+                 (ec ? ")" : "); moved to `" + moved + "`");
+    }
+    return 0;
+  };
+  // Parse and convert entries into a staging area first; nothing becomes
+  // visible until the whole file proved well-formed (all-or-nothing).
+  std::vector<std::pair<std::string, core::MmsPerformance>> staged;
+  try {
+    const io::Json doc = io::parse_json_file(path);
+    const io::Json* format = doc.find("format");
+    const io::Json* file_version = doc.find("version");
+    const io::Json* entries = doc.find("entries");
+    if (format == nullptr || !format->is_string() ||
+        format->as_string() != kCacheFormat) {
+      return 0;  // unrecognized file — leave it alone
+    }
+    if (file_version == nullptr || !file_version->is_string() ||
+        file_version->as_string() != version) {
+      return 0;  // stale build: cached numbers may no longer reproduce
+    }
+    if (entries == nullptr || !entries->is_array()) return 0;
+    staged.reserve(entries->as_array().size());
+    for (const io::Json& entry : entries->as_array()) {
+      const io::Json* key = entry.find("key");
+      const io::Json* perf = entry.find("perf");
+      if (key == nullptr || !key->is_string() || perf == nullptr) {
+        throw InvalidArgument("malformed cache entry");
+      }
+      staged.emplace_back(key->as_string(), perf_from_json(*perf));
+    }
+  } catch (const InvalidArgument& e) {  // includes JsonParseError
+    return quarantine(e.what());
   }
-  if (file_version == nullptr || !file_version->is_string() ||
-      file_version->as_string() != version) {
-    return 0;  // stale build: cached numbers may no longer reproduce
-  }
-  if (entries == nullptr || !entries->is_array()) return 0;
   std::size_t loaded = 0;
   const std::lock_guard<std::mutex> lock(mutex_);
-  for (const io::Json& entry : entries->as_array()) {
-    const io::Json* key = entry.find("key");
-    const io::Json* perf = entry.find("perf");
-    if (key == nullptr || !key->is_string() || perf == nullptr) {
-      throw InvalidArgument("malformed cache entry in `" + path + "`");
-    }
-    if (entries_.emplace(key->as_string(), ready_future(perf_from_json(*perf)))
-            .second) {
-      insertion_order_.push_back(key->as_string());
+  for (auto& [key, perf] : staged) {
+    if (entries_.emplace(key, ready_future(std::move(perf))).second) {
+      insertion_order_.push_back(key);
       ++loaded;
     }
   }

@@ -63,10 +63,21 @@ class SolveCache {
   /// Merge entries from `path` (written by save()). Silently does nothing
   /// when the file is missing; ignores files whose version string differs
   /// from `version`. Returns the number of entries loaded.
-  std::size_t load(const std::string& path, const std::string& version);
+  ///
+  /// A corrupt or truncated file (malformed JSON, malformed entries) is
+  /// quarantined instead of aborting the run: the file is renamed to
+  /// `path + ".corrupt"`, nothing is ingested, and when `warning` is
+  /// non-null it receives a one-line description — a cache is an
+  /// optimization, so losing it degrades to a cold run, never a crash.
+  /// Ingestion is all-or-nothing: entries are staged before any of them
+  /// becomes visible, so a bad entry can never leave a half-loaded cache.
+  std::size_t load(const std::string& path, const std::string& version,
+                   std::string* warning = nullptr);
 
   /// Write every successful entry to `path` for a future load(). Failed
-  /// (exception) entries are not persisted.
+  /// (exception) entries are not persisted. The write is atomic (temp
+  /// file + rename, see io::write_json_file), so a crash mid-save leaves
+  /// the previous cache file intact.
   void save(const std::string& path, const std::string& version) const;
 
   /// Lookups served from an already-present entry.

@@ -1,10 +1,14 @@
 #include "io/json.hpp"
 
+#include <unistd.h>
+
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 namespace latol::io {
 
@@ -243,9 +247,16 @@ namespace {
 /// stack.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, const ParseLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Json parse_document() {
+    if (text_.size() > limits_.max_bytes) {
+      throw JsonParseError("document size " + std::to_string(text_.size()) +
+                               " bytes exceeds the limit of " +
+                               std::to_string(limits_.max_bytes) + " bytes",
+                           1, 1);
+    }
     skip_whitespace();
     Json v = parse_value(0);
     skip_whitespace();
@@ -254,8 +265,6 @@ class Parser {
   }
 
  private:
-  static constexpr int kMaxDepth = 200;
-
   [[noreturn]] void fail(const std::string& message) const {
     throw JsonParseError(message, line_, column());
   }
@@ -302,8 +311,11 @@ class Parser {
     return true;
   }
 
-  Json parse_value(int depth) {
-    if (depth > kMaxDepth) fail("nesting too deep");
+  Json parse_value(std::size_t depth) {
+    if (depth > limits_.max_depth) {
+      fail("nesting deeper than " + std::to_string(limits_.max_depth) +
+           " levels");
+    }
     if (at_end()) fail("unexpected end of input, expected a value");
     const char c = peek();
     switch (c) {
@@ -328,7 +340,7 @@ class Parser {
     }
   }
 
-  Json parse_object(int depth) {
+  Json parse_object(std::size_t depth) {
     expect('{', "to start an object");
     Json obj = Json::object();
     skip_whitespace();
@@ -355,7 +367,7 @@ class Parser {
     }
   }
 
-  Json parse_array(int depth) {
+  Json parse_array(std::size_t depth) {
     expect('[', "to start an array");
     Json arr = Json::array();
     skip_whitespace();
@@ -497,6 +509,7 @@ class Parser {
   }
 
   std::string_view text_;
+  ParseLimits limits_;
   std::size_t pos_ = 0;
   std::size_t line_ = 1;
   std::size_t line_start_ = 0;
@@ -504,11 +517,11 @@ class Parser {
 
 }  // namespace
 
-Json parse_json(std::string_view text) {
-  return Parser(text).parse_document();
+Json parse_json(std::string_view text, const ParseLimits& limits) {
+  return Parser(text, limits).parse_document();
 }
 
-Json parse_json_file(const std::string& path) {
+Json parse_json_file(const std::string& path, const ParseLimits& limits) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw InvalidArgument("cannot read JSON file `" + path + "`");
@@ -516,7 +529,7 @@ Json parse_json_file(const std::string& path) {
   std::ostringstream buffer;
   buffer << in.rdbuf();
   try {
-    return parse_json(buffer.str());
+    return parse_json(buffer.str(), limits);
   } catch (const JsonParseError& e) {
     throw JsonParseError(JsonParseError::Preformatted{},
                          std::string(e.what()) + " (in " + path + ")",
@@ -525,11 +538,34 @@ Json parse_json_file(const std::string& path) {
 }
 
 void write_json_file(const std::string& path, const Json& value, int indent) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw InvalidArgument("cannot open `" + path + "` for writing");
+  // Write-then-rename: rename(2) within a directory is atomic, so a crash
+  // (or a concurrent reader) never observes a partially written file.
+  // The temporary's name embeds the pid so two processes dumping the same
+  // path cannot trample each other's scratch file.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw InvalidArgument("cannot open `" + tmp + "` for writing");
+    }
+    out << value.dump(indent) << '\n';
+    out.flush();
+    if (!out) {
+      out.close();
+      std::error_code ignored;
+      std::filesystem::remove(tmp, ignored);
+      throw InvalidArgument("failed writing `" + tmp + "` (disk full?)");
+    }
   }
-  out << value.dump(indent) << '\n';
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    std::error_code ignored;
+    std::filesystem::remove(tmp, ignored);
+    throw InvalidArgument("cannot rename `" + tmp + "` to `" + path +
+                          "`: " + ec.message());
+  }
 }
 
 }  // namespace latol::io

@@ -118,21 +118,39 @@ class Json {
 /// Human-readable kind name ("object", "number", ...).
 [[nodiscard]] const char* json_kind_name(Json::Kind kind);
 
+/// Resource ceilings of the parser; hostile or corrupt input fails with a
+/// JsonParseError instead of exhausting the stack (nesting) or memory
+/// (document size). The defaults are far above anything latol writes but
+/// well below what would hurt a long-running server.
+struct ParseLimits {
+  /// Maximum container nesting depth (each `[` or `{` is one level).
+  std::size_t max_depth = 200;
+  /// Maximum document size in bytes, checked before parsing begins.
+  std::size_t max_bytes = 64ull * 1024 * 1024;
+};
+
 /// Parse a complete JSON document; trailing non-whitespace is an error.
-/// Throws JsonParseError with 1-based line/column on malformed input.
-[[nodiscard]] Json parse_json(std::string_view text);
+/// Throws JsonParseError with 1-based line/column on malformed input, or
+/// when the document exceeds `limits`.
+[[nodiscard]] Json parse_json(std::string_view text,
+                              const ParseLimits& limits = {});
 
 /// Read and parse a JSON file; errors mention the path. Throws
 /// InvalidArgument when the file cannot be read, JsonParseError on
-/// malformed content.
-[[nodiscard]] Json parse_json_file(const std::string& path);
+/// malformed content or content exceeding `limits`.
+[[nodiscard]] Json parse_json_file(const std::string& path,
+                                   const ParseLimits& limits = {});
 
 /// Format a double the way Json::dump does: integral values without a
 /// fractional part, everything else with the shortest round-trip form.
 [[nodiscard]] std::string json_number(double value);
 
-/// Write `value.dump(indent)` plus a trailing newline to `path`; throws
-/// InvalidArgument when the file cannot be opened.
+/// Write `value.dump(indent)` plus a trailing newline to `path`,
+/// crash-safely: the content goes to a temporary file beside `path` which
+/// is atomically renamed over it, so readers (and a process killed
+/// mid-write) see either the old complete file or the new complete file,
+/// never a truncated mix. Throws InvalidArgument when the file cannot be
+/// written; the temporary is cleaned up on failure.
 void write_json_file(const std::string& path, const Json& value,
                      int indent = 2);
 

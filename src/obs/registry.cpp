@@ -1,6 +1,8 @@
 #include "obs/registry.hpp"
 
 #include <atomic>
+#include <charconv>
+#include <cmath>
 
 namespace latol::obs {
 
@@ -57,6 +59,60 @@ void Registry::reset() {
   for (auto& entry : counters_) entry.slot.reset();
   for (auto& entry : gauges_) entry.slot.reset();
   for (auto& entry : timers_) entry.slot.reset();
+}
+
+namespace {
+
+/// Map a registry slot name ("serve.queue_depth") to a legal Prometheus
+/// metric name fragment ("serve_queue_depth").
+std::string sanitize_metric_name(std::string_view prefix,
+                                 std::string_view name) {
+  std::string out(prefix);
+  out.reserve(prefix.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Shortest round-trip decimal form (Prometheus parses floats; NaN/Inf
+/// are legal there but never produced by our slots).
+std::string prom_number(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, value);
+  (void)ec;
+  return std::string(buf, end);
+}
+
+void append_metric(std::string& out, const std::string& name,
+                   const char* type, const std::string& value) {
+  out += "# TYPE " + name + " " + type + "\n";
+  out += name + " " + value + "\n";
+}
+
+}  // namespace
+
+std::string to_prometheus(const Snapshot& snapshot, std::string_view prefix) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    append_metric(out, sanitize_metric_name(prefix, c.name) + "_total",
+                  "counter", std::to_string(c.value));
+  }
+  for (const auto& g : snapshot.gauges) {
+    append_metric(out, sanitize_metric_name(prefix, g.name), "gauge",
+                  prom_number(g.value));
+  }
+  for (const auto& t : snapshot.timers) {
+    const std::string base = sanitize_metric_name(prefix, t.name);
+    append_metric(out, base + "_seconds_total", "counter",
+                  prom_number(t.seconds));
+    append_metric(out, base + "_count", "counter", std::to_string(t.count));
+  }
+  return out;
 }
 
 Registry* default_registry() {

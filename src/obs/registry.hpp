@@ -133,6 +133,18 @@ class Registry {
   std::deque<Named<Timer>> timers_;
 };
 
+/// Render `snapshot` in the Prometheus text exposition format (one
+/// `# TYPE` line plus samples per metric). Metric names are `prefix` +
+/// the slot name with every non-[a-zA-Z0-9_] character mapped to `_`
+/// (Prometheus' legal name alphabet): counters become `<name>_total`
+/// (TYPE counter), gauges `<name>` (TYPE gauge), timers a pair
+/// `<name>_seconds_total` / `<name>_count` (TYPE counter) — the
+/// accumulated-wall-time-plus-invocations convention scrapers expect.
+/// Output order follows the snapshot (slot-creation order), so repeated
+/// scrapes of one process diff cleanly.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snapshot,
+                                        std::string_view prefix = "latol_");
+
 /// The process-global registry; null (instrumentation off) until
 /// set_default_registry() installs one. Not owned.
 [[nodiscard]] Registry* default_registry();

@@ -48,6 +48,10 @@ MvaSolution solve_amva(const ClosedNetwork& net, const AmvaOptions& options,
   long iter = 0;
   double best_delta = std::numeric_limits<double>::infinity();
   for (; iter < options.max_iterations; ++iter) {
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      throw SolverError(SolverErrorCode::kDeadlineExceeded,
+                        "amva cancelled at iteration " + std::to_string(iter));
+    }
     double delta = 0.0;
     for (std::size_t c = 0; c < C; ++c) {
       const long pop = ws.population[c];

@@ -19,6 +19,7 @@
 #include "obs/trace.hpp"
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
+#include "util/cancel.hpp"
 
 namespace latol::qn {
 
@@ -49,6 +50,12 @@ struct AmvaOptions {
   /// iteration's delta into it (caller-owned; survives a solver throw, so
   /// a diverging solve leaves a partial trace behind for diagnosis).
   obs::ConvergenceTrace* trace = nullptr;
+  /// Optional cooperative cancellation: when non-null, the fixed point
+  /// checks the token once per iteration and aborts with
+  /// SolverError(kDeadlineExceeded) once it expires. Not part of the
+  /// solve-cache key (a deadline never changes the numbers, only whether
+  /// they arrive); nullptr costs one predicted branch per iteration.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Solve `net` with Bard–Schweitzer AMVA. Classes with zero population get

@@ -1,7 +1,9 @@
 #include "qn/mva_exact.hpp"
 
+#include <string>
 #include <vector>
 
+#include "qn/solver_error.hpp"
 #include "qn/workspace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
@@ -18,7 +20,8 @@ constexpr std::size_t kParallelThreshold = 64;
 }  // namespace
 
 MvaSolution solve_mva_exact(const ClosedNetwork& net, std::size_t max_states,
-                            std::size_t workers) {
+                            std::size_t workers,
+                            const util::CancelToken* cancel) {
   net.validate();
   LATOL_REQUIRE(net.is_product_form(),
                 "exact MVA requires class-independent service times at "
@@ -138,6 +141,14 @@ MvaSolution solve_mva_exact(const ClosedNetwork& net, std::size_t max_states,
   };
 
   for (long level = 1; level <= total_pop; ++level) {
+    // Per-level cancellation: parallel_for bodies must not throw, so the
+    // check lives between levels (and each level is bounded work).
+    if (cancel != nullptr && cancel->expired()) {
+      throw SolverError(SolverErrorCode::kDeadlineExceeded,
+                        "exact MVA cancelled at population level " +
+                            std::to_string(level) + " of " +
+                            std::to_string(total_pop));
+    }
     const std::vector<std::size_t>& pts =
         levels[static_cast<std::size_t>(level)];
     const bool at_target = (level == total_pop);

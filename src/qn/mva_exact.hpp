@@ -15,6 +15,7 @@
 
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
+#include "util/cancel.hpp"
 
 namespace latol::qn {
 
@@ -26,8 +27,13 @@ namespace latol::qn {
 /// depends only on the previous one, and every point writes a disjoint
 /// row): `workers` == 0 uses the shared pool, > 0 a transient pool of
 /// that size. Results are bit-identical for every worker count.
-[[nodiscard]] MvaSolution solve_mva_exact(const ClosedNetwork& net,
-                                          std::size_t max_states = 50'000'000,
-                                          std::size_t workers = 0);
+///
+/// `cancel`, when non-null, is checked once per lattice level (levels are
+/// the unit of parallelism, so this is the finest granularity that cannot
+/// tear a parallel region); an expired token aborts with
+/// SolverError(kDeadlineExceeded).
+[[nodiscard]] MvaSolution solve_mva_exact(
+    const ClosedNetwork& net, std::size_t max_states = 50'000'000,
+    std::size_t workers = 0, const util::CancelToken* cancel = nullptr);
 
 }  // namespace latol::qn

@@ -49,6 +49,11 @@ CoreOutcome solve_core(SolverWorkspace& ws, const std::vector<long>& pop,
   long iter = 0;
   double best_delta = std::numeric_limits<double>::infinity();
   for (; iter < options.max_core_iterations; ++iter) {
+    if (options.cancel != nullptr && options.cancel->expired()) {
+      throw SolverError(SolverErrorCode::kDeadlineExceeded,
+                        "linearizer cancelled at core iteration " +
+                            std::to_string(iter));
+    }
     double delta = 0.0;
     for (std::size_t j = 0; j < C; ++j) {
       if (pop[j] == 0) continue;

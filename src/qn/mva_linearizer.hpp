@@ -14,6 +14,7 @@
 #include "obs/trace.hpp"
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
+#include "util/cancel.hpp"
 
 namespace latol::qn {
 
@@ -36,6 +37,9 @@ struct LinearizerOptions {
   /// full-population solve first, then the reduced-population solves of
   /// each outer pass). Caller-owned; survives a solver throw.
   obs::ConvergenceTrace* trace = nullptr;
+  /// Optional cooperative cancellation, checked once per Core iteration;
+  /// same semantics as AmvaOptions::cancel.
+  const util::CancelToken* cancel = nullptr;
 };
 
 /// Solve `net` with Linearizer. Same contract as solve_amva (including the

@@ -297,6 +297,11 @@ SolveReport robust_solve(const ClosedNetwork& net,
   }
 
   obs::count("qn.robust.solves");
+  // The caller's cancellation token rides on AmvaOptions (the requested
+  // solver's options); every fallback link honours it too — degrading past
+  // a deadline would defeat its purpose.
+  const util::CancelToken* cancel = options.amva.cancel;
+  bool deadline_hit = false;
   for (const SolverKind link : options.chain) {
     SolveAttempt attempt;
     attempt.solver = link;
@@ -304,6 +309,13 @@ SolveReport robust_solve(const ClosedNetwork& net,
       attempt.trace = obs::ConvergenceTrace(options.trace_capacity);
     const auto t_attempt = Clock::now();
     try {
+      // Do not even start a link once the deadline has fired; the throw is
+      // caught below and recorded like any other attempt failure.
+      if (cancel != nullptr && cancel->expired()) {
+        throw SolverError(SolverErrorCode::kDeadlineExceeded,
+                          std::string("deadline expired before ") +
+                              solver_kind_name(link) + " attempt");
+      }
       MvaSolution sol;
       bool skipped = false;
       switch (link) {
@@ -316,6 +328,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
         case SolverKind::kLinearizer: {
           LinearizerOptions lin = options.linearizer;
           lin.trace = options.record_traces ? &attempt.trace : nullptr;
+          if (lin.cancel == nullptr) lin.cancel = cancel;
           sol = solve_linearizer(net, lin);
           break;
         }
@@ -327,7 +340,8 @@ SolveReport robust_solve(const ClosedNetwork& net,
             skipped = true;
             break;
           }
-          sol = solve_mva_exact(net, options.exact_max_states);
+          sol = solve_mva_exact(net, options.exact_max_states,
+                                /*workers=*/0, cancel);
           break;
         }
         case SolverKind::kBounds:
@@ -362,6 +376,10 @@ SolveReport robust_solve(const ClosedNetwork& net,
       obs::time_add(solver_timer_name(link), attempt.wall_seconds);
       attempt.error = e.code();
       attempt.detail = e.what();
+      // A deadline is terminal: the caller stopped waiting, so degrading
+      // to a cheaper solver would only produce a late answer (and bounds
+      // would dress it up as "degraded" instead of "deadline-exceeded").
+      deadline_hit = e.code() == SolverErrorCode::kDeadlineExceeded;
     } catch (const InvalidArgument& e) {
       // A solver rejecting this (already validated) network means the
       // *solver* does not apply to it, e.g. exact MVA on non-product-form.
@@ -371,6 +389,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
       attempt.detail = e.what();
     }
     report.attempts.push_back(std::move(attempt));
+    if (deadline_hit) break;
   }
 
   const bool solved =
@@ -378,6 +397,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
   if (!solved) {
     // Prefer the requested solver's failure code; fall back to any link's
     // code; an all-skipped chain means the request could not apply at all.
+    // A deadline trumps everything — that is what the caller observed.
     report.error = SolverErrorCode::kInvalidNetwork;
     for (const SolveAttempt& a : report.attempts) {
       if (a.error) {
@@ -385,7 +405,9 @@ SolveReport robust_solve(const ClosedNetwork& net,
         break;
       }
     }
+    if (deadline_hit) report.error = SolverErrorCode::kDeadlineExceeded;
     obs::count("qn.robust.failed");
+    if (deadline_hit) obs::count("qn.robust.deadline");
   } else {
     report.residual = fixed_point_residual(net, report.solution);
     report.invariants = check_invariants(net, report.solution);

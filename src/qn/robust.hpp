@@ -44,6 +44,13 @@ enum class SolverKind {
 [[nodiscard]] const char* solver_kind_name(SolverKind kind);
 
 /// Configuration of robust_solve().
+///
+/// Cancellation: a token set on `amva.cancel` governs the whole chain —
+/// robust_solve checks it before every link, forwards it to Linearizer
+/// (unless `linearizer.cancel` is already set) and exact MVA, and treats
+/// kDeadlineExceeded as terminal: the chain stops immediately and the
+/// report carries error = kDeadlineExceeded instead of degrading to
+/// bounds (DESIGN.md §7, §11).
 struct RobustOptions {
   /// Solvers to try, in order. The first link is the "requested" solver;
   /// an answer from any later link is flagged degraded.

@@ -27,6 +27,11 @@ enum class SolverErrorCode {
   /// A NaN or overflow appeared in the iterate (pathological parameter
   /// ratios); the partial solution is meaningless.
   kNumerical,
+  /// The caller's cancellation token expired (request deadline, point
+  /// timeout, server drain) before a solution was reached. Terminal:
+  /// robust_solve does not degrade past it — a deadline that already
+  /// fired would only produce a late answer nobody is waiting for.
+  kDeadlineExceeded,
 };
 
 /// Stable lowercase identifier ("invalid-network", "diverged", ...) used
@@ -41,6 +46,8 @@ enum class SolverErrorCode {
       return "iteration-budget";
     case SolverErrorCode::kNumerical:
       return "numerical";
+    case SolverErrorCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "?";
 }

@@ -1,0 +1,86 @@
+// Cooperative cancellation for long-running work.
+//
+// A CancelToken is how the serving layer bounds the solvers: a request
+// handler arms a token with a deadline (or cancels it outright on drain),
+// and the iterative solvers / batch runner poll `expired()` at loop
+// granularity and abort with SolverError(kDeadlineExceeded) instead of
+// wedging a worker thread. Polling is cheap by construction: a token with
+// no deadline and no cancellation is one relaxed atomic load, and code
+// paths that were handed no token at all (`nullptr`, the default
+// everywhere) pay a single predicted branch — the paper-reproduction
+// benches stay overhead-free.
+//
+// Tokens chain: a child constructed with a parent expires when either its
+// own deadline/cancellation fires or the parent's does. The batch runner
+// uses this to combine a per-request deadline with per-point timeouts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+namespace latol::util {
+
+/// Cooperative cancellation + deadline token. Thread-safe: any thread may
+/// cancel() or set a deadline while workers poll expired(). Not copyable
+/// (identity is the point); pass `const CancelToken*`.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token: expires when this token OR `parent` expires. The
+  /// parent must outlive the child.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Trip the token immediately (drain, client disconnect).
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Arm a deadline `seconds` from now (steady clock). Non-positive
+  /// values expire immediately. Replaces any previous deadline.
+  void set_deadline_after(double seconds) noexcept {
+    const auto now = std::chrono::steady_clock::now().time_since_epoch();
+    const auto now_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now).count();
+    const double offset_ns = seconds * 1e9;
+    // Saturate instead of overflowing for absurdly large deadlines.
+    const auto limit = std::numeric_limits<std::int64_t>::max();
+    const std::int64_t deadline =
+        offset_ns >= static_cast<double>(limit - now_ns)
+            ? limit
+            : now_ns + static_cast<std::int64_t>(offset_ns);
+    deadline_ns_.store(deadline, std::memory_order_relaxed);
+  }
+
+  /// True once the token is cancelled, its deadline has passed, or an
+  /// ancestor expired. Reads the clock only when a deadline is armed.
+  [[nodiscard]] bool expired() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_relaxed);
+    if (deadline != kNoDeadline) {
+      const auto now = std::chrono::steady_clock::now().time_since_epoch();
+      if (std::chrono::duration_cast<std::chrono::nanoseconds>(now).count() >=
+          deadline) {
+        return true;
+      }
+    }
+    return parent_ != nullptr && parent_->expired();
+  }
+
+  /// True when a deadline has been armed (expired or not).
+  [[nodiscard]] bool has_deadline() const noexcept {
+    return deadline_ns_.load(std::memory_order_relaxed) != kNoDeadline;
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace latol::util

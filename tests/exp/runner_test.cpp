@@ -405,7 +405,14 @@ TEST(SolveCachePersistence, RejectsMalformedEntries) {
   doc.set("entries", std::move(entries));
   io::write_json_file(path, doc);
   SolveCache cache;
-  EXPECT_THROW(cache.load(path, "v1"), InvalidArgument);
+  // Malformed entries quarantine the file (renamed to .corrupt) instead
+  // of aborting the run: nothing is ingested and a warning is reported.
+  std::string warning;
+  EXPECT_EQ(cache.load(path, "v1", &warning), 0u);
+  EXPECT_FALSE(warning.empty());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  std::filesystem::remove(path + ".corrupt");
   // An unrecognized format is ignored, not an error.
   io::Json other = io::Json::object();
   other.set("format", "something-else");

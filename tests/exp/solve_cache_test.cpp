@@ -1,0 +1,198 @@
+// Crash-safety and deadline semantics of the solve cache, plus the
+// batch runner's per-point timeouts: a corrupt cache file must quarantine
+// (never crash a run), saves must be atomic, a deadline failure must not
+// poison the cache, and a timed-out point must be marked — not wedge the
+// run.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "core/mms_config.hpp"
+#include "exp/runner.hpp"
+#include "exp/scenario.hpp"
+#include "exp/solve_cache.hpp"
+#include "io/json.hpp"
+#include "qn/mva_approx.hpp"
+#include "qn/solver_error.hpp"
+#include "util/cancel.hpp"
+#include "util/error.hpp"
+
+namespace latol::exp {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void remove_cache_files(const std::string& path) {
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".corrupt");
+}
+
+core::MmsConfig small_config() {
+  core::MmsConfig cfg = core::MmsConfig::paper_defaults();
+  cfg.k = 2;
+  return cfg;
+}
+
+// --- persistence round trip ----------------------------------------------
+
+TEST(SolveCache, SaveLoadRoundTripServesHits) {
+  const std::string path = temp_path("latol_cache_roundtrip.json");
+  remove_cache_files(path);
+  {
+    SolveCache cache;
+    (void)cache.analyze(small_config(), {});
+    cache.save(path, "v-test");
+  }
+  SolveCache warmed;
+  std::string warning;
+  EXPECT_EQ(warmed.load(path, "v-test", &warning), 1u);
+  EXPECT_TRUE(warning.empty());
+  bool hit = false;
+  (void)warmed.analyze(small_config(), {}, &hit);
+  EXPECT_TRUE(hit);
+  remove_cache_files(path);
+}
+
+TEST(SolveCache, MismatchedVersionIsIgnoredWithoutWarning) {
+  const std::string path = temp_path("latol_cache_version.json");
+  remove_cache_files(path);
+  {
+    SolveCache cache;
+    (void)cache.analyze(small_config(), {});
+    cache.save(path, "v-old");
+  }
+  SolveCache fresh;
+  std::string warning;
+  EXPECT_EQ(fresh.load(path, "v-new", &warning), 0u);
+  EXPECT_TRUE(warning.empty());  // a stale cache is expected, not an error
+  remove_cache_files(path);
+}
+
+// --- corrupt-file quarantine ----------------------------------------------
+
+TEST(SolveCache, CorruptFileIsQuarantinedWithWarning) {
+  const std::string path = temp_path("latol_cache_corrupt.json");
+  remove_cache_files(path);
+  {
+    std::ofstream out(path);
+    out << "{\"version\": \"v-test\", \"entries\": [trunca";
+  }
+  SolveCache cache;
+  std::string warning;
+  EXPECT_EQ(cache.load(path, "v-test", &warning), 0u);
+  EXPECT_FALSE(warning.empty());
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_TRUE(std::filesystem::exists(path + ".corrupt"));
+  EXPECT_EQ(cache.size(), 0u);
+  remove_cache_files(path);
+}
+
+TEST(SolveCache, QuarantinedFileDoesNotBlockTheNextSave) {
+  const std::string path = temp_path("latol_cache_requarantine.json");
+  remove_cache_files(path);
+  {
+    std::ofstream out(path);
+    out << "not json at all";
+  }
+  SolveCache cache;
+  std::string warning;
+  (void)cache.load(path, "v-test", &warning);
+  EXPECT_FALSE(warning.empty());
+  (void)cache.analyze(small_config(), {});
+  cache.save(path, "v-test");
+  SolveCache reloaded;
+  std::string reload_warning;
+  EXPECT_EQ(reloaded.load(path, "v-test", &reload_warning), 1u);
+  EXPECT_TRUE(reload_warning.empty());
+  remove_cache_files(path);
+}
+
+TEST(SolveCache, MissingFileLoadsNothingSilently) {
+  SolveCache cache;
+  std::string warning;
+  EXPECT_EQ(cache.load(temp_path("latol_cache_does_not_exist.json"),
+                       "v-test", &warning),
+            0u);
+  EXPECT_TRUE(warning.empty());
+}
+
+// --- deadline failures are transient, not cacheable -----------------------
+
+TEST(SolveCache, DeadlineFailureIsNotCached) {
+  SolveCache cache;
+  util::CancelToken token;
+  token.cancel();
+  qn::AmvaOptions expired;
+  expired.cancel = &token;
+  try {
+    (void)cache.analyze(small_config(), expired);
+    FAIL() << "expected SolverError";
+  } catch (const qn::SolverError& e) {
+    EXPECT_EQ(e.code(), qn::SolverErrorCode::kDeadlineExceeded);
+  }
+  // Same configuration without the expired token: the earlier deadline
+  // must not have poisoned the entry (the cancel pointer is not part of
+  // the cache key).
+  bool hit = true;
+  const core::MmsPerformance perf = cache.analyze(small_config(), {}, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_GT(perf.processor_utilization, 0.0);
+}
+
+// --- runner point timeouts ------------------------------------------------
+
+TEST(Runner, ExpiredRunTokenMarksPointsDeadlineExceeded) {
+  const Scenario scenario = scenario_from_json(io::parse_json(R"({
+    "name": "deadline",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2, 0.3]}]
+  })"));
+  util::CancelToken token;
+  token.cancel();
+  RunOptions opts;
+  opts.cancel = &token;
+  const RunResult run = run_scenario(scenario, opts);
+  EXPECT_EQ(run.stats.failed_points, 3u);
+  EXPECT_EQ(run.stats.deadline_points, 3u);
+  for (const PointResult& p : run.points) {
+    ASSERT_TRUE(p.model.error.has_value());
+    EXPECT_EQ(p.model.error_code, qn::SolverErrorCode::kDeadlineExceeded);
+  }
+}
+
+TEST(Runner, GenerousPointTimeoutSolvesCleanly) {
+  const Scenario scenario = scenario_from_json(io::parse_json(R"({
+    "name": "timeout-ok",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2]}]
+  })"));
+  RunOptions opts;
+  opts.point_timeout_ms = 60'000.0;
+  const RunResult run = run_scenario(scenario, opts);
+  EXPECT_EQ(run.stats.failed_points, 0u);
+  EXPECT_EQ(run.stats.deadline_points, 0u);
+}
+
+TEST(Runner, ManifestRecordsDeadlinePoints) {
+  const Scenario scenario = scenario_from_json(io::parse_json(R"({
+    "name": "deadline-manifest",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1]}]
+  })"));
+  util::CancelToken token;
+  token.cancel();
+  RunOptions opts;
+  opts.cancel = &token;
+  const RunResult run = run_scenario(scenario, opts);
+  const io::Json manifest = manifest_to_json(scenario, run);
+  const io::Json* deadline = manifest.find("deadline_points");
+  ASSERT_NE(deadline, nullptr);
+  EXPECT_DOUBLE_EQ(deadline->as_number(), 1.0);
+}
+
+}  // namespace
+}  // namespace latol::exp

@@ -1,0 +1,146 @@
+// Hardening corpus for the JSON parser (ParseLimits) and the atomic
+// write path: hostile documents must fail with a typed, located error
+// before exhausting stack or memory, and write_json_file must never
+// leave a torn file behind.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "io/json.hpp"
+#include "util/error.hpp"
+
+namespace latol::io {
+namespace {
+
+std::string nested_arrays(std::size_t depth) {
+  std::string doc;
+  doc.reserve(2 * depth + 1);
+  doc.append(depth, '[');
+  doc += '1';
+  doc.append(depth, ']');
+  return doc;
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+// --- nesting depth --------------------------------------------------------
+
+TEST(JsonLimits, DepthWithinLimitParses) {
+  const Json doc = parse_json(nested_arrays(100));
+  EXPECT_TRUE(doc.is_array());
+}
+
+TEST(JsonLimits, DepthBeyondLimitThrowsInsteadOfOverflowingStack) {
+  try {
+    (void)parse_json(nested_arrays(300));
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("nesting"), std::string::npos);
+    EXPECT_GE(e.line(), 1u);
+    EXPECT_GE(e.column(), 1u);
+  }
+}
+
+TEST(JsonLimits, DepthLimitIsConfigurable) {
+  ParseLimits limits;
+  limits.max_depth = 8;
+  EXPECT_THROW((void)parse_json(nested_arrays(9), limits), JsonParseError);
+  EXPECT_NO_THROW((void)parse_json(nested_arrays(8), limits));
+}
+
+TEST(JsonLimits, DeepObjectsAreBoundedToo) {
+  std::string doc;
+  for (int i = 0; i < 300; ++i) doc += "{\"k\":";
+  doc += "1";
+  for (int i = 0; i < 300; ++i) doc += "}";
+  EXPECT_THROW((void)parse_json(doc), JsonParseError);
+}
+
+// --- document size --------------------------------------------------------
+
+TEST(JsonLimits, OversizedDocumentIsRejectedUpFront) {
+  ParseLimits limits;
+  limits.max_bytes = 16;
+  try {
+    (void)parse_json("[1, 2, 3, 4, 5, 6, 7, 8]", limits);
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("exceeds the limit"),
+              std::string::npos);
+  }
+}
+
+TEST(JsonLimits, DocumentAtTheLimitParses) {
+  ParseLimits limits;
+  const std::string doc = "[1, 2, 3]";
+  limits.max_bytes = doc.size();
+  EXPECT_NO_THROW((void)parse_json(doc, limits));
+}
+
+// --- malformed / truncated corpus ----------------------------------------
+
+TEST(JsonLimits, TruncatedDocumentsAllThrow) {
+  const char* corpus[] = {
+      "{",      "[",          "{\"a\":",       "[1, 2,",
+      "\"abc",  "{\"a\": 1,", "[[[1], [2]",    "tru",
+      "12e",    "{\"a\" 1}",  "[1 2]",         "\"\\u12",
+  };
+  for (const char* doc : corpus) {
+    EXPECT_THROW((void)parse_json(doc), JsonParseError) << "doc: " << doc;
+  }
+}
+
+TEST(JsonLimits, ParseFileHonorsLimits) {
+  const std::string path = temp_path("latol_limits_test.json");
+  {
+    std::ofstream out(path);
+    out << nested_arrays(300) << '\n';
+  }
+  EXPECT_THROW((void)parse_json_file(path), JsonParseError);
+  std::filesystem::remove(path);
+}
+
+// --- atomic writes --------------------------------------------------------
+
+TEST(JsonAtomicWrite, ReplacesExistingFileAtomically) {
+  const std::string path = temp_path("latol_atomic_test.json");
+  Json first = Json::object();
+  first.set("value", 1.0);
+  write_json_file(path, first);
+  Json second = Json::object();
+  second.set("value", 2.0);
+  write_json_file(path, second);
+  const Json back = parse_json_file(path);
+  EXPECT_DOUBLE_EQ(back.find("value")->as_number(), 2.0);
+  std::filesystem::remove(path);
+}
+
+TEST(JsonAtomicWrite, LeavesNoTempFileBehind) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "latol_atomic_dir").string();
+  std::filesystem::create_directories(dir);
+  Json doc = Json::object();
+  doc.set("x", 1.0);
+  write_json_file(dir + "/doc.json", doc);
+  std::size_t files = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    (void)entry;
+    ++files;
+  }
+  EXPECT_EQ(files, 1u);  // only doc.json; the .tmp.<pid> file was renamed
+  std::filesystem::remove_all(dir);
+}
+
+TEST(JsonAtomicWrite, UnwritablePathThrowsAndLeavesNothing) {
+  const std::string path = temp_path("latol_missing_dir/x/y/doc.json");
+  Json doc = Json::object();
+  EXPECT_THROW(write_json_file(path, doc), InvalidArgument);
+  EXPECT_FALSE(std::filesystem::exists(path));
+}
+
+}  // namespace
+}  // namespace latol::io
