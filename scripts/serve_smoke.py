@@ -161,6 +161,31 @@ def main():
         ok = "results" in doc and "manifest" in doc
     check(ok, "POST /v1/scenario answers results + manifest")
 
+    # Open workloads through the daemon (DESIGN.md 12): the mixed
+    # open/closed solve via /v1/analyze, and a FESC scenario sweep.
+    args = ["analyze", "--k", "2", "--open-arrival", "0.01"]
+    cli = subprocess.run([latol] + args, capture_output=True, timeout=120)
+    status, hdrs, body = http_request(
+        port, "POST", "/v1/analyze",
+        json.dumps({"args": args[1:]}).encode())
+    check(status == 200 and b"open request latency" in body,
+          "POST /v1/analyze with open arrivals reports open metrics")
+    check(body == cli.stdout,
+          "open-arrival analyze body is byte-identical to the CLI")
+    open_scenario = {
+        "name": "smoke-open", "base": {"k": 2},
+        "solver": {"method": "fesc"},
+        "axes": [{"param": "threads", "values": [2, 4]}],
+        "outputs": {"columns": ["n_t", "U_p", "solver", "converged"]},
+    }
+    status, _, body = http_request(
+        port, "POST", "/v1/scenario", json.dumps(open_scenario).encode())
+    ok = status == 200
+    if ok:
+        doc = json.loads(body)
+        ok = "results" in doc and "fesc" in json.dumps(doc)
+    check(ok, "POST /v1/scenario solves a fesc-method scenario")
+
     # --- fault corpus ---
     status, _, _ = http_request(port, "GET", "/nowhere")
     check(status == 404, "unknown path answers 404")

@@ -133,16 +133,35 @@ void print_machine(const core::MmsConfig& cfg, std::ostream& out) {
     out << ", hotspot node " << cfg.traffic.hotspot_node << " ("
         << cfg.traffic.hotspot_fraction * 100 << "%)";
   }
+  if (cfg.open_arrival_rate > 0.0) {
+    out << ", open arrivals " << cfg.open_arrival_rate << "/node";
+  }
   out << "\n\n";
 }
 
 int cmd_analyze(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
-  qn::RobustOptions ropts;
-  ropts.amva = opts.amva;
-  ropts.record_traces = wants_instrumentation(opts);
-  const core::RobustAnalysis analysis = core::analyze_robust(opts.config, ropts);
-  const core::MmsPerformance& perf = analysis.perf;
+  // The default AMVA path keeps the full robust-chain report for the
+  // solver line and trace artifacts; the alternative methods report their
+  // own provenance through MmsPerformance.
+  std::optional<core::RobustAnalysis> robust;
+  core::MmsPerformance solo;
+  if (opts.method == core::SolveMethod::kAmva) {
+    qn::RobustOptions ropts;
+    ropts.amva = opts.amva;
+    ropts.record_traces = wants_instrumentation(opts);
+    robust = core::analyze_robust(opts.config, ropts);
+  } else {
+    core::AnalysisOptions aopts;
+    aopts.amva = opts.amva;
+    aopts.method = opts.method;
+    solo = core::analyze(opts.config, aopts);
+  }
+  const core::MmsPerformance& perf = robust ? robust->perf : solo;
+  const std::string solver_line =
+      robust ? robust->report.summary()
+             : std::string(qn::solver_kind_name(perf.solver)) +
+                   (perf.converged ? " (converged)" : " (not converged)");
   out << "U_p (processor utilization) = " << perf.processor_utilization
       << '\n'
       << "lambda (access rate)        = " << perf.access_rate << '\n'
@@ -151,12 +170,18 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
       << "L_obs (memory latency)      = " << perf.memory_latency << '\n'
       << "memory utilization          = " << perf.memory_utilization << '\n'
       << "max switch utilization      = " << perf.switch_utilization << '\n'
-      << "d_avg                       = " << perf.average_distance << '\n'
-      << "solver                      = " << analysis.report.summary() << '\n';
+      << "d_avg                       = " << perf.average_distance << '\n';
+  if (opts.config.open_arrival_rate > 0.0) {
+    out << "open request latency        = " << perf.open_latency << '\n'
+        << "open utilization (max)      = " << perf.open_utilization << '\n';
+  }
+  out << "solver                      = " << solver_line << '\n';
   if (!opts.trace_path.empty()) {
     io::Json attempts = io::Json::array();
-    for (const qn::SolveAttempt& a : analysis.report.attempts)
-      attempts.push_back(attempt_to_json(a));
+    if (robust) {
+      for (const qn::SolveAttempt& a : robust->report.attempts)
+        attempts.push_back(attempt_to_json(a));
+    }
     io::Json doc = io::Json::object();
     doc.set("format", "latol-trace-v1");
     doc.set("command", "analyze");
@@ -164,7 +189,6 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
     write_json_artifact(opts.trace_path, doc, "trace", out);
   }
   if (!opts.metrics_path.empty()) {
-    const qn::SolveReport& report = analysis.report;
     io::Json point = io::Json::object();
     point.set("solver", qn::solver_kind_name(perf.solver));
     point.set("converged", perf.converged);
@@ -175,10 +199,12 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
               static_cast<double>(perf.residual_history.size()));
     point.set("littles_law_error", perf.littles_law_error);
     point.set("flow_balance_error", perf.flow_balance_error);
-    point.set("wall_seconds", report.wall_seconds);
+    point.set("wall_seconds", robust ? robust->report.wall_seconds : 0.0);
     io::Json warnings = io::Json::array();
-    for (const std::string& w : report.invariants.warnings)
-      warnings.push_back(w);
+    if (robust) {
+      for (const std::string& w : robust->report.invariants.warnings)
+        warnings.push_back(w);
+    }
     io::Json doc = io::Json::object();
     doc.set("format", "latol-metrics-v1");
     doc.set("command", "analyze");
@@ -378,6 +404,9 @@ int cmd_simulate(const CliOptions& opts, std::ostream& out) {
     row("lambda_net", model.message_rate, r.message_rate, 5);
     row("S_obs", model.network_latency, r.network_latency, 2);
     row("L_obs", model.memory_latency, r.memory_latency, 2);
+    if (opts.config.open_arrival_rate > 0.0) {
+      row("open_latency", model.open_latency, r.open_latency, 2);
+    }
   }
   table.print(out);
   return warn_if_degraded(model, "model", out);

@@ -49,6 +49,14 @@ topo::AccessPattern parse_pattern(const std::string& value) {
                         "` (geometric|uniform)");
 }
 
+core::SolveMethod parse_solver(const std::string& value) {
+  if (value == "amva") return core::SolveMethod::kAmva;
+  if (value == "linearizer") return core::SolveMethod::kLinearizer;
+  if (value == "fesc") return core::SolveMethod::kHierarchical;
+  throw InvalidArgument("unknown solver `" + value +
+                        "` (amva|linearizer|fesc)");
+}
+
 }  // namespace
 
 CliOptions parse_command_line(const std::vector<std::string>& args) {
@@ -133,6 +141,10 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.config.traffic.hotspot_node = parse_int(flag, value());
     } else if (flag == "--hotspot-fraction") {
       opts.config.traffic.hotspot_fraction = parse_double(flag, value());
+    } else if (flag == "--open-arrival") {
+      opts.config.open_arrival_rate = parse_double(flag, value());
+    } else if (flag == "--solver") {
+      opts.method = parse_solver(value());
     } else if (flag == "--memory-ports") {
       opts.config.memory_ports = parse_int(flag, value());
     } else if (flag == "--pipelined-switches") {
@@ -197,6 +209,10 @@ std::string usage() {
         "  --hotspot-fraction F  redirected fraction         [0]\n"
         "  --memory-ports N      servers per memory module   [1]\n"
         "  --pipelined-switches  switches as pure delays     [off]\n"
+        "  --open-arrival F      per-node Poisson rate of background open\n"
+        "                        remote requests (mixed open/closed solve;\n"
+        "                        DESIGN.md §12)               [0]\n"
+        "  --solver X            amva|linearizer|fesc        [amva]\n"
         "  --max-iterations N    AMVA iteration budget       [200000]\n\n"
         "sweep flags:\n"
         "  --param X   p_remote|threads|runlength|switch_delay|\n"

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "core/mms_config.hpp"
+#include "core/mms_model.hpp"
 #include "qn/mva_approx.hpp"
 
 namespace latol::cli {
@@ -25,6 +26,10 @@ struct CliOptions {
   /// Solver knobs (--max-iterations); the commands degrade through the
   /// fallback chain when the budget is too small, and warn.
   qn::AmvaOptions amva{};
+  /// --solver amva|linearizer|fesc: analytical machinery for `analyze`
+  /// (fesc = hierarchical decomposition, symmetric configs only).
+  /// Scenario files select theirs via solver.method.
+  core::SolveMethod method = core::SolveMethod::kAmva;
 
   // --- sweep ---
   std::string sweep_param = "p_remote";  ///< p_remote|threads|runlength|switch_delay|memory_latency|k

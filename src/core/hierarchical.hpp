@@ -1,0 +1,45 @@
+// Hierarchical MMS solver: FESC decomposition for large symmetric machines.
+//
+// Under the paper's SPMD symmetry every class is a translate of class 0 on
+// a vertex-transitive topology, so one class plus a background-utilization
+// fixed point captures the whole machine. The memory/network subsystem
+// seen by class 0 is collapsed into a single flow-equivalent service
+// center (qn::solve_two_level); contention from the other P-1 classes
+// enters as a service-time inflation 1/(1 - rho_bg) driven by the current
+// throughput estimate. Cost per outer iteration is O(n_t x M_sub) instead
+// of AMVA's O(iterations x P x 4P) full multi-class sweep, which is what
+// makes 10-100x larger lattices tractable (DESIGN.md §12.5).
+//
+// Scope: requires a vertex-transitive topology (torus, ring, hypercube —
+// the 2-D mesh is rejected), no traffic hotspot, and no open arrivals;
+// those asymmetric cases need the full multi-class AMVA path.
+#pragma once
+
+#include "core/mms_config.hpp"
+#include "core/mms_model.hpp"
+
+namespace latol::core {
+
+/// Knobs of the outer background-utilization fixed point.
+struct HierarchicalOptions {
+  /// Relative convergence threshold on the class throughput between
+  /// successive outer iterations.
+  double tolerance = 1e-10;
+  /// Outer-iteration budget; exhausting it returns the last iterate with
+  /// MmsPerformance::converged == false (no throw).
+  long max_iterations = 500;
+  /// Under-relaxation of the throughput update in (0, 1]; 0.5 tames the
+  /// overshoot of the background-load feedback near saturation.
+  double damping = 0.5;
+};
+
+/// Solve `config` by FESC decomposition and derive the paper's measures.
+/// Exact-MVA quality for the reduced model; the background inflation is an
+/// approximation that agrees with AMVA to a few percent away from deep
+/// saturation (tests/core/open_mms_test.cpp pins the envelope). Throws
+/// InvalidArgument when the config is outside the solver's symmetric scope
+/// (mesh topology, hotspot traffic, or open arrivals).
+[[nodiscard]] MmsPerformance analyze_hierarchical(
+    const MmsConfig& config, const HierarchicalOptions& options = {});
+
+}  // namespace latol::core

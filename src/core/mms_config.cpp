@@ -51,6 +51,13 @@ void MmsConfig::validate() const {
   LATOL_REQUIRE(p_remote == 0.0 || num_processors() >= 2,
                 "remote accesses (p_remote="
                     << p_remote << ") need at least 2 processing elements");
+  LATOL_REQUIRE(open_arrival_rate >= 0.0 && std::isfinite(open_arrival_rate),
+                "open_arrival_rate=" << open_arrival_rate);
+  LATOL_REQUIRE(open_arrival_rate == 0.0 || num_processors() >= 2,
+                "open arrivals (open_arrival_rate="
+                    << open_arrival_rate
+                    << ") are remote requests and need at least 2 "
+                       "processing elements");
   if (traffic.pattern == topo::AccessPattern::kGeometric) {
     LATOL_REQUIRE(traffic.p_sw > 0.0 && traffic.p_sw <= 1.0,
                   "p_sw=" << traffic.p_sw);

@@ -37,6 +37,15 @@ struct MmsConfig {
   double p_remote = 0.2;          ///< probability an access is remote
   topo::TrafficConfig traffic{};  ///< remote destination distribution
 
+  /// Background open traffic (DESIGN.md §12): each node additionally
+  /// sources a Poisson stream of one-way remote memory requests at this
+  /// rate (requests per time unit per node), drawn from the same remote
+  /// destination distribution as thread accesses — so hotspot configs
+  /// concentrate the burst. 0 (the default, and the paper's machine)
+  /// means a purely closed system; > 0 engages the mixed open/closed
+  /// solver and the simulator's Poisson sources.
+  double open_arrival_rate = 0;
+
   /// Reconstruction ablation (see DESIGN.md §2.2): the paper's text gives
   /// only `eo_{i,j} = em_{i,j}`, which omits the *request's* pass through
   /// the source node's outbound switch; the paper's own Eq. 5 narrative

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <string>
+#include <vector>
 
+#include "core/hierarchical.hpp"
 #include "qn/mva_linearizer.hpp"
+#include "qn/open/mixed.hpp"
 #include "util/error.hpp"
 
 namespace latol::core {
@@ -32,24 +35,69 @@ PeStations MmsModel::stations(int node) {
   return PeStations{base, base + 1, base + 2, base + 3};
 }
 
-qn::ClosedNetwork MmsModel::build_network() const {
-  const int P = topology_->num_nodes();
+namespace {
+
+/// The 4P stations shared by the closed network and its open companion.
+std::vector<qn::Station> make_station_list(const MmsConfig& config, int P) {
   std::vector<qn::Station> station_list;
   station_list.reserve(static_cast<std::size_t>(P) * 4);
-  const qn::StationKind switch_kind = config_.pipelined_switches
+  const qn::StationKind switch_kind = config.pipelined_switches
                                           ? qn::StationKind::kDelay
                                           : qn::StationKind::kQueueing;
   for (int n = 0; n < P; ++n) {
     station_list.push_back(
         {"P" + std::to_string(n), qn::StationKind::kQueueing, 1});
     station_list.push_back({"M" + std::to_string(n),
-                            qn::StationKind::kQueueing, config_.memory_ports});
+                            qn::StationKind::kQueueing, config.memory_ports});
     station_list.push_back({"I" + std::to_string(n), switch_kind, 1});
     station_list.push_back({"O" + std::to_string(n), switch_kind, 1});
   }
-  qn::ClosedNetwork net(std::move(station_list), static_cast<std::size_t>(P));
+  return station_list;
+}
 
+}  // namespace
+
+std::vector<double> MmsModel::class_visits(int i) const {
+  const int P = topology_->num_nodes();
+  LATOL_REQUIRE(i >= 0 && i < P, "class index " << i);
+  std::vector<double> v(static_cast<std::size_t>(P) * 4, 0.0);
   const double p = config_.p_remote;
+
+  const PeStations home = stations(i);
+  v[home.processor] = 1.0;
+  v[home.memory] = 1.0 - p;
+  if (p <= 0.0) {
+    v[home.memory] = 1.0;
+    return v;
+  }
+
+  // Remote accesses: requests leave via the home outbound switch...
+  if (config_.count_source_outbound) v[home.outbound] += p;
+
+  for (int dst = 0; dst < P; ++dst) {
+    if (dst == i) continue;
+    const double q = traffic().probability(i, dst);
+    if (q <= 0.0) continue;
+    const PeStations there = stations(dst);
+    v[there.memory] += p * q;
+    // ...responses leave via the destination's outbound switch...
+    v[there.outbound] += p * q;
+    // ...and both legs traverse one inbound switch per hop.
+    for (const auto& [node, w] : topology_->inbound_visits(i, dst)) {
+      v[stations(node).inbound] += p * q * w;
+    }
+    for (const auto& [node, w] : topology_->inbound_visits(dst, i)) {
+      v[stations(node).inbound] += p * q * w;
+    }
+  }
+  return v;
+}
+
+qn::ClosedNetwork MmsModel::build_network() const {
+  const int P = topology_->num_nodes();
+  qn::ClosedNetwork net(make_station_list(config_, P),
+                        static_cast<std::size_t>(P));
+
   for (int i = 0; i < P; ++i) {
     const auto c = static_cast<std::size_t>(i);
     net.set_population(c, config_.threads_per_processor);
@@ -65,42 +113,49 @@ qn::ClosedNetwork MmsModel::build_network() const {
       net.set_service_time(c, st.outbound, config_.switch_delay);
     }
 
+    const std::vector<double> v = class_visits(i);
+    for (std::size_t m = 0; m < v.size(); ++m) {
+      if (v[m] > 0.0) net.set_visit_ratio(c, m, v[m]);
+    }
+  }
+  return net;
+}
+
+qn::OpenNetwork MmsModel::build_open_network() const {
+  const int P = topology_->num_nodes();
+  LATOL_REQUIRE(P >= 2,
+                "open arrivals are remote requests and need at least 2 "
+                "processing elements");
+  qn::OpenNetwork open(make_station_list(config_, P),
+                       static_cast<std::size_t>(P));
+  for (int i = 0; i < P; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    open.set_arrival_rate(c, config_.open_arrival_rate);
+    for (int n = 0; n < P; ++n) {
+      const PeStations st = stations(n);
+      open.set_service_time(c, st.memory, config_.memory_latency);
+      open.set_service_time(c, st.inbound, config_.switch_delay);
+      open.set_service_time(c, st.outbound, config_.switch_delay);
+    }
+    // One-way request: the source outbound switch (always traversed — the
+    // simulator sends every open request through it, unconditionally)...
     const PeStations home = stations(i);
-    net.set_visit_ratio(c, home.processor, 1.0);
-    net.set_visit_ratio(c, home.memory, 1.0 - p);
-    if (p <= 0.0) {
-      net.set_visit_ratio(c, home.memory, 1.0);
-      continue;
-    }
-
-    // Remote accesses: requests leave via the home outbound switch...
-    if (config_.count_source_outbound) {
-      net.set_visit_ratio(c, home.outbound,
-                          net.visit_ratio(c, home.outbound) + p);
-    }
-
+    open.set_visit_ratio(c, home.outbound, 1.0);
     for (int dst = 0; dst < P; ++dst) {
       if (dst == i) continue;
       const double q = traffic().probability(i, dst);
       if (q <= 0.0) continue;
+      // ...then the destination memory, via one inbound switch per hop.
       const PeStations there = stations(dst);
-      net.set_visit_ratio(c, there.memory,
-                          net.visit_ratio(c, there.memory) + p * q);
-      // ...responses leave via the destination's outbound switch...
-      net.set_visit_ratio(c, there.outbound,
-                          net.visit_ratio(c, there.outbound) + p * q);
-      // ...and both legs traverse one inbound switch per hop.
+      open.set_visit_ratio(c, there.memory,
+                           open.visit_ratio(c, there.memory) + q);
       for (const auto& [node, w] : topology_->inbound_visits(i, dst)) {
         const std::size_t in = stations(node).inbound;
-        net.set_visit_ratio(c, in, net.visit_ratio(c, in) + p * q * w);
-      }
-      for (const auto& [node, w] : topology_->inbound_visits(dst, i)) {
-        const std::size_t in = stations(node).inbound;
-        net.set_visit_ratio(c, in, net.visit_ratio(c, in) + p * q * w);
+        open.set_visit_ratio(c, in, open.visit_ratio(c, in) + q * w);
       }
     }
   }
-  return net;
+  return open;
 }
 
 MmsPerformance extract_performance(const MmsModel& model,
@@ -174,6 +229,43 @@ void stamp_provenance(MmsPerformance& perf, const qn::SolveReport& report) {
     perf.residual_history = report.attempts.back().trace.residuals();
 }
 
+/// One MMS solve: the closed-class report, plus the open-class extension
+/// when the config has background arrivals (DESIGN.md §12).
+struct SolvedMms {
+  qn::SolveReport report;
+  std::vector<double> open_response;  ///< per node; empty when closed-only
+  double open_util_max = 0.0;
+};
+
+SolvedMms solve_mms(const MmsModel& model, const qn::ClosedNetwork& net,
+                    const qn::RobustOptions& options) {
+  if (model.config().open_arrival_rate <= 0.0) {
+    return SolvedMms{robust_solve_or_throw(net, options), {}, 0.0};
+  }
+  const qn::OpenNetwork open = model.build_open_network();
+  qn::MixedReport mix = qn::solve_mixed(net, open, options);
+  if (!mix.closed.ok()) {
+    throw qn::SolverError(*mix.closed.error,
+                          "MMS mixed solve failed: " + mix.closed.summary());
+  }
+  SolvedMms out{std::move(mix.closed), std::move(mix.open.response_time),
+                0.0};
+  // extract_performance reads solution.utilization as physical busy
+  // servers; the inflated solve reports stretched values, so substitute
+  // the combined closed+open utilization from the mixed report.
+  out.report.solution.utilization = std::move(mix.total_utilization);
+  for (const double rho : mix.open_load)
+    out.open_util_max = std::max(out.open_util_max, rho);
+  return out;
+}
+
+/// Copy the open-class measures for `node` into the derived measures.
+void stamp_open(MmsPerformance& perf, const SolvedMms& solved, int node) {
+  if (solved.open_response.empty()) return;
+  perf.open_latency = solved.open_response[static_cast<std::size_t>(node)];
+  perf.open_utilization = solved.open_util_max;
+}
+
 }  // namespace
 
 std::vector<MmsPerformance> analyze_per_node(const MmsConfig& config,
@@ -183,13 +275,14 @@ std::vector<MmsPerformance> analyze_per_node(const MmsConfig& config,
   qn::RobustOptions ropts;
   ropts.amva = options;
   ropts.record_traces = options.record_trace;
-  const qn::SolveReport report = robust_solve_or_throw(net, ropts);
+  const SolvedMms solved = solve_mms(model, net, ropts);
   std::vector<MmsPerformance> out;
   const int P = model.topology().num_nodes();
   out.reserve(static_cast<std::size_t>(P));
   for (int n = 0; n < P; ++n) {
-    out.push_back(extract_performance(model, net, report.solution, n));
-    stamp_provenance(out.back(), report);
+    out.push_back(extract_performance(model, net, solved.report.solution, n));
+    stamp_provenance(out.back(), solved.report);
+    stamp_open(out.back(), solved, n);
   }
   return out;
 }
@@ -201,29 +294,50 @@ DetailedAnalysis analyze_detailed(const MmsConfig& config,
   qn::RobustOptions ropts;
   ropts.amva = options;
   ropts.record_traces = options.record_trace;
-  qn::SolveReport report = robust_solve_or_throw(net, ropts);
-  MmsPerformance perf = extract_performance(model, net, report.solution);
-  stamp_provenance(perf, report);
-  return DetailedAnalysis{perf, std::move(net), std::move(report.solution)};
+  SolvedMms solved = solve_mms(model, net, ropts);
+  MmsPerformance perf = extract_performance(model, net, solved.report.solution);
+  stamp_provenance(perf, solved.report);
+  stamp_open(perf, solved, 0);
+  return DetailedAnalysis{perf, std::move(net),
+                          std::move(solved.report.solution)};
 }
 
 RobustAnalysis analyze_robust(const MmsConfig& config,
                               const qn::RobustOptions& options) {
   const MmsModel model(config);
   const qn::ClosedNetwork net = model.build_network();
-  qn::SolveReport report = robust_solve_or_throw(net, options);
-  MmsPerformance perf = extract_performance(model, net, report.solution);
-  stamp_provenance(perf, report);
-  return RobustAnalysis{std::move(perf), std::move(report)};
+  SolvedMms solved = solve_mms(model, net, options);
+  MmsPerformance perf = extract_performance(model, net, solved.report.solution);
+  stamp_provenance(perf, solved.report);
+  stamp_open(perf, solved, 0);
+  return RobustAnalysis{std::move(perf), std::move(solved.report)};
 }
 
 MmsPerformance analyze(const MmsConfig& config, const qn::AmvaOptions& options) {
   return analyze_detailed(config, options).perf;
 }
 
+const char* solve_method_name(SolveMethod method) {
+  switch (method) {
+    case SolveMethod::kAmva:
+      return "amva";
+    case SolveMethod::kLinearizer:
+      return "linearizer";
+    case SolveMethod::kHierarchical:
+      return "fesc";
+  }
+  return "?";
+}
+
 MmsPerformance analyze(const MmsConfig& config,
                        const AnalysisOptions& options) {
-  if (!options.use_linearizer) return analyze(config, options.amva);
+  if (options.method == SolveMethod::kHierarchical) {
+    HierarchicalOptions hopts;
+    hopts.tolerance = std::max(options.amva.tolerance, 1e-14);
+    return analyze_hierarchical(config, hopts);
+  }
+  if (!options.use_linearizer && options.method != SolveMethod::kLinearizer)
+    return analyze(config, options.amva);
   const MmsModel model(config);
   const qn::ClosedNetwork net = model.build_network();
   qn::RobustOptions ropts;
@@ -232,9 +346,10 @@ MmsPerformance analyze(const MmsConfig& config,
   ropts.amva = options.amva;
   ropts.linearizer.tolerance = options.amva.tolerance;
   ropts.record_traces = options.amva.record_trace;
-  const qn::SolveReport report = robust_solve_or_throw(net, ropts);
-  MmsPerformance perf = extract_performance(model, net, report.solution);
-  stamp_provenance(perf, report);
+  SolvedMms solved = solve_mms(model, net, ropts);
+  MmsPerformance perf = extract_performance(model, net, solved.report.solution);
+  stamp_provenance(perf, solved.report);
+  stamp_open(perf, solved, 0);
   return perf;
 }
 

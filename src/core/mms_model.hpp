@@ -19,6 +19,7 @@
 #include "core/mms_config.hpp"
 #include "qn/mva_approx.hpp"
 #include "qn/network.hpp"
+#include "qn/open/open_network.hpp"
 #include "qn/robust.hpp"
 #include "qn/solution.hpp"
 #include "topo/topology.hpp"
@@ -54,9 +55,24 @@ class MmsModel {
   /// Station indices of processing element `node`.
   [[nodiscard]] static PeStations stations(int node);
 
+  /// Class-`i` visit ratios over the 4P stations (the paper's em/eo/ei
+  /// rules). One row of build_network(), exposed separately so the
+  /// hierarchical solver can price a single class in O(P x d_avg) instead
+  /// of materializing all P classes.
+  [[nodiscard]] std::vector<double> class_visits(int i) const;
+
   /// Construct the full multi-class closed network (4P stations, P
   /// classes, populations n_t each) with the paper's visit ratios.
   [[nodiscard]] qn::ClosedNetwork build_network() const;
+
+  /// Construct the open companion network for open_arrival_rate > 0: one
+  /// open class per node, each a Poisson stream of one-way remote memory
+  /// requests (source outbound -> inbound hops -> destination memory ->
+  /// sink) at the configured rate, destinations drawn from the same
+  /// remote-access distribution as thread traffic. Same stations as
+  /// build_network(), so the two compose in qn::solve_mixed. Requires a
+  /// machine with at least two nodes.
+  [[nodiscard]] qn::OpenNetwork build_open_network() const;
 
  private:
   MmsConfig config_;
@@ -76,6 +92,14 @@ struct MmsPerformance {
   double memory_utilization = 0;     ///< per-port utilization of a memory module
   double switch_utilization = 0;     ///< max utilization over all switches
   double average_distance = 0;       ///< d_avg of the remote pattern
+  /// Mean end-to-end latency of one background open request sourced at
+  /// this node (mixed open/closed solve, DESIGN.md §12); 0 for a purely
+  /// closed config.
+  double open_latency = 0;
+  /// Max per-server utilization any station owes to open traffic alone
+  /// (the mixed solve's stability margin; the solver refuses >= 1). 0 for
+  /// a purely closed config.
+  double open_utilization = 0;
   long solver_iterations = 0;        ///< solver iterations used
   bool converged = true;             ///< solver convergence flag
   qn::SolverKind solver = qn::SolverKind::kAmva;  ///< producer of the numbers
@@ -89,16 +113,31 @@ struct MmsPerformance {
   std::vector<double> residual_history;
 };
 
-/// Approximate-MVA flavor used by analyze()/tolerance_index().
+/// Which analytical machinery answers an analyze() call.
 ///
-/// The paper's algorithm (its Fig. 3) is Bard-Schweitzer, which our own
-/// validation shows underestimates U_p by ~3% at the defaults — the same
-/// "model predictions are slightly lower than the simulations" bias the
-/// paper reports. Linearizer closes that gap (matches long simulations to
-/// <0.1%) at ~(P+1)x3 the cost.
+/// The paper's algorithm (its Fig. 3) is Bard-Schweitzer AMVA, which our
+/// own validation shows underestimates U_p by ~3% at the defaults — the
+/// same "model predictions are slightly lower than the simulations" bias
+/// the paper reports. Linearizer closes that gap (matches long
+/// simulations to <0.1%) at ~(P+1)x3 the cost. The hierarchical FESC
+/// decomposition trades a few percent of accuracy for solves that scale
+/// to machines far beyond the multi-class solvers (DESIGN.md §12.5).
+enum class SolveMethod {
+  kAmva,          ///< Bard–Schweitzer AMVA through the robust chain
+  kLinearizer,    ///< Linearizer-first robust chain
+  kHierarchical,  ///< FESC decomposition (core/hierarchical.hpp)
+};
+
+/// Stable lowercase identifier ("amva", "linearizer", "fesc") used in
+/// scenario files and cache keys.
+[[nodiscard]] const char* solve_method_name(SolveMethod method);
+
+/// Knobs for the analyze() overload with solver selection.
 struct AnalysisOptions {
   qn::AmvaOptions amva{};
+  /// Back-compat flag, equivalent to method = kLinearizer.
   bool use_linearizer = false;
+  SolveMethod method = SolveMethod::kAmva;
 };
 
 /// Solve the model through qn::robust_solve (AMVA first, degrading through

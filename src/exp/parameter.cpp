@@ -56,6 +56,9 @@ constexpr ParamDef kParams[] = {
     {"hotspot_fraction", nullptr, false,
      [](const core::MmsConfig& c) { return c.traffic.hotspot_fraction; },
      [](core::MmsConfig& c, double v) { c.traffic.hotspot_fraction = v; }},
+    {"open_arrival_rate", "lambda0", false,
+     [](const core::MmsConfig& c) { return c.open_arrival_rate; },
+     [](core::MmsConfig& c, double v) { c.open_arrival_rate = v; }},
 };
 
 const ParamDef* find_param(std::string_view name) {

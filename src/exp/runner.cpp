@@ -53,12 +53,12 @@ void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
       throw qn::SolverError(qn::SolverErrorCode::kDeadlineExceeded,
                             "point deadline expired before solve started");
     }
-    r.perf = cache.analyze(cfg, amva, &point.cache_hit);
+    r.perf = cache.analyze(cfg, amva, &point.cache_hit, scenario.method);
     if (scenario.network_tolerance) {
       const core::MmsPerformance ideal = cache.analyze(
           core::ideal_config(cfg, core::Subsystem::kNetwork,
                              scenario.network_method),
-          amva);
+          amva, nullptr, scenario.method);
       LATOL_REQUIRE(ideal.processor_utilization > 0.0,
                     "ideal system has zero processor utilization");
       r.tol_network =
@@ -69,7 +69,7 @@ void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
       const core::MmsPerformance ideal = cache.analyze(
           core::ideal_config(cfg, core::Subsystem::kMemory,
                              core::IdealMethod::kZeroDelay),
-          amva);
+          amva, nullptr, scenario.method);
       LATOL_REQUIRE(ideal.processor_utilization > 0.0,
                     "ideal system has zero processor utilization");
       r.tol_memory =
@@ -110,6 +110,7 @@ SimPoint simulate_point(const core::MmsConfig& cfg,
     sp.message_rate = r.message_rate;
     sp.network_latency = r.network_latency;
     sp.memory_latency = r.memory_latency;
+    sp.open_latency = r.open_latency;
   }
   return sp;
 }
@@ -134,7 +135,8 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   std::vector<std::size_t> unique_points;
   for (std::size_t i = 0; i < run.grid.size(); ++i) {
     const auto [it, inserted] = first_index.emplace(
-        SolveCache::config_key(run.grid[i], scenario.amva), i);
+        SolveCache::config_key(run.grid[i], scenario.amva, scenario.method),
+        i);
     representative[i] = it->second;
     if (inserted) unique_points.push_back(i);
   }
@@ -270,6 +272,8 @@ Cell cell_value(const std::string& column, const core::MmsConfig& cfg,
   if (column == "mem_util") return Cell::num(perf.memory_utilization);
   if (column == "switch_util") return Cell::num(perf.switch_utilization);
   if (column == "d_avg") return Cell::num(perf.average_distance);
+  if (column == "open_latency") return Cell::num(perf.open_latency);
+  if (column == "open_util") return Cell::num(perf.open_utilization);
   if (column == "residual") return Cell::num(perf.residual);
   if (column == "iterations") {
     return Cell::num(static_cast<double>(perf.solver_iterations));
@@ -315,6 +319,9 @@ Cell cell_value(const std::string& column, const core::MmsConfig& cfg,
   }
   if (column == "sim_L_obs") {
     return p.sim ? Cell::num(p.sim->memory_latency) : Cell::missing();
+  }
+  if (column == "sim_open_latency") {
+    return p.sim ? Cell::num(p.sim->open_latency) : Cell::missing();
   }
   throw InvalidArgument("unknown column `" + column + "`");
 }

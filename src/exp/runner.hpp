@@ -36,6 +36,9 @@ struct SimPoint {
   double message_rate = 0;
   double network_latency = 0;
   double memory_latency = 0;
+  /// Measured end-to-end latency of open background requests (DES engine
+  /// with base.open_arrival_rate > 0 only; 0 otherwise).
+  double open_latency = 0;
 };
 
 /// Everything computed for one grid point.

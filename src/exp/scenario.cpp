@@ -111,7 +111,8 @@ void parse_base(const io::Json& obj, core::MmsConfig& cfg) {
              {"topology", "k", "memory_latency", "switch_delay",
               "memory_ports", "pipelined_switches", "threads", "runlength",
               "context_switch", "p_remote", "pattern", "p_sw",
-              "hotspot_node", "hotspot_fraction", "count_source_outbound"},
+              "hotspot_node", "hotspot_fraction", "open_arrival_rate",
+              "count_source_outbound"},
              ctx);
   for (const auto& [key, value] : obj.as_object()) {
     const std::string kctx = ctx + "." + key;
@@ -143,6 +144,8 @@ void parse_base(const io::Json& obj, core::MmsConfig& cfg) {
       cfg.traffic.hotspot_node = get_int(value, kctx);
     } else if (key == "hotspot_fraction") {
       cfg.traffic.hotspot_fraction = get_number(value, kctx);
+    } else if (key == "open_arrival_rate") {
+      cfg.open_arrival_rate = get_number(value, kctx);
     } else if (key == "count_source_outbound") {
       cfg.count_source_outbound = get_bool(value, kctx);
     }
@@ -265,10 +268,24 @@ void parse_outputs(const io::Json& obj, Scenario& s) {
   }
 }
 
+core::SolveMethod parse_solve_method(const std::string& value,
+                                     const std::string& context) {
+  if (value == "amva") return core::SolveMethod::kAmva;
+  if (value == "linearizer") return core::SolveMethod::kLinearizer;
+  if (value == "fesc") return core::SolveMethod::kHierarchical;
+  schema_error(context,
+               "unknown method `" + value + "` (amva|linearizer|fesc)");
+}
+
 void parse_solver(const io::Json& obj, Scenario& s) {
   const std::string ctx = "solver";
-  check_keys(obj, {"max_iterations", "tolerance", "damping", "workers"},
+  check_keys(obj,
+             {"method", "max_iterations", "tolerance", "damping", "workers"},
              ctx);
+  if (const io::Json* v = obj.find("method")) {
+    s.method = parse_solve_method(get_string(*v, ctx + ".method"),
+                                  ctx + ".method");
+  }
   if (const io::Json* v = obj.find("max_iterations")) {
     s.amva.max_iterations = get_int(*v, ctx + ".max_iterations");
     if (s.amva.max_iterations < 1) {
@@ -335,8 +352,9 @@ constexpr const char* kMetricColumns[] = {
     "L_obs",        "mem_util",    "switch_util", "d_avg",
     "residual",     "iterations",  "tol_network", "tol_memory",
     "zone_network", "zone_memory", "solver",      "converged",
-    "error",        "sim_U_p",     "sim_lambda_net",
-    "sim_S_obs",    "sim_L_obs",
+    "error",        "open_latency", "open_util",
+    "sim_U_p",      "sim_lambda_net",
+    "sim_S_obs",    "sim_L_obs",   "sim_open_latency",
 };
 
 }  // namespace

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/mms_config.hpp"
+#include "core/mms_model.hpp"
 #include "core/tolerance.hpp"
 #include "io/json.hpp"
 #include "qn/mva_approx.hpp"
@@ -68,6 +69,10 @@ struct Scenario {
 
   // --- solver options ---
   qn::AmvaOptions amva{};
+  /// Analytical machinery for every grid point: "amva" (default),
+  /// "linearizer", or "fesc" (hierarchical decomposition — symmetric
+  /// configs only; see core/hierarchical.hpp).
+  core::SolveMethod method = core::SolveMethod::kAmva;
   std::size_t workers = 0;  ///< 0 = hardware concurrency
 
   /// FNV-1a hash of the canonical (compact) source document; identifies

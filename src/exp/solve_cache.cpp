@@ -19,13 +19,16 @@ namespace latol::exp {
 namespace {
 
 // Bumped to -2 when MmsPerformance grew invariant errors and the residual
-// history: -1 files lack the new fields and are ignored wholesale.
-constexpr const char* kCacheFormat = "latol-solve-cache-2";
+// history; to -3 when open/mixed workloads added open_latency/open_util to
+// the payload and lam0/method to the key. Older files lack the new fields
+// and are ignored wholesale.
+constexpr const char* kCacheFormat = "latol-solve-cache-3";
 
 qn::SolverKind solver_kind_from_name(const std::string& name) {
   for (const qn::SolverKind kind :
        {qn::SolverKind::kAmva, qn::SolverKind::kLinearizer,
-        qn::SolverKind::kExactMva, qn::SolverKind::kBounds}) {
+        qn::SolverKind::kExactMva, qn::SolverKind::kBounds,
+        qn::SolverKind::kFesc}) {
     if (name == qn::solver_kind_name(kind)) return kind;
   }
   throw InvalidArgument("unknown solver kind `" + name + "` in cache");
@@ -46,6 +49,8 @@ io::Json perf_to_json(const core::MmsPerformance& p) {
   o.set("solver", qn::solver_kind_name(p.solver));
   o.set("degraded", p.degraded);
   o.set("residual", p.residual);
+  o.set("open_latency", p.open_latency);
+  o.set("open_util", p.open_utilization);
   o.set("littles_law_error", p.littles_law_error);
   o.set("flow_balance_error", p.flow_balance_error);
   io::Json history = io::Json::array();
@@ -87,6 +92,8 @@ core::MmsPerformance perf_from_json(const io::Json& o) {
   p.solver = solver_kind_from_name(solver->as_string());
   p.degraded = flag("degraded");
   p.residual = num("residual");
+  p.open_latency = num("open_latency");
+  p.open_utilization = num("open_util");
   p.littles_law_error = num("littles_law_error");
   p.flow_balance_error = num("flow_balance_error");
   const io::Json* history = o.find("residual_history");
@@ -108,7 +115,8 @@ std::shared_future<core::MmsPerformance> ready_future(
 }  // namespace
 
 std::string SolveCache::config_key(const core::MmsConfig& config,
-                                   const qn::AmvaOptions& options) {
+                                   const qn::AmvaOptions& options,
+                                   core::SolveMethod method) {
   const auto num = io::json_number;  // shortest round trip = injective
   std::string key;
   key.reserve(256);
@@ -129,8 +137,11 @@ std::string SolveCache::config_key(const core::MmsConfig& config,
   key += ";mode=" + std::to_string(static_cast<int>(config.traffic.mode));
   key += ";hot=" + std::to_string(config.traffic.hotspot_node);
   key += ";hotf=" + num(config.traffic.hotspot_fraction);
+  key += ";lam0=" + num(config.open_arrival_rate);
   key += ";srcout=" + std::to_string(config.count_source_outbound ? 1 : 0);
-  key += "|tol=" + num(options.tolerance);
+  key += "|method=";
+  key += core::solve_method_name(method);
+  key += ";tol=" + num(options.tolerance);
   key += ";iters=" + std::to_string(options.max_iterations);
   key += ";damp=" + num(options.damping);
   key += ";divf=" + num(options.divergence_factor);
@@ -141,8 +152,9 @@ std::string SolveCache::config_key(const core::MmsConfig& config,
 
 core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
                                          const qn::AmvaOptions& options,
-                                         bool* was_hit) {
-  const std::string key = config_key(config, options);
+                                         bool* was_hit,
+                                         core::SolveMethod method) {
+  const std::string key = config_key(config, options, method);
   std::shared_future<core::MmsPerformance> future;
   std::promise<core::MmsPerformance> promise;
   bool compute = false;
@@ -165,7 +177,10 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
     obs::count("exp.cache.misses");
     bool transient_failure = false;
     try {
-      promise.set_value(core::analyze(config, options));
+      core::AnalysisOptions opts;
+      opts.amva = options;
+      opts.method = method;
+      promise.set_value(core::analyze(config, opts));
     } catch (const qn::SolverError& e) {
       // A deadline is a property of THIS caller's patience, not of the
       // configuration — caching it would poison every future lookup of a

@@ -45,20 +45,25 @@ class SolveCache {
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
 
-  /// Memoized core::analyze. Exceptions are cached too: every duplicate
-  /// of a failing configuration rethrows the original error. When
-  /// `was_hit` is non-null it is set to whether this call was served from
-  /// an existing entry (including coalescing onto an in-flight solve) —
-  /// the per-point cache provenance the metrics stream reports.
-  [[nodiscard]] core::MmsPerformance analyze(const core::MmsConfig& config,
-                                             const qn::AmvaOptions& options,
-                                             bool* was_hit = nullptr);
+  /// Memoized core::analyze with the given solve method. Exceptions are
+  /// cached too: every duplicate of a failing configuration rethrows the
+  /// original error. When `was_hit` is non-null it is set to whether this
+  /// call was served from an existing entry (including coalescing onto an
+  /// in-flight solve) — the per-point cache provenance the metrics stream
+  /// reports.
+  [[nodiscard]] core::MmsPerformance analyze(
+      const core::MmsConfig& config, const qn::AmvaOptions& options,
+      bool* was_hit = nullptr,
+      core::SolveMethod method = core::SolveMethod::kAmva);
 
-  /// Canonical, collision-free cache key for (config, options). Includes
-  /// AmvaOptions::record_trace, so traced and untraced solves of the same
-  /// configuration never share an entry.
-  [[nodiscard]] static std::string config_key(const core::MmsConfig& config,
-                                              const qn::AmvaOptions& options);
+  /// Canonical, collision-free cache key for (config, options, method).
+  /// Includes AmvaOptions::record_trace, so traced and untraced solves of
+  /// the same configuration never share an entry; includes the solve
+  /// method and open_arrival_rate, so AMVA/Linearizer/FESC answers and
+  /// open-vs-closed workloads never alias.
+  [[nodiscard]] static std::string config_key(
+      const core::MmsConfig& config, const qn::AmvaOptions& options,
+      core::SolveMethod method = core::SolveMethod::kAmva);
 
   /// Merge entries from `path` (written by save()). Silently does nothing
   /// when the file is missing; ignores files whose version string differs

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <algorithm>
+#include <limits>
 
 #include "qn/network.hpp"
 
@@ -26,6 +27,25 @@ namespace latol::qn {
   double bound = static_cast<double>(net.population(c)) / total;
   if (dmax > 0.0) bound = std::min(bound, 1.0 / dmax);
   return bound;
+}
+
+/// Saturation (N -> infinity) throughput of class c alone in the network:
+/// 1 / max_m D_{c,m} over queueing stations, counting each station's
+/// parallel servers (a station with m servers saturates at m / D). This is
+/// the asymptote `asymptotic_throughput_bound` approaches as the population
+/// grows, and the load an open arrival stream must stay strictly below to
+/// be stable (qn/open). Returns +inf for a class with no queueing demand
+/// (delay-only classes never saturate).
+[[nodiscard]] inline double saturation_throughput(const ClosedNetwork& net,
+                                                  std::size_t c) {
+  double dmax = 0.0;
+  for (std::size_t m = 0; m < net.num_stations(); ++m) {
+    if (net.station(m).kind != StationKind::kQueueing) continue;
+    dmax = std::max(dmax, net.demand(c, m) /
+                              static_cast<double>(net.station(m).servers));
+  }
+  if (dmax <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / dmax;
 }
 
 /// Lower bound: all other customers always queued in front

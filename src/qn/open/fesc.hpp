@@ -1,0 +1,85 @@
+// Flow-equivalent service centers and two-level hierarchical solving.
+//
+// Norton's theorem for product-form networks (Chandy–Herzog–Woo; the
+// recipe follows Thomasian's hierarchical-analysis survey): a designated
+// subnetwork can be replaced by one load-dependent station whose rate at
+// population j equals the subnetwork's throughput with j customers
+// circulating in it alone. For single-class product-form networks the
+// reduction is *exact* — the two-level solve reproduces the full solve to
+// numerical precision — while costing O(N x M_sub) for the table plus a
+// tiny high-level model, instead of a solve over the whole station set.
+// This is what makes heterogeneous PE speeds and 10-100x larger
+// topologies tractable (core/hierarchical.hpp builds on it).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qn/network.hpp"
+#include "util/matrix.hpp"
+
+namespace latol::qn {
+
+/// A load-dependent summary of a subnetwork: its throughput (and
+/// per-station detail) at every feasible population 1..N.
+struct FescTable {
+  /// rate[n-1] = subnetwork throughput with n customers, n = 1..N. The
+  /// service rate of the flow-equivalent station when n customers are
+  /// present.
+  std::vector<double> rate;
+
+  /// waiting(n-1, m): per-visit residence at subnetwork station m with n
+  /// customers in the subnetwork.
+  util::Matrix waiting;
+
+  /// queue(n-1, m): mean queue length at subnetwork station m with n
+  /// customers in the subnetwork.
+  util::Matrix queue;
+
+  [[nodiscard]] long max_population() const {
+    return static_cast<long>(rate.size());
+  }
+};
+
+/// Compute the FESC table of a single-class closed network by one exact
+/// MVA recursion pass over populations 1..max_population (multi-server
+/// stations via the same Seidmann transform the other MVA solvers use).
+/// `sub.population(0)` is ignored; the table covers every population up to
+/// `max_population`. Throws InvalidArgument on a multi-class network, a
+/// non-positive max_population, or a subnetwork with zero total demand.
+[[nodiscard]] FescTable build_fesc(const ClosedNetwork& sub,
+                                   long max_population);
+
+/// A two-level hierarchical solution, re-expanded to the original station
+/// indexing so it can be compared field-by-field against a full solve.
+struct TwoLevelSolution {
+  /// Class throughput in cycles per time unit.
+  double throughput = 0.0;
+
+  /// Per original station: mean residence per visit. Complement stations
+  /// come from the high-level model; subnetwork stations are re-derived
+  /// from the FESC population distribution via Little's law.
+  std::vector<double> waiting;
+
+  /// Per original station: mean queue length.
+  std::vector<double> queue;
+
+  /// marginal[j] = P(subnetwork holds j customers), j = 0..N.
+  std::vector<double> marginal;
+
+  /// The throughput table the reduction used.
+  FescTable fesc;
+};
+
+/// Solve a single-class closed network hierarchically: collapse the
+/// stations flagged in `in_subnetwork` into one FESC (throughput table by
+/// exact MVA), then solve the reduced model — complement stations plus the
+/// load-dependent FESC — with the exact load-dependent MVA recursion.
+/// Exact for product-form networks: matches solve_mva_exact to numerical
+/// precision (tests pin 1e-6 on paper-sized lattices). Throws
+/// InvalidArgument unless the network is single-class with customers and
+/// both the subnetwork and its complement are non-empty.
+[[nodiscard]] TwoLevelSolution solve_two_level(
+    const ClosedNetwork& net, const std::vector<bool>& in_subnetwork);
+
+}  // namespace latol::qn

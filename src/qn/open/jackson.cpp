@@ -1,0 +1,86 @@
+#include "qn/open/jackson.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "qn/solver_error.hpp"
+#include "util/error.hpp"
+
+namespace latol::qn {
+
+double erlang_c(int servers, double offered) {
+  LATOL_REQUIRE(servers >= 1, "erlang_c needs at least one server");
+  LATOL_REQUIRE(offered >= 0.0 && std::isfinite(offered),
+                "erlang_c offered load " << offered);
+  const double m = static_cast<double>(servers);
+  LATOL_REQUIRE(offered < m,
+                "erlang_c offered load " << offered << " >= " << servers
+                                         << " servers (unstable queue)");
+  if (offered == 0.0) return 0.0;
+  // Erlang-B recurrence: B(0) = 1, B(k) = a B(k-1) / (k + a B(k-1)).
+  double b = 1.0;
+  for (int k = 1; k <= servers; ++k) {
+    b = offered * b / (static_cast<double>(k) + offered * b);
+  }
+  const double rho = offered / m;
+  return b / (1.0 - rho * (1.0 - b));
+}
+
+OpenSolution solve_jackson(const OpenNetwork& net) {
+  net.validate();
+  const std::size_t classes = net.num_classes();
+  const std::size_t stations = net.num_stations();
+
+  OpenSolution sol;
+  sol.waiting = util::Matrix(classes, stations, 0.0);
+  sol.queue_length = util::Matrix(classes, stations, 0.0);
+  sol.utilization.assign(stations, 0.0);
+  sol.offered_load.assign(stations, 0.0);
+  sol.response_time.assign(classes, 0.0);
+
+  for (std::size_t m = 0; m < stations; ++m) {
+    const Station& st = net.station(m);
+    double lambda_m = 0.0;  // aggregate arrival rate at m
+    double work_m = 0.0;    // aggregate offered work lambda x s
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double a = net.station_arrival(c, m);
+      lambda_m += a;
+      work_m += a * net.service_time(c, m);
+    }
+    const double servers = static_cast<double>(st.servers);
+    sol.offered_load[m] = work_m / servers;
+    sol.utilization[m] = work_m;
+
+    if (st.kind == StationKind::kQueueing && sol.offered_load[m] >= 1.0) {
+      std::ostringstream msg;
+      msg << "station " << st.name << " is saturated: offered load "
+          << work_m << " over " << st.servers
+          << " server(s) gives utilization " << sol.offered_load[m]
+          << " >= 1; the open network has no steady state (reduce arrival "
+             "rates or add capacity)";
+      throw SolverError(SolverErrorCode::kUnstable, msg.str());
+    }
+
+    // Per-visit residence. Delay stations never queue; queueing stations
+    // add the M/M/m Erlang-C wait computed at the aggregate mean service.
+    double wait_q = 0.0;
+    if (st.kind == StationKind::kQueueing && lambda_m > 0.0 &&
+        work_m > 0.0) {
+      const double s_bar = work_m / lambda_m;
+      const double p_wait = erlang_c(st.servers, work_m);
+      wait_q = p_wait * s_bar / (servers - work_m);
+    }
+    for (std::size_t c = 0; c < classes; ++c) {
+      const double v = net.visit_ratio(c, m);
+      if (v <= 0.0 || net.arrival_rate(c) <= 0.0) continue;
+      const double w = net.service_time(c, m) +
+                       (st.kind == StationKind::kQueueing ? wait_q : 0.0);
+      sol.waiting(c, m) = w;
+      sol.queue_length(c, m) = net.station_arrival(c, m) * w;
+      sol.response_time[c] += v * w;
+    }
+  }
+  return sol;
+}
+
+}  // namespace latol::qn

@@ -1,0 +1,65 @@
+// Product-form solver for open (Jackson/BCMP) networks.
+//
+// Once per-station arrival rates are known (from the traffic equations),
+// an open product-form network decomposes: every station behaves as an
+// independent M/M/m queue fed at its aggregate arrival rate. The solver
+// computes per-station Erlang-C waiting, per-class residence and queue
+// lengths, and end-to-end response times — after refusing outright to
+// "solve" an unstable network (offered load >= 1 anywhere), because an
+// unstable open network has no steady state to report.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "qn/open/open_network.hpp"
+#include "util/matrix.hpp"
+
+namespace latol::qn {
+
+/// Steady-state measures of an open network, shaped like MvaSolution so
+/// open and closed results can be compared side by side in tests.
+struct OpenSolution {
+  /// waiting(c, m): mean residence time (queueing + service) of a class-c
+  /// job per visit to station m.
+  util::Matrix waiting;
+
+  /// queue_length(c, m): time-average number of class-c jobs at station m
+  /// (including any in service), by Little's law.
+  util::Matrix queue_length;
+
+  /// Per-station expected busy servers: sum over classes of
+  /// arrival rate x demand (same convention as MvaSolution::utilization).
+  std::vector<double> utilization;
+
+  /// Per-station offered load per server (the stability margin: every
+  /// queueing station has offered_load < 1, or the solver threw).
+  std::vector<double> offered_load;
+
+  /// Per-class end-to-end response time: sum_m v_{c,m} x waiting(c, m).
+  std::vector<double> response_time;
+
+  /// Total jobs at station m over all classes.
+  [[nodiscard]] double station_queue(std::size_t m) const {
+    double total = 0.0;
+    for (std::size_t c = 0; c < queue_length.rows(); ++c)
+      total += queue_length(c, m);
+    return total;
+  }
+};
+
+/// Erlang-C probability that an arriving job must wait in an M/M/m queue
+/// with `servers` servers and offered load `offered` = lambda x s (in
+/// servers' worth of work; must be < servers). Computed via the
+/// numerically stable Erlang-B recurrence.
+[[nodiscard]] double erlang_c(int servers, double offered);
+
+/// Solve `net` exactly (product form). Validates the network, then throws
+/// SolverError(kUnstable) naming the first saturated station when any
+/// queueing station's offered load is >= 1 per server — fail fast instead
+/// of diverging. Stations visited by classes with differing service times
+/// use the aggregate mean service time for the waiting term (the same
+/// class-independence caveat as ClosedNetwork::is_product_form).
+[[nodiscard]] OpenSolution solve_jackson(const OpenNetwork& net);
+
+}  // namespace latol::qn

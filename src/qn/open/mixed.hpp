@@ -1,0 +1,64 @@
+// Mixed open/closed (BCMP) networks.
+//
+// Standard mixed-network decomposition (Lazowska et al. ch. 7): open
+// classes see the stations first and claim their bandwidth outright —
+// closed classes then compete for what is left, which is modeled by
+// inflating every closed service time at a queueing station by
+// 1 / (1 - rho_open). The inflated closed network is solved by the usual
+// robust chain (AMVA -> Linearizer -> exact MVA -> bounds), and open
+// waiting times are corrected afterwards for the closed jobs they queue
+// behind. Exact for single-server product-form networks; the documented
+// deviations (multi-server Seidmann handling) live in DESIGN.md §12.
+#pragma once
+
+#include <vector>
+
+#include "qn/network.hpp"
+#include "qn/open/jackson.hpp"
+#include "qn/open/open_network.hpp"
+#include "qn/robust.hpp"
+
+namespace latol::qn {
+
+/// What solve_mixed() produced: the closed-class report (on the inflated
+/// network), the open-class metrics (corrected for closed interference),
+/// and the combined per-station load.
+struct MixedReport {
+  /// Closed-class solve of the inflated network, with full provenance
+  /// (solver, attempts, invariants) from robust_solve. Throughputs and
+  /// waiting times are the closed classes' true mixed-network values;
+  /// `closed.solution.utilization` is the *inflated* utilization — use
+  /// `total_utilization` for physical busy-server counts.
+  SolveReport closed;
+
+  /// Open-class metrics with waiting corrected for closed queue contents:
+  /// W_open = s (m-1)/m + (s/m)(1 + N_closed) / (1 - rho_open) at an
+  /// m-server queueing station (the exact mixed formula when m = 1).
+  OpenSolution open;
+
+  /// Per-station open-only offered load per server (each < 1, or
+  /// solve_mixed threw kUnstable).
+  std::vector<double> open_load;
+
+  /// Per-station expected busy servers from both worlds: closed
+  /// throughput x uninflated demand, plus the open offered work.
+  std::vector<double> total_utilization;
+
+  /// The closed network the closed classes actually saw (service times
+  /// inflated by 1/(1 - rho_open) at queueing stations). Kept for
+  /// invariant checks and tests.
+  ClosedNetwork inflated;
+
+  [[nodiscard]] bool ok() const { return closed.ok(); }
+};
+
+/// Solve the mixed network formed by `closed` and `open` sharing one
+/// station set. The two descriptions must agree station-for-station on
+/// kind and server count. Throws SolverError(kUnstable) when the open
+/// traffic alone saturates a queueing station; closed-solver failures are
+/// reported through `MixedReport::closed.error`, never thrown.
+[[nodiscard]] MixedReport solve_mixed(const ClosedNetwork& closed,
+                                      const OpenNetwork& open,
+                                      const RobustOptions& options = {});
+
+}  // namespace latol::qn

@@ -68,6 +68,8 @@ const char* solver_timer_name(SolverKind kind) {
       return "qn.solver.exact-mva";
     case SolverKind::kBounds:
       return "qn.solver.bounds";
+    case SolverKind::kFesc:
+      return "qn.solver.fesc";
   }
   return "qn.solver.unknown";
 }
@@ -84,6 +86,8 @@ const char* solver_kind_name(SolverKind kind) {
       return "exact-mva";
     case SolverKind::kBounds:
       return "bounds";
+    case SolverKind::kFesc:
+      return "fesc";
   }
   return "?";
 }
@@ -346,6 +350,13 @@ SolveReport robust_solve(const ClosedNetwork& net,
         }
         case SolverKind::kBounds:
           sol = bounds_solution(net);
+          break;
+        case SolverKind::kFesc:
+          // The hierarchical solver has its own entry point
+          // (core::analyze with SolveMethod::kHierarchical) and its own
+          // fallback story; as a chain link it is just skipped.
+          attempt.detail = "skipped: fesc runs outside the robust chain";
+          skipped = true;
           break;
       }
       attempt.wall_seconds = seconds_since(t_attempt);

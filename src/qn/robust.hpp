@@ -37,10 +37,12 @@ enum class SolverKind {
   kLinearizer,  ///< Chandy–Neuse Linearizer (slower, more accurate)
   kExactMva,    ///< exact MVA; only small populations / product form
   kBounds,      ///< asymptotic bottleneck bounds (always succeed)
+  kFesc,        ///< hierarchical FESC decomposition (core/hierarchical);
+                ///< provenance only — never a robust_solve chain link
 };
 
 /// Stable lowercase identifier ("amva", "linearizer", "exact-mva",
-/// "bounds") for reports and CSV columns.
+/// "bounds", "fesc") for reports and CSV columns.
 [[nodiscard]] const char* solver_kind_name(SolverKind kind);
 
 /// Configuration of robust_solve().

@@ -32,6 +32,11 @@ enum class SolverErrorCode {
   /// robust_solve does not degrade past it — a deadline that already
   /// fired would only produce a late answer nobody is waiting for.
   kDeadlineExceeded,
+  /// An open (Jackson/mixed) network has no steady state: some station's
+  /// offered load implies utilization >= 1, so queues grow without bound.
+  /// Raised by the open solvers before iterating — diverging slowly toward
+  /// infinity would only dress the same failure up as kIterationBudget.
+  kUnstable,
 };
 
 /// Stable lowercase identifier ("invalid-network", "diverged", ...) used
@@ -48,6 +53,8 @@ enum class SolverErrorCode {
       return "numerical";
     case SolverErrorCode::kDeadlineExceeded:
       return "deadline-exceeded";
+    case SolverErrorCode::kUnstable:
+      return "unstable";
   }
   return "?";
 }

@@ -64,6 +64,12 @@ class MmsSimulation {
       for (int t = 0; t < cfg_.mms.threads_per_processor; ++t)
         start_thread_cycle(n);
     }
+    // Open background traffic: one Poisson stream of one-way remote
+    // requests per node. Guarded so a closed-only config draws exactly
+    // the same random variates as before this feature existed.
+    if (cfg_.mms.open_arrival_rate > 0.0) {
+      for (int n = 0; n < P; ++n) schedule_open_arrival(n);
+    }
     const double warmup = cfg_.sim_time * cfg_.warmup_fraction;
     sim_.schedule(warmup, [this] { reset_statistics(); });
     sim_.run_until(cfg_.sim_time);
@@ -113,22 +119,25 @@ class MmsSimulation {
 
   /// Route one message src -> dst through outbound[src] and the inbound
   /// switches along a sampled dimension-order path; `on_arrive` fires when
-  /// the message leaves the last inbound switch at dst.
-  void send_leg(int src, int dst, std::function<void()> on_arrive) {
+  /// the message leaves the last inbound switch at dst. Open background
+  /// legs pass count_stats = false so S_obs stays a closed-traffic metric
+  /// (open sojourns are tallied separately in open_latency_).
+  void send_leg(int src, int dst, std::function<void()> on_arrive,
+                bool count_stats = true) {
     const double t0 = sim_.now();
     auto path = std::make_shared<std::vector<int>>(
         topology_->route(src, dst, rng_.bernoulli(0.5), rng_.bernoulli(0.5)));
     traverse_switch(*outbound_[static_cast<std::size_t>(src)],
-                    [this, path, t0,
+                    [this, path, t0, count_stats,
                      on_arrive = std::move(on_arrive)]() mutable {
-                      hop(path, 0, t0, std::move(on_arrive));
+                      hop(path, 0, t0, count_stats, std::move(on_arrive));
                     });
   }
 
   void hop(std::shared_ptr<std::vector<int>> path, std::size_t index,
-           double t0, std::function<void()> on_arrive) {
+           double t0, bool count_stats, std::function<void()> on_arrive) {
     if (index >= path->size()) {
-      if (sim_.now() >= stats_epoch_) {
+      if (count_stats && sim_.now() >= stats_epoch_) {
         network_latency_.add(sim_.now() - t0);
         ++remote_legs_;
       }
@@ -137,10 +146,37 @@ class MmsSimulation {
     }
     const int node = (*path)[index];
     traverse_switch(*inbound_[static_cast<std::size_t>(node)],
-                    [this, path = std::move(path), index, t0,
+                    [this, path = std::move(path), index, t0, count_stats,
                      on_arrive = std::move(on_arrive)]() mutable {
-                      hop(std::move(path), index + 1, t0, std::move(on_arrive));
+                      hop(std::move(path), index + 1, t0, count_stats,
+                          std::move(on_arrive));
                     });
+  }
+
+  /// One background open request from `home`: Poisson inter-arrival, then
+  /// outbound -> inbound hops -> remote memory -> sink (one-way; the
+  /// analytical counterpart is the per-node open class in
+  /// core::MmsModel's mixed solve).
+  void schedule_open_arrival(int home) {
+    sim_.schedule_after(
+        rng_.exponential(1.0 / cfg_.mms.open_arrival_rate), [this, home] {
+          const double t0 = sim_.now();
+          const int dst = sample_destination(home);
+          send_leg(
+              home, dst,
+              [this, t0, dst] {
+                memories_[static_cast<std::size_t>(dst)]->submit(
+                    rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
+                    [this, t0] {
+                      if (sim_.now() >= stats_epoch_) {
+                        open_latency_.add(sim_.now() - t0);
+                        ++open_completions_;
+                      }
+                    });
+              },
+              /*count_stats=*/false);
+          schedule_open_arrival(home);
+        });
   }
 
   void finish_cycle(int home) {
@@ -166,7 +202,9 @@ class MmsSimulation {
     cycles_ = 0;
     remote_issued_ = 0;
     remote_legs_ = 0;
+    open_completions_ = 0;
     network_latency_ = BatchMeans(20);
+    open_latency_ = BatchMeans(20);
     for (auto& s : processors_) s->reset_stats();
     for (auto& s : memories_) s->reset_stats();
     for (auto& s : inbound_) s->reset_stats();
@@ -194,6 +232,9 @@ class MmsSimulation {
         span > 0.0 ? static_cast<double>(remote_issued_) / span / P : 0.0;
     r.network_latency = network_latency_.mean();
     r.network_latency_hw95 = network_latency_.half_width_95();
+    r.open_latency = open_latency_.mean();
+    r.open_latency_hw95 = open_latency_.half_width_95();
+    r.open_completions = open_completions_;
     r.cycles = cycles_;
     r.remote_legs = remote_legs_;
     r.events = sim_.events_executed();
@@ -217,7 +258,9 @@ class MmsSimulation {
   std::uint64_t cycles_ = 0;
   std::uint64_t remote_issued_ = 0;
   std::uint64_t remote_legs_ = 0;
+  std::uint64_t open_completions_ = 0;
   BatchMeans network_latency_{20};
+  BatchMeans open_latency_{20};
 };
 
 }  // namespace

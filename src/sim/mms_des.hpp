@@ -37,6 +37,12 @@ struct SimulationResult {
   double network_latency = 0;        ///< mean one-way network latency (S_obs)
   double network_latency_hw95 = 0;   ///< 95% CI half-width (batch means)
   double memory_latency = 0;         ///< mean memory residence (L_obs)
+  /// Mean end-to-end sojourn of one background open request (outbound
+  /// switch -> inbound hops -> remote memory); 0 when the config has no
+  /// open arrivals. Cross-checks the mixed-network solver's open_latency.
+  double open_latency = 0;
+  double open_latency_hw95 = 0;      ///< 95% CI half-width (batch means)
+  std::uint64_t open_completions = 0;///< open requests absorbed post-warmup
   std::uint64_t cycles = 0;          ///< completed thread cycles measured
   std::uint64_t remote_legs = 0;     ///< one-way network traversals measured
   std::uint64_t events = 0;          ///< kernel events executed

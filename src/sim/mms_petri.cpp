@@ -21,6 +21,11 @@ class NetBuilder {
         mem_dist_(memory_dist),
         topology_(topo::make_topology(config.topology, config.k)) {
     cfg_.validate();
+    LATOL_REQUIRE(cfg_.open_arrival_rate == 0.0,
+                  "the STPN simulator models only the closed thread cycle; "
+                  "open arrivals (open_arrival_rate="
+                      << cfg_.open_arrival_rate
+                      << ") need the DES cross-check instead");
     const int P = topology_->num_nodes();
     model_.p_remote = cfg_.p_remote;
     model_.processors = P;

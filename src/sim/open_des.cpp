@@ -1,0 +1,167 @@
+#include "sim/open_des.hpp"
+
+#include <memory>
+#include <string>
+
+#include "obs/registry.hpp"
+#include "sim/des.hpp"
+#include "sim/fcfs_server.hpp"
+#include "sim/rng.hpp"
+#include "sim/stats.hpp"
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+namespace {
+
+/// Owns one open-network replication.
+class OpenSimulation {
+ public:
+  OpenSimulation(const qn::OpenNetwork& net,
+                 const OpenSimulationConfig& config)
+      : net_(net), cfg_(config), rng_(config.seed) {
+    LATOL_REQUIRE(net_.has_routing(),
+                  "simulate_open needs set_entry/set_routing: visit ratios "
+                  "alone do not describe where a job goes next");
+    LATOL_REQUIRE(cfg_.sim_time > 0.0, "sim_time " << cfg_.sim_time);
+    LATOL_REQUIRE(cfg_.warmup_fraction >= 0.0 && cfg_.warmup_fraction < 1.0,
+                  "warmup_fraction " << cfg_.warmup_fraction);
+    net_.validate();
+    const std::size_t stations = net_.num_stations();
+    servers_.reserve(stations);
+    for (std::size_t m = 0; m < stations; ++m) {
+      servers_.push_back(std::make_unique<FcfsServer>(
+          sim_, net_.station(m).name.empty() ? "S" + std::to_string(m)
+                                             : net_.station(m).name,
+          net_.station(m).servers));
+    }
+    const std::size_t classes = net_.num_classes();
+    response_.assign(classes, BatchMeans(20));
+    completions_.assign(classes, 0);
+    // Per-class cumulative entry distribution for inverse-CDF sampling.
+    entry_cum_.assign(classes, {});
+    for (std::size_t c = 0; c < classes; ++c) {
+      auto& cum = entry_cum_[c];
+      cum.resize(stations);
+      double acc = 0.0;
+      for (std::size_t m = 0; m < stations; ++m) {
+        acc += net_.entry(c, m);
+        cum[m] = acc;
+      }
+    }
+  }
+
+  OpenSimulationResult run() {
+    for (std::size_t c = 0; c < net_.num_classes(); ++c) {
+      if (net_.arrival_rate(c) > 0.0) schedule_arrival(c);
+    }
+    const double warmup = cfg_.sim_time * cfg_.warmup_fraction;
+    sim_.schedule(warmup, [this] { reset_statistics(); });
+    sim_.run_until(cfg_.sim_time);
+    return collect();
+  }
+
+ private:
+  void schedule_arrival(std::size_t c) {
+    sim_.schedule_after(rng_.exponential(1.0 / net_.arrival_rate(c)),
+                        [this, c] {
+                          const double t0 = sim_.now();
+                          enter(c, sample_entry(c), t0);
+                          schedule_arrival(c);
+                        });
+  }
+
+  std::size_t sample_entry(std::size_t c) {
+    const auto& cum = entry_cum_[c];
+    const double u = rng_.uniform01() * cum.back();
+    std::size_t m = 0;
+    while (m + 1 < cum.size() && cum[m] <= u) ++m;
+    return m;
+  }
+
+  void enter(std::size_t c, std::size_t m, double t0) {
+    const double service = rng_.exponential(net_.service_time(c, m));
+    if (net_.station(m).kind == qn::StationKind::kDelay) {
+      sim_.schedule_after(service, [this, c, m, t0] { depart(c, m, t0); });
+    } else {
+      servers_[m]->submit(service, [this, c, m, t0] { depart(c, m, t0); });
+    }
+  }
+
+  void depart(std::size_t c, std::size_t from, double t0) {
+    // Walk the routing row; the deficit past the row sum is the sink.
+    double u = rng_.uniform01();
+    for (std::size_t to = 0; to < net_.num_stations(); ++to) {
+      u -= net_.routing(c, from, to);
+      if (u < 0.0) {
+        enter(c, to, t0);
+        return;
+      }
+    }
+    if (sim_.now() >= stats_epoch_) {
+      response_[c].add(sim_.now() - t0);
+      ++completions_[c];
+    }
+  }
+
+  void reset_statistics() {
+    stats_epoch_ = sim_.now();
+    for (auto& s : servers_) s->reset_stats();
+    for (auto& r : response_) r = BatchMeans(20);
+    for (auto& n : completions_) n = 0;
+  }
+
+  OpenSimulationResult collect() const {
+    OpenSimulationResult r;
+    const std::size_t classes = net_.num_classes();
+    r.response_time.assign(classes, 0.0);
+    r.response_hw95.assign(classes, 0.0);
+    r.completions.assign(classes, 0);
+    for (std::size_t c = 0; c < classes; ++c) {
+      r.response_time[c] = response_[c].mean();
+      r.response_hw95[c] = response_[c].half_width_95();
+      r.completions[c] = completions_[c];
+    }
+    const std::size_t stations = net_.num_stations();
+    r.utilization.assign(stations, 0.0);
+    r.residence.assign(stations, 0.0);
+    for (std::size_t m = 0; m < stations; ++m) {
+      if (net_.station(m).kind != qn::StationKind::kQueueing) continue;
+      r.utilization[m] = servers_[m]->utilization();
+      r.residence[m] = servers_[m]->mean_residence();
+    }
+    r.events = sim_.events_executed();
+    r.rng_draws = rng_.draws();
+    return r;
+  }
+
+  const qn::OpenNetwork& net_;
+  OpenSimulationConfig cfg_;
+  Rng rng_;
+  Simulator sim_;
+  std::vector<std::unique_ptr<FcfsServer>> servers_;
+  std::vector<std::vector<double>> entry_cum_;
+  std::vector<BatchMeans> response_;
+  std::vector<std::uint64_t> completions_;
+  double stats_epoch_ = 0.0;
+};
+
+}  // namespace
+
+OpenSimulationResult simulate_open(const qn::OpenNetwork& net,
+                                   const OpenSimulationConfig& config) {
+  try {
+    OpenSimulation simulation(net, config);
+    OpenSimulationResult result = simulation.run();
+    result.seed = config.seed;
+    obs::count("sim.open.runs");
+    obs::count("sim.open.events", result.events);
+    obs::count("sim.open.rng_draws", result.rng_draws);
+    return result;
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(e.what()) + " [seed=" +
+                          std::to_string(config.seed) + "]");
+  }
+}
+
+}  // namespace latol::sim

@@ -1,0 +1,54 @@
+// Discrete-event simulation of an open queueing network.
+//
+// The independent cross-check for the Jackson solver (qn/open/jackson.hpp),
+// playing the role mms_des plays for the closed solvers: Poisson sources
+// per class, FCFS multi-server stations (or pure delays), probabilistic
+// routing walked job by job, and a sink that records end-to-end response
+// times. Nothing here knows about product form — agreement with the
+// analytical solution is evidence, not construction.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "qn/open/open_network.hpp"
+
+namespace latol::sim {
+
+/// Run parameters for one open-network replication.
+struct OpenSimulationConfig {
+  double sim_time = 100000;      ///< horizon, model time units
+  double warmup_fraction = 0.1;  ///< fraction of sim_time discarded
+  std::uint64_t seed = 1;
+};
+
+/// Post-warmup point estimates, shaped to compare against OpenSolution.
+struct OpenSimulationResult {
+  /// Per-class mean end-to-end response time (arrival to sink).
+  std::vector<double> response_time;
+  /// Per-class 95% CI half-width on the response time (batch means).
+  std::vector<double> response_hw95;
+  /// Per-class jobs that reached the sink after warmup.
+  std::vector<std::uint64_t> completions;
+  /// Per-station mean fraction of busy servers (0 for delay stations,
+  /// which never queue and are simulated as pure delays).
+  std::vector<double> utilization;
+  /// Per-station mean residence (wait + service) per visit, all classes
+  /// (0 for delay stations — their latency shows up only in the
+  /// end-to-end response times).
+  std::vector<double> residence;
+  std::uint64_t events = 0;     ///< kernel events executed
+  std::uint64_t rng_draws = 0;  ///< random variates consumed
+  std::uint64_t seed = 0;       ///< RNG seed of this replication
+};
+
+/// Run one replication of `net`, which must carry an explicit routing
+/// description (set_entry/set_routing — visit ratios alone do not say
+/// where a job goes next). Service times are exponential. Throws
+/// InvalidArgument on a routing-less or invalid network; unlike the
+/// analytical solver it happily simulates an unstable network (queues
+/// just grow), which is exactly what makes it an independent check.
+[[nodiscard]] OpenSimulationResult simulate_open(
+    const qn::OpenNetwork& net, const OpenSimulationConfig& config);
+
+}  // namespace latol::sim

@@ -1,0 +1,202 @@
+#include "core/mms_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "core/hierarchical.hpp"
+#include "qn/open/jackson.hpp"
+#include "sim/mms_des.hpp"
+#include "sim/mms_petri.hpp"
+#include "util/error.hpp"
+
+namespace latol::core {
+namespace {
+
+double rel(double a, double b) { return std::abs(a - b) / b; }
+
+TEST(OpenMmsConfig, ValidationRejectsBadRates) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.open_arrival_rate = -0.01;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.open_arrival_rate = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.open_arrival_rate = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+  cfg.open_arrival_rate = 0.01;
+  cfg.validate();  // fine on the 16-node default machine
+}
+
+TEST(OpenMmsConfig, OpenArrivalsNeedRemoteDestinations) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.topology = topo::TopologyKind::kRing;
+  cfg.k = 1;  // a single node has nowhere to send a remote request
+  cfg.open_arrival_rate = 0.01;
+  EXPECT_THROW(cfg.validate(), InvalidArgument);
+}
+
+TEST(OpenMmsModel, ClassVisitsMatchBuiltNetwork) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.k = 2;
+  const MmsModel model(cfg);
+  const qn::ClosedNetwork net = model.build_network();
+  const int nodes = cfg.num_processors();
+  for (int i = 0; i < nodes; ++i) {
+    const std::vector<double> v = model.class_visits(i);
+    ASSERT_EQ(v.size(), net.num_stations());
+    for (std::size_t m = 0; m < net.num_stations(); ++m)
+      EXPECT_NEAR(v[m],
+                  net.visit_ratio(static_cast<std::size_t>(i), m), 1e-15)
+          << "class " << i << " station " << m;
+  }
+}
+
+TEST(OpenMmsModel, OpenNetworkConservesRequestFlow) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.open_arrival_rate = 0.02;
+  const MmsModel model(cfg);
+  const qn::OpenNetwork open = model.build_open_network();
+  const qn::OpenSolution sol = qn::solve_jackson(open);
+  // Every request visits exactly one memory: total memory load equals the
+  // machine-wide arrival rate times the (uniform) service time.
+  const int nodes = cfg.num_processors();
+  double memory_load = 0.0;
+  for (int n = 0; n < nodes; ++n) {
+    const PeStations st = MmsModel::stations(n);
+    memory_load += sol.offered_load[st.memory];
+  }
+  const double expected =
+      cfg.open_arrival_rate * static_cast<double>(nodes) *
+      cfg.memory_latency;
+  EXPECT_NEAR(memory_load, expected, 1e-9);
+}
+
+TEST(OpenMmsAnalysis, MixedSolveReportsOpenMetrics) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.open_arrival_rate = 0.01;
+  const MmsPerformance perf = analyze(cfg);
+  EXPECT_GT(perf.open_latency, 0.0);
+  EXPECT_GT(perf.open_utilization, 0.0);
+  EXPECT_LT(perf.open_utilization, 1.0);
+  // Open traffic must cost throughput relative to the closed machine.
+  MmsConfig closed = cfg;
+  closed.open_arrival_rate = 0.0;
+  const MmsPerformance base = analyze(closed);
+  EXPECT_LT(perf.processor_utilization, base.processor_utilization);
+  EXPECT_DOUBLE_EQ(base.open_latency, 0.0);
+  EXPECT_DOUBLE_EQ(base.open_utilization, 0.0);
+}
+
+TEST(OpenMmsAnalysis, SaturatingOpenLoadFailsFast) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  // Each memory serves 1/10 requests per unit; this rate alone floods it.
+  cfg.open_arrival_rate = 0.2;
+  try {
+    (void)analyze(cfg);
+    FAIL() << "expected SolverError";
+  } catch (const qn::SolverError& e) {
+    EXPECT_EQ(e.code(), qn::SolverErrorCode::kUnstable);
+  }
+}
+
+TEST(OpenMmsAnalysis, MixedMatchesDesOpenLatency) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.open_arrival_rate = 0.01;
+  const MmsPerformance perf = analyze(cfg);
+  sim::SimulationConfig sim;
+  sim.mms = cfg;
+  sim.sim_time = 150000;
+  const sim::SimulationResult r = sim::simulate_mms(sim);
+  ASSERT_GT(r.open_completions, 1000u);
+  EXPECT_LT(rel(r.open_latency, perf.open_latency), 0.08)
+      << "sim " << r.open_latency << " model " << perf.open_latency;
+  EXPECT_LT(rel(r.processor_utilization, perf.processor_utilization), 0.05);
+}
+
+TEST(OpenMmsAnalysis, PetriSimulatorRejectsOpenArrivals) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.open_arrival_rate = 0.01;
+  EXPECT_THROW((void)sim::simulate_mms_petri(cfg, 1000.0, 0.1, 1),
+               InvalidArgument);
+}
+
+TEST(Hierarchical, MatchesAmvaOnSymmetricTorus) {
+  for (int k : {2, 4}) {
+    MmsConfig cfg = MmsConfig::paper_defaults();
+    cfg.k = k;
+    const MmsPerformance amva = analyze(cfg);
+    const MmsPerformance fesc = analyze_hierarchical(cfg);
+    EXPECT_TRUE(fesc.converged) << "k " << k;
+    EXPECT_EQ(fesc.solver, qn::SolverKind::kFesc) << "k " << k;
+    // Both approximate the same machine; they agree to a few percent
+    // (measured 1.4-1.9% across k = 2..8).
+    EXPECT_LT(rel(fesc.processor_utilization, amva.processor_utilization),
+              0.03)
+        << "k " << k;
+    EXPECT_LT(rel(fesc.network_latency, amva.network_latency), 0.10)
+        << "k " << k;
+    EXPECT_LT(rel(fesc.memory_latency, amva.memory_latency), 0.10)
+        << "k " << k;
+  }
+}
+
+TEST(Hierarchical, ExactWhenTrafficIsLocal) {
+  // With p_remote = 0 each class is an isolated two-station cycle: the
+  // decomposition has no background contention and must agree with AMVA
+  // essentially exactly.
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.p_remote = 0.0;
+  const MmsPerformance amva = analyze(cfg);
+  const MmsPerformance fesc = analyze_hierarchical(cfg);
+  EXPECT_NEAR(fesc.processor_utilization, amva.processor_utilization, 1e-6);
+  EXPECT_NEAR(fesc.access_rate, amva.access_rate, 1e-6);
+}
+
+TEST(Hierarchical, DispatchThroughAnalysisOptions) {
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.k = 2;
+  AnalysisOptions opts;
+  opts.method = SolveMethod::kHierarchical;
+  const MmsPerformance via_analyze = analyze(cfg, opts);
+  const MmsPerformance direct = analyze_hierarchical(cfg);
+  EXPECT_DOUBLE_EQ(via_analyze.processor_utilization,
+                   direct.processor_utilization);
+  EXPECT_EQ(via_analyze.solver, qn::SolverKind::kFesc);
+}
+
+TEST(Hierarchical, ScalesToTopologiesBeyondTheExactLattice) {
+  // k = 8 is a 64-node, 256-station, 64-class machine — far beyond exact
+  // MVA. The decomposition must converge and respect basic sanity.
+  MmsConfig cfg = MmsConfig::paper_defaults();
+  cfg.k = 8;
+  const MmsPerformance perf = analyze_hierarchical(cfg);
+  EXPECT_TRUE(perf.converged);
+  EXPECT_GT(perf.processor_utilization, 0.0);
+  EXPECT_LT(perf.processor_utilization, 1.0);
+  EXPECT_GT(perf.network_latency, 0.0);
+}
+
+TEST(Hierarchical, RejectsUnsupportedConfigs) {
+  MmsConfig mesh = MmsConfig::paper_defaults();
+  mesh.topology = topo::TopologyKind::kMesh2D;
+  EXPECT_THROW((void)analyze_hierarchical(mesh), InvalidArgument);
+
+  MmsConfig hotspot = MmsConfig::paper_defaults();
+  hotspot.traffic.hotspot_node = 0;
+  hotspot.traffic.hotspot_fraction = 0.5;
+  EXPECT_THROW((void)analyze_hierarchical(hotspot), InvalidArgument);
+
+  MmsConfig open = MmsConfig::paper_defaults();
+  open.open_arrival_rate = 0.01;
+  EXPECT_THROW((void)analyze_hierarchical(open), InvalidArgument);
+}
+
+TEST(Hierarchical, SolveMethodNamesAreStable) {
+  EXPECT_STREQ(solve_method_name(SolveMethod::kAmva), "amva");
+  EXPECT_STREQ(solve_method_name(SolveMethod::kLinearizer), "linearizer");
+  EXPECT_STREQ(solve_method_name(SolveMethod::kHierarchical), "fesc");
+}
+
+}  // namespace
+}  // namespace latol::core

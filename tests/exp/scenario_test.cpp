@@ -204,5 +204,51 @@ TEST(ScenarioSchema, ValidationAndSolverSections) {
                InvalidArgument);
 }
 
+// --- open workloads (DESIGN.md §12) ---------------------------------------
+
+TEST(ScenarioOpen, BaseAcceptsOpenArrivalRate) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "base": {"open_arrival_rate": 0.02}
+  })");
+  EXPECT_EQ(s.base.open_arrival_rate, 0.02);
+  // And it sweeps like any other parameter (alias lambda0).
+  const Scenario axis = from_text(R"({
+    "name": "t",
+    "axes": [{"param": "lambda0", "values": [0.0, 0.01, 0.02]}]
+  })");
+  const auto grid = expand_grid(axis);
+  ASSERT_EQ(grid.size(), 3u);
+  EXPECT_EQ(grid[2].open_arrival_rate, 0.02);
+}
+
+TEST(ScenarioOpen, SolverMethodSelectsTheMachinery) {
+  EXPECT_EQ(from_text(R"({"name":"t"})").method, core::SolveMethod::kAmva);
+  EXPECT_EQ(from_text(R"({"name":"t","solver":{"method":"amva"}})").method,
+            core::SolveMethod::kAmva);
+  EXPECT_EQ(
+      from_text(R"({"name":"t","solver":{"method":"linearizer"}})").method,
+      core::SolveMethod::kLinearizer);
+  EXPECT_EQ(from_text(R"({"name":"t","solver":{"method":"fesc"}})").method,
+            core::SolveMethod::kHierarchical);
+  EXPECT_THROW(from_text(R"({"name":"t","solver":{"method":"magic"}})"),
+               InvalidArgument);
+}
+
+TEST(ScenarioOpen, OpenMetricColumnsAreKnown) {
+  const Scenario s = from_text(R"({
+    "name": "t",
+    "base": {"open_arrival_rate": 0.01},
+    "outputs": {"columns": ["open_arrival_rate", "U_p", "open_latency",
+                            "open_util"]}
+  })");
+  const auto cols = s.output_columns();
+  EXPECT_NE(std::find(cols.begin(), cols.end(), "open_latency"), cols.end());
+  // sim_open_latency needs a DES validation block, like the other sim_*.
+  EXPECT_THROW(from_text(R"({"name":"t",
+      "outputs":{"columns":["sim_open_latency"]}})"),
+               InvalidArgument);
+}
+
 }  // namespace
 }  // namespace latol::exp

@@ -57,6 +57,71 @@ TEST(SolveCache, SaveLoadRoundTripServesHits) {
   remove_cache_files(path);
 }
 
+TEST(SolveCache, OpenMetricsSurviveTheRoundTrip) {
+  const std::string path = temp_path("latol_cache_open.json");
+  remove_cache_files(path);
+  core::MmsConfig cfg = small_config();
+  cfg.open_arrival_rate = 0.01;
+  core::MmsPerformance solved;
+  {
+    SolveCache cache;
+    solved = cache.analyze(cfg, {});
+    EXPECT_GT(solved.open_latency, 0.0);
+    cache.save(path, "v-test");
+  }
+  SolveCache warmed;
+  EXPECT_EQ(warmed.load(path, "v-test"), 1u);
+  bool hit = false;
+  const core::MmsPerformance cached = warmed.analyze(cfg, {}, &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_DOUBLE_EQ(cached.open_latency, solved.open_latency);
+  EXPECT_DOUBLE_EQ(cached.open_utilization, solved.open_utilization);
+  remove_cache_files(path);
+}
+
+TEST(SolveCache, ArrivalRateAndMethodAreDistinctKeys) {
+  core::MmsConfig closed = small_config();
+  core::MmsConfig open = small_config();
+  open.open_arrival_rate = 0.01;
+  const std::string base = SolveCache::config_key(closed, {});
+  // Open arrivals change the key: a mixed result must never answer for
+  // the closed machine (or vice versa).
+  EXPECT_NE(base, SolveCache::config_key(open, {}));
+  // So does the solve method: amva, linearizer, and fesc answers differ.
+  EXPECT_NE(base, SolveCache::config_key(closed, {},
+                                         core::SolveMethod::kLinearizer));
+  EXPECT_NE(base, SolveCache::config_key(closed, {},
+                                         core::SolveMethod::kHierarchical));
+  EXPECT_NE(SolveCache::config_key(closed, {},
+                                   core::SolveMethod::kLinearizer),
+            SolveCache::config_key(closed, {},
+                                   core::SolveMethod::kHierarchical));
+
+  // And the cache actually solves per method: a fesc request after an
+  // amva one is a miss, not a wrong-method hit.
+  SolveCache cache;
+  (void)cache.analyze(closed, {});
+  bool hit = true;
+  (void)cache.analyze(closed, {}, &hit, core::SolveMethod::kHierarchical);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(SolveCache, PreviousFormatGenerationIsIgnored) {
+  const std::string path = temp_path("latol_cache_format2.json");
+  remove_cache_files(path);
+  io::Json doc = io::Json::object();
+  doc.set("format", "latol-solve-cache-2");  // pre-open-metrics layout
+  doc.set("version", "v-test");
+  doc.set("entries", io::Json::array());
+  io::write_json_file(path, doc);
+  SolveCache cache;
+  std::string warning;
+  EXPECT_EQ(cache.load(path, "v-test", &warning), 0u);
+  EXPECT_TRUE(warning.empty());  // stale format is expected, not corrupt
+  remove_cache_files(path);
+}
+
 TEST(SolveCache, MismatchedVersionIsIgnoredWithoutWarning) {
   const std::string path = temp_path("latol_cache_version.json");
   remove_cache_files(path);

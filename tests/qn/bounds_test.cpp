@@ -1,0 +1,94 @@
+#include "qn/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qn/mva_exact.hpp"
+
+namespace latol::qn {
+namespace {
+
+/// Think delay Z = 6 plus two queueing stations with demands 2 and 1:
+/// D = 9, bottleneck demand 2 -> saturation throughput 0.5.
+ClosedNetwork interactive(long population) {
+  ClosedNetwork net({{"think", StationKind::kDelay},
+                     {"cpu", StationKind::kQueueing},
+                     {"disk", StationKind::kQueueing}},
+                    1);
+  net.set_population(0, population);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_visit_ratio(0, 1, 2.0);
+  net.set_visit_ratio(0, 2, 1.0);
+  net.set_service_time(0, 0, 6.0);
+  net.set_service_time(0, 1, 1.0);
+  net.set_service_time(0, 2, 1.0);
+  return net;
+}
+
+TEST(Bounds, ZeroPopulationBoundIsZero) {
+  const ClosedNetwork net = interactive(0);
+  EXPECT_DOUBLE_EQ(asymptotic_throughput_bound(net, 0), 0.0);
+  EXPECT_DOUBLE_EQ(pessimistic_throughput_bound(net, 0), 0.0);
+}
+
+TEST(Bounds, SingleCustomerBoundIsTight) {
+  // With N = 1 there is never queueing: exact throughput is exactly the
+  // zero-contention bound N / D.
+  const ClosedNetwork net = interactive(1);
+  const MvaSolution exact = solve_mva_exact(net);
+  EXPECT_NEAR(exact.throughput[0], 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(asymptotic_throughput_bound(net, 0), 1.0 / 9.0, 1e-12);
+  EXPECT_NEAR(exact.throughput[0], asymptotic_throughput_bound(net, 0),
+              1e-12);
+}
+
+TEST(Bounds, ExactThroughputRespectsBoundsAtEveryPopulation) {
+  for (long n = 1; n <= 30; ++n) {
+    const ClosedNetwork net = interactive(n);
+    const MvaSolution exact = solve_mva_exact(net);
+    EXPECT_LE(exact.throughput[0],
+              asymptotic_throughput_bound(net, 0) + 1e-12)
+        << "population " << n;
+    EXPECT_GE(exact.throughput[0],
+              pessimistic_throughput_bound(net, 0) - 1e-12)
+        << "population " << n;
+  }
+}
+
+TEST(Bounds, LargePopulationApproachesSaturation) {
+  // As N -> infinity the exact throughput converges to 1 / D_max = 0.5
+  // from below; at N = 60 the gap is already tiny.
+  const ClosedNetwork net = interactive(60);
+  const MvaSolution exact = solve_mva_exact(net);
+  const double sat = saturation_throughput(net, 0);
+  EXPECT_NEAR(sat, 0.5, 1e-12);
+  EXPECT_LE(exact.throughput[0], sat + 1e-12);
+  EXPECT_NEAR(exact.throughput[0], sat, 1e-6);
+  // The knee of the two asymptotes: min(N / D, sat) equals sat here.
+  EXPECT_NEAR(asymptotic_throughput_bound(net, 0), sat, 1e-12);
+}
+
+TEST(Bounds, SaturationCountsParallelServers) {
+  ClosedNetwork net({{"bank", StationKind::kQueueing, 4}}, 1);
+  net.set_population(0, 1);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_service_time(0, 0, 2.0);
+  // Four servers of demand 2 saturate at 4 / 2 = 2 jobs per time unit.
+  EXPECT_NEAR(saturation_throughput(net, 0), 2.0, 1e-12);
+}
+
+TEST(Bounds, DelayOnlyClassNeverSaturates) {
+  ClosedNetwork net({{"think", StationKind::kDelay}}, 1);
+  net.set_population(0, 5);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_service_time(0, 0, 2.0);
+  EXPECT_TRUE(std::isinf(saturation_throughput(net, 0)));
+  // The population asymptote still applies: N / Z.
+  EXPECT_NEAR(asymptotic_throughput_bound(net, 0), 2.5, 1e-12);
+  const MvaSolution exact = solve_mva_exact(net);
+  EXPECT_NEAR(exact.throughput[0], 2.5, 1e-12);
+}
+
+}  // namespace
+}  // namespace latol::qn

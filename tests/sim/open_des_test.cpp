@@ -1,0 +1,157 @@
+#include "sim/open_des.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "qn/open/jackson.hpp"
+#include "qn/open/open_network.hpp"
+#include "qn/solver_error.hpp"
+#include "util/error.hpp"
+
+namespace latol::sim {
+namespace {
+
+/// Relative deviation |a - b| / b.
+double rel(double a, double b) { return std::abs(a - b) / b; }
+
+/// Three M/M/1 queues in series at rho = 0.5 each, explicit routing.
+qn::OpenNetwork mm1_chain() {
+  qn::OpenNetwork net({{"a", qn::StationKind::kQueueing},
+                       {"b", qn::StationKind::kQueueing},
+                       {"c", qn::StationKind::kQueueing}},
+                      1);
+  net.set_arrival_rate(0, 0.5);
+  net.set_entry(0, 0, 1.0);
+  net.set_routing(0, 0, 1, 1.0);
+  net.set_routing(0, 1, 2, 1.0);
+  for (std::size_t m = 0; m < 3; ++m) net.set_service_time(0, m, 1.0);
+  net.solve_traffic_equations();
+  return net;
+}
+
+/// A hotspot star: jobs enter at one of four lightly loaded leaves and
+/// funnel into a single hot center at rho = 0.8.
+qn::OpenNetwork hotspot_star() {
+  std::vector<qn::Station> stations;
+  for (int i = 0; i < 4; ++i)
+    stations.push_back({"leaf" + std::to_string(i),
+                        qn::StationKind::kQueueing});
+  stations.push_back({"hot", qn::StationKind::kQueueing});
+  qn::OpenNetwork net(stations, 1);
+  net.set_arrival_rate(0, 0.8);
+  for (std::size_t m = 0; m < 4; ++m) {
+    net.set_entry(0, m, 0.25);
+    net.set_routing(0, m, 4, 1.0);
+    net.set_service_time(0, m, 0.5);  // leaf rho = 0.2 * 0.5 = 0.1
+  }
+  net.set_service_time(0, 4, 1.0);  // center rho = 0.8 -> W = 5
+  net.solve_traffic_equations();
+  return net;
+}
+
+TEST(OpenDes, MM1ChainMatchesJacksonWithinTwoPercent) {
+  const qn::OpenNetwork net = mm1_chain();
+  const qn::OpenSolution model = solve_jackson(net);
+  OpenSimulationConfig cfg;
+  cfg.sim_time = 400000;
+  const OpenSimulationResult r = simulate_open(net, cfg);
+  ASSERT_GT(r.completions[0], 100000u);
+  EXPECT_LT(rel(r.response_time[0], model.response_time[0]), 0.02)
+      << "sim " << r.response_time[0] << " model "
+      << model.response_time[0];
+  for (std::size_t m = 0; m < 3; ++m) {
+    EXPECT_LT(rel(r.utilization[m], model.utilization[m]), 0.02)
+        << "station " << m;
+    EXPECT_LT(rel(r.residence[m], model.waiting(0, m)), 0.02)
+        << "station " << m;
+  }
+}
+
+TEST(OpenDes, HotspotStarMatchesJacksonWithinTwoPercent) {
+  const qn::OpenNetwork net = hotspot_star();
+  const qn::OpenSolution model = solve_jackson(net);
+  EXPECT_NEAR(model.waiting(0, 4), 5.0, 1e-12);  // s / (1 - 0.8)
+  OpenSimulationConfig cfg;
+  cfg.sim_time = 600000;
+  const OpenSimulationResult r = simulate_open(net, cfg);
+  EXPECT_LT(rel(r.response_time[0], model.response_time[0]), 0.02)
+      << "sim " << r.response_time[0] << " model "
+      << model.response_time[0];
+  EXPECT_LT(rel(r.residence[4], 5.0), 0.02) << "hot residence";
+  EXPECT_LT(rel(r.utilization[4], 0.8), 0.02) << "hot utilization";
+}
+
+TEST(OpenDes, ConfidenceIntervalCoversModel) {
+  const qn::OpenNetwork net = mm1_chain();
+  const qn::OpenSolution model = solve_jackson(net);
+  OpenSimulationConfig cfg;
+  cfg.sim_time = 400000;
+  const OpenSimulationResult r = simulate_open(net, cfg);
+  ASSERT_GT(r.response_hw95[0], 0.0);
+  EXPECT_NEAR(r.response_time[0], model.response_time[0],
+              3.0 * r.response_hw95[0]);
+}
+
+TEST(OpenDes, SameSeedIsDeterministic) {
+  const qn::OpenNetwork net = hotspot_star();
+  OpenSimulationConfig cfg;
+  cfg.sim_time = 20000;
+  cfg.seed = 42;
+  const OpenSimulationResult a = simulate_open(net, cfg);
+  const OpenSimulationResult b = simulate_open(net, cfg);
+  EXPECT_EQ(a.events, b.events);
+  EXPECT_EQ(a.rng_draws, b.rng_draws);
+  EXPECT_EQ(a.completions[0], b.completions[0]);
+  EXPECT_DOUBLE_EQ(a.response_time[0], b.response_time[0]);
+  cfg.seed = 43;
+  const OpenSimulationResult c = simulate_open(net, cfg);
+  EXPECT_NE(a.response_time[0], c.response_time[0]);
+}
+
+TEST(OpenDes, SimulatesUnstableNetworksTheSolverRejects) {
+  qn::OpenNetwork net({{"q", qn::StationKind::kQueueing}}, 1);
+  net.set_arrival_rate(0, 1.5);
+  net.set_entry(0, 0, 1.0);
+  net.set_service_time(0, 0, 1.0);
+  net.solve_traffic_equations();
+  EXPECT_THROW((void)qn::solve_jackson(net), qn::SolverError);
+  OpenSimulationConfig cfg;
+  cfg.sim_time = 20000;
+  const OpenSimulationResult r = simulate_open(net, cfg);
+  // The single server is pegged; the queue grows without bound.
+  EXPECT_GT(r.utilization[0], 0.99);
+  EXPECT_GT(r.residence[0], 100.0);
+}
+
+TEST(OpenDes, DelayStationAddsPureLatency) {
+  qn::OpenNetwork net({{"wire", qn::StationKind::kDelay},
+                       {"q", qn::StationKind::kQueueing}},
+                      1);
+  net.set_arrival_rate(0, 0.5);
+  net.set_entry(0, 0, 1.0);
+  net.set_routing(0, 0, 1, 1.0);
+  net.set_service_time(0, 0, 4.0);
+  net.set_service_time(0, 1, 1.0);
+  net.solve_traffic_equations();
+  OpenSimulationConfig cfg;
+  cfg.sim_time = 300000;
+  const OpenSimulationResult r = simulate_open(net, cfg);
+  // Delay stations live outside the FCFS servers: no utilization or
+  // per-station residence, but the end-to-end response carries their 4.0.
+  EXPECT_DOUBLE_EQ(r.utilization[0], 0.0);
+  EXPECT_DOUBLE_EQ(r.residence[0], 0.0);
+  EXPECT_LT(rel(r.response_time[0], 6.0), 0.02);
+  EXPECT_LT(rel(r.residence[1], 2.0), 0.02);  // the queue still reports
+}
+
+TEST(OpenDes, RejectsNetworksWithoutRouting) {
+  qn::OpenNetwork net({{"q", qn::StationKind::kQueueing}}, 1);
+  net.set_arrival_rate(0, 0.5);
+  net.set_visit_ratio(0, 0, 1.0);
+  net.set_service_time(0, 0, 1.0);
+  EXPECT_THROW((void)simulate_open(net, {}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace latol::sim
