@@ -1,11 +1,15 @@
 // Simulator performance: events/firings per second for the two validation
-// vehicles, and the cost of building the MMS Petri net.
+// vehicles, the cost of building the MMS Petri net, the open-network DES,
+// and the parallel replication harness.
 #include <benchmark/benchmark.h>
 
 #include "core/mms_config.hpp"
 #include "json_reporter.hpp"
+#include "qn/open/open_network.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
+#include "sim/open_des.hpp"
+#include "sim/replicate.hpp"
 
 namespace {
 
@@ -52,6 +56,59 @@ void BM_PetriSimulation(benchmark::State& state) {
   state.SetLabel("items = transition firings");
 }
 BENCHMARK(BM_PetriSimulation)->Arg(2)->Arg(4);
+
+void BM_OpenDesSimulation(benchmark::State& state) {
+  // Three-station tandem with feedback, the open-workload shape used by
+  // the Jackson cross-checks; items are kernel events.
+  qn::OpenNetwork net({{"a", qn::StationKind::kQueueing},
+                       {"b", qn::StationKind::kQueueing},
+                       {"c", qn::StationKind::kQueueing}},
+                      1);
+  net.set_arrival_rate(0, 0.5);
+  net.set_entry(0, 0, 1.0);
+  net.set_routing(0, 0, 1, 1.0);
+  net.set_routing(0, 1, 2, 0.7);
+  net.set_routing(0, 1, 0, 0.3);
+  for (std::size_t m = 0; m < 3; ++m) net.set_service_time(0, m, 0.8);
+  net.solve_traffic_equations();
+  sim::OpenSimulationConfig cfg;
+  cfg.sim_time = 20000.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    cfg.seed++;
+    const sim::OpenSimulationResult r = sim::simulate_open(net, cfg);
+    events += r.events;
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel("items = kernel events");
+}
+BENCHMARK(BM_OpenDesSimulation);
+
+void BM_ParallelReplications(benchmark::State& state) {
+  // End-to-end replication harness: arg = worker count. Results are
+  // bitwise identical across arg values; only wall time may differ.
+  sim::SimulationConfig cfg;
+  cfg.mms = core::MmsConfig::paper_defaults();
+  cfg.mms.k = 4;
+  cfg.sim_time = 2000.0;
+  sim::ReplicationPlan plan;
+  plan.min_reps = 8;
+  plan.max_reps = 8;
+  plan.round_size = 8;
+  plan.workers = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    cfg.seed += plan.max_reps;
+    const auto run = sim::replicate_mms(cfg, plan);
+    for (const auto& r : run.runs) events += r.events;
+    benchmark::DoNotOptimize(run);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel("items = kernel events, all replications");
+}
+BENCHMARK(BM_ParallelReplications)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

@@ -4,13 +4,18 @@
 Usage: check_bench_regression.py <baseline.json> <current.json> [--limit PCT]
 
 Compares two BENCH_*.json files (the format written by the perf_*
-binaries' JSON tee, see docs/PERFORMANCE.md) benchmark-by-benchmark on
-cpu_time. Because the baseline is committed from a different machine than
-the CI runner, raw times are not comparable; instead each benchmark's
-ratio current/baseline is normalized by the median ratio across all
-shared benchmarks. The median captures the machine-speed difference; a
-benchmark whose normalized ratio exceeds 1 + limit (default 20%) has
-slowed down relative to its peers and fails the check.
+binaries' JSON tee, see docs/PERFORMANCE.md) benchmark-by-benchmark.
+Throughput benchmarks (those reporting items_per_second, e.g. the
+simulator's events/s) are compared on baseline/current throughput, which
+stays meaningful when the work per iteration varies or the benchmark
+measures real time across worker threads; the rest are compared on
+cpu_time. Either way a ratio > 1 means "slower now". Because the
+baseline is committed from a different machine than the CI runner, raw
+numbers are not comparable; instead each benchmark's ratio is normalized
+by the median ratio across all shared benchmarks. The median captures
+the machine-speed difference; a benchmark whose normalized ratio exceeds
+1 + limit (default 20%) has slowed down relative to its peers and fails
+the check.
 
 Benchmarks present in only one file are reported but do not fail — new
 benchmarks have no baseline yet, and retired ones no current number.
@@ -31,8 +36,24 @@ def load(path):
         # Aggregate rows (name/mean, name/median, ...) would double-count.
         if b.get("run_type") == "aggregate":
             continue
-        out[b["name"]] = float(b["cpu_time"])
+        ips = b.get("items_per_second")
+        out[b["name"]] = (float(b["cpu_time"]),
+                          float(ips) if ips else None)
     return out
+
+
+def slowdown_ratio(base, curr):
+    """current-vs-baseline slowdown (> 1 means slower now).
+
+    Throughput benchmarks compare on items/s — events or firings per
+    second — so the ratio tracks delivered work even when iteration
+    counts or thread timing differ; time-only benchmarks fall back to
+    cpu_time.
+    """
+    (base_time, base_ips), (curr_time, curr_ips) = base, curr
+    if base_ips and curr_ips:
+        return base_ips / curr_ips
+    return curr_time / base_time
 
 
 def main(argv):
@@ -57,7 +78,8 @@ def main(argv):
               f"for a meaningful median normalization")
         return 1
 
-    ratios = {n: curr[n] / base[n] for n in shared if base[n] > 0}
+    ratios = {n: slowdown_ratio(base[n], curr[n]) for n in shared
+              if base[n][0] > 0}
     median = statistics.median(ratios.values())
     print(f"median current/baseline ratio: {median:.3f} "
           f"(machine-speed normalization factor)")

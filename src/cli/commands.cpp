@@ -19,6 +19,7 @@
 #include "obs/registry.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
+#include "sim/replicate.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
 
@@ -374,10 +375,75 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
   return 0;
 }
 
+/// Replication-mode body of `latol simulate --reps N`: mean over the
+/// accepted replication prefix, with the 95% CI half-width on U_p. The
+/// accepted prefix — and therefore every byte below — is identical for
+/// any --jobs value (DESIGN.md §13).
+int simulate_replicated(const CliOptions& opts,
+                        const core::MmsPerformance& model,
+                        util::Table& table, std::ostream& out) {
+  sim::ReplicationPlan plan;
+  plan.min_reps = std::min(opts.min_reps, opts.reps);
+  plan.max_reps = opts.reps;
+  plan.target_rel_half_width = opts.ci_rel;
+  plan.workers = opts.run_workers;
+  auto row = [&](const std::string& name, double m, double s, int prec) {
+    const double dev = m != 0.0 ? 100.0 * (s - m) / m : 0.0;
+    table.add_row({name, util::Table::num(m, prec), util::Table::num(s, prec),
+                   util::Table::num(dev, 1)});
+  };
+  auto header = [&](const char* kind, std::size_t used, double hw) {
+    out << kind << ", " << opts.sim_time << " time units, " << used << " of "
+        << opts.reps << " replications (seeds " << opts.seed << ".."
+        << opts.seed + used - 1 << "), U_p half-width " << hw << '\n';
+  };
+  if (opts.use_petri) {
+    const auto run = sim::replicate_mms_petri(opts.config, opts.sim_time,
+                                              0.1, opts.seed, plan);
+    header("stochastic Petri net", run.runs.size(), run.half_width_95);
+    double lam = 0, s_obs = 0, l_obs = 0;
+    for (const sim::PetriMmsResult& r : run.runs) {
+      lam += r.message_rate;
+      s_obs += r.network_latency;
+      l_obs += r.memory_latency;
+    }
+    const double n = static_cast<double>(run.runs.size());
+    row("U_p", model.processor_utilization, run.mean, 4);
+    row("lambda_net", model.message_rate, lam / n, 5);
+    row("S_obs", model.network_latency, s_obs / n, 2);
+    row("L_obs", model.memory_latency, l_obs / n, 2);
+  } else {
+    sim::SimulationConfig sc;
+    sc.mms = opts.config;
+    sc.sim_time = opts.sim_time;
+    sc.seed = opts.seed;
+    const auto run = sim::replicate_mms(sc, plan);
+    header("discrete-event simulation", run.runs.size(), run.half_width_95);
+    double lam = 0, s_obs = 0, l_obs = 0, open_lat = 0;
+    for (const sim::SimulationResult& r : run.runs) {
+      lam += r.message_rate;
+      s_obs += r.network_latency;
+      l_obs += r.memory_latency;
+      open_lat += r.open_latency;
+    }
+    const double n = static_cast<double>(run.runs.size());
+    row("U_p", model.processor_utilization, run.mean, 4);
+    row("lambda_net", model.message_rate, lam / n, 5);
+    row("S_obs", model.network_latency, s_obs / n, 2);
+    row("L_obs", model.memory_latency, l_obs / n, 2);
+    if (opts.config.open_arrival_rate > 0.0) {
+      row("open_latency", model.open_latency, open_lat / n, 2);
+    }
+  }
+  table.print(out);
+  return warn_if_degraded(model, "model", out);
+}
+
 int cmd_simulate(const CliOptions& opts, std::ostream& out) {
   print_machine(opts.config, out);
   const core::MmsPerformance model = core::analyze(opts.config, opts.amva);
   util::Table table({"measure", "model", "simulation", "dev%"});
+  if (opts.reps > 1) return simulate_replicated(opts, model, table, out);
   auto row = [&](const std::string& name, double m, double s, int prec) {
     const double dev = m != 0.0 ? 100.0 * (s - m) / m : 0.0;
     table.add_row({name, util::Table::num(m, prec), util::Table::num(s, prec),
@@ -555,6 +621,19 @@ int cmd_profile(const CliOptions& opts, std::ostream& out) {
   }
   if (timers.rows() > 0) {
     timers.print(out);
+    out << '\n';
+  }
+
+  // Simulator counters (scenarios with a `sim` validation block): event,
+  // firing, queue-operation, and RNG-draw totals across every
+  // replication the run executed.
+  util::Table sim_counters({"counter", "value"});
+  for (const obs::Snapshot::CounterSample& c : snapshot.counters) {
+    if (c.name.rfind("sim.", 0) == 0)
+      sim_counters.add_row({c.name, std::to_string(c.value)});
+  }
+  if (sim_counters.rows() > 0) {
+    sim_counters.print(out);
     out << '\n';
   }
 

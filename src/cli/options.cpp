@@ -167,6 +167,15 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       opts.seed = static_cast<std::uint64_t>(parse_int(flag, value()));
     } else if (flag == "--petri") {
       opts.use_petri = true;
+    } else if (flag == "--reps") {
+      opts.reps = static_cast<std::size_t>(parse_int(flag, value()));
+      LATOL_REQUIRE(opts.reps >= 1, "--reps must be >= 1");
+    } else if (flag == "--min-reps") {
+      opts.min_reps = static_cast<std::size_t>(parse_int(flag, value()));
+      LATOL_REQUIRE(opts.min_reps >= 1, "--min-reps must be >= 1");
+    } else if (flag == "--ci-rel") {
+      opts.ci_rel = parse_double(flag, value());
+      LATOL_REQUIRE(opts.ci_rel >= 0.0, "--ci-rel must be >= 0");
     } else {
       throw InvalidArgument("unknown flag `" + flag + "`\n" + usage());
     }
@@ -225,7 +234,14 @@ std::string usage() {
         "simulate flags:\n"
         "  --time T    simulated time units                  [100000]\n"
         "  --seed N    RNG seed                              [1]\n"
-        "  --petri     use the stochastic Petri net simulator\n\n"
+        "  --petri     use the stochastic Petri net simulator\n"
+        "  --reps N    independent replications (seeds N..N+reps-1), run\n"
+        "              in parallel; results are identical for any worker\n"
+        "              count                                 [1]\n"
+        "  --min-reps N  replications before early stopping  [2]\n"
+        "  --ci-rel X  stop when the 95% CI half-width of U_p is within\n"
+        "              X of the mean (0 = run all --reps)    [0]\n"
+        "  --jobs N    replication workers (0 = shared pool) [0]\n\n"
         "run usage: latol run <scenario.json> [flags]\n"
         "  --out DIR       output directory                  [.]\n"
         "  --format F      json|csv|both                     [both]\n"

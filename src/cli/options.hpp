@@ -41,6 +41,13 @@ struct CliOptions {
   double sim_time = 100000.0;
   std::uint64_t seed = 1;
   bool use_petri = false;  ///< STPN instead of the direct event simulator
+  /// --reps N: independent replications (seeds seed..seed+N-1) run in
+  /// parallel with deterministic early stopping (DESIGN.md §13).
+  std::size_t reps = 1;
+  std::size_t min_reps = 2;  ///< --min-reps: floor before early stopping
+  /// --ci-rel X: stop once the 95% CI half-width of U_p is within X of
+  /// the mean (0 = run all --reps).
+  double ci_rel = 0.0;
 
   // --- instrumentation (analyze/sweep/run/profile; DESIGN.md §9) ---
   std::string trace_path;    ///< --trace FILE: convergence traces as JSON

@@ -1,0 +1,123 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+
+namespace {
+
+/// Smallest bucket count; kept tiny so empty queues stay cheap.
+constexpr std::size_t kMinBuckets = 8;
+
+/// Grow when the load factor exceeds 2 entries per bucket.
+std::size_t grow_threshold(std::size_t nbuckets) { return 2 * nbuckets; }
+
+/// Shrink when the load factor drops below 1/4 entry per bucket.
+std::size_t shrink_threshold(std::size_t nbuckets) {
+  return nbuckets > kMinBuckets ? nbuckets / 4 : 0;
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue()
+    : buckets_(kMinBuckets),
+      mask_(kMinBuckets - 1),
+      grow_at_(grow_threshold(kMinBuckets)),
+      shrink_at_(shrink_threshold(kMinBuckets)) {}
+
+void CalendarQueue::check_finite(double time) {
+  LATOL_REQUIRE(std::isfinite(time), "non-finite event time " << time);
+}
+
+void CalendarQueue::insert_sorted(std::vector<CalendarEntry>& bucket,
+                                  CalendarEntry e) {
+  const auto pos = std::upper_bound(bucket.begin(), bucket.end(), e, entry_before);
+  bucket.insert(pos, e);
+}
+
+bool CalendarQueue::pop_scan(double limit, CalendarEntry& out) {
+  for (int pass = 0; pass < 2; ++pass) {
+    // Walk virtual buckets from the cursor: within the cursor's year the
+    // bucket front is the global minimum whenever its virtual bucket
+    // matches (ties share a bucket, so order can never invert).
+    for (std::size_t scanned = 0; scanned <= mask_; ++scanned) {
+      std::vector<CalendarEntry>& bucket = buckets_[cursor_ & mask_];
+      if (!bucket.empty() && bucket_of(bucket.front().time) == cursor_) {
+        if (bucket.front().time > limit) return false;
+        out = bucket.front();
+        bucket.erase(bucket.begin());
+        --size_;
+        ++ops_;
+        if (size_ < shrink_at_) resize((mask_ + 1) / 2);
+        return true;
+      }
+      ++cursor_;
+    }
+    // A whole year was empty: jump straight to the minimum entry's year
+    // and resolve on the second pass.
+    seek_min();
+  }
+  return false;  // unreachable: seek_min guarantees a hit on pass 2
+}
+
+void CalendarQueue::seek_min() {
+  const CalendarEntry* min = nullptr;
+  for (const auto& bucket : buckets_) {
+    if (!bucket.empty() &&
+        (min == nullptr || entry_before(bucket.front(), *min))) {
+      min = &bucket.front();
+    }
+  }
+  if (min != nullptr) cursor_ = bucket_of(min->time);
+}
+
+void CalendarQueue::resize(std::size_t nbuckets) {
+  std::vector<CalendarEntry> all;
+  all.reserve(size_);
+  for (auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+    bucket.clear();
+  }
+
+  // Re-tune the width to ~1.5x the median inter-event gap of a sorted
+  // sample, so a typical bucket holds O(1) entries (measured: below ~1x
+  // the pop-side empty-bucket walk grows, above ~2x the push-side sorted
+  // inserts dominate). The median (not the mean) keeps one far-future
+  // outlier — a warmup or horizon marker — from stretching the width
+  // until every near-term event shares one bucket.
+  if (all.size() >= 2) {
+    std::vector<double> sample;
+    const std::size_t stride = std::max<std::size_t>(1, all.size() / 64);
+    for (std::size_t i = 0; i < all.size(); i += stride)
+      sample.push_back(all[i].time);
+    std::sort(sample.begin(), sample.end());
+    std::vector<double> gaps;
+    for (std::size_t i = 1; i < sample.size(); ++i) {
+      const double gap = sample[i] - sample[i - 1];
+      if (gap > 0.0) gaps.push_back(gap);
+    }
+    double width = 1.0;
+    if (!gaps.empty()) {
+      std::nth_element(gaps.begin(), gaps.begin() + gaps.size() / 2,
+                       gaps.end());
+      width = 1.5 * gaps[gaps.size() / 2];
+    }
+    if (std::isfinite(width) && width > 1e-300) {
+      width_ = width;
+      inv_width_ = 1.0 / width;
+    }
+  }
+
+  buckets_.assign(nbuckets, {});
+  mask_ = nbuckets - 1;
+  grow_at_ = grow_threshold(nbuckets);
+  shrink_at_ = shrink_threshold(nbuckets);
+  for (const CalendarEntry& e : all)
+    insert_sorted(buckets_[bucket_of(e.time) & mask_], e);
+  if (size_ > 0) seek_min();
+}
+
+}  // namespace latol::sim

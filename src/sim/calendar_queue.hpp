@@ -1,0 +1,142 @@
+// Calendar queue: the simulators' pending-event set (DESIGN.md §13).
+//
+// A Brown-style calendar queue [R. Brown, CACM 1988]: one "year" of
+// buckets, each `width` time units wide; an entry for time t hashes to
+// bucket floor(t / width) mod nbuckets. With the width tuned so buckets
+// hold O(1) entries, push, pop-min, and erase are all O(1) amortized —
+// versus O(log n) per operation for the binary heaps this replaces — and
+// pops walk the current year in address order, which is friendlier to the
+// cache than heap sift-downs.
+//
+// Determinism contract: entries are totally ordered by (time, insertion
+// sequence), exactly the tie-break the old `std::priority_queue` kernel
+// used, so replacing the heap with this structure reorders nothing
+// (DESIGN.md §10/§13). Equal times always land in the same bucket, where
+// entries are kept sorted, so cross-bucket scanning can never invert a
+// tie. The structure is single-threaded; parallelism in the simulators is
+// one independent queue per replication.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace latol::sim {
+
+/// One pending entry: an opaque 32-bit payload (event slot, transition
+/// id, ...) keyed by simulated time with a stable insertion sequence.
+struct CalendarEntry {
+  double time = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t payload = 0;
+};
+
+/// Priority queue over CalendarEntry ordered by (time, seq); see the file
+/// comment for the data structure and its determinism contract.
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Insert `payload` at `time`. Entries pushed with equal times pop in
+  /// push order. `time` must be finite and >= the last popped time.
+  void push(double time, std::uint32_t payload) {
+    if (!(time >= 0.0 && time - time == 0.0)) check_finite(time);
+    ++ops_;
+    const std::size_t vb = bucket_of(time);
+    std::vector<CalendarEntry>& bucket = buckets_[vb & mask_];
+    const CalendarEntry e{time, next_seq_++, payload};
+    // Fast path: most entries are later than everything in their bucket
+    // (time advances monotonically within a year), so append directly.
+    if (bucket.empty() || !entry_before(e, bucket.back())) {
+      bucket.push_back(e);
+    } else {
+      insert_sorted(bucket, e);
+    }
+    ++size_;
+    // Keep the scan invariant (no pending entry earlier than the cursor's
+    // year): an entry landing behind the cursor pulls the cursor back.
+    if (vb < cursor_) cursor_ = vb;
+    if (size_ > grow_at_) resize(2 * (mask_ + 1));
+  }
+
+  /// Remove and return the minimum entry if its time is <= `limit`.
+  /// Returns false (and removes nothing) when the queue is empty or the
+  /// earliest entry lies beyond `limit`.
+  bool pop_until(double limit, CalendarEntry& out) {
+    if (size_ == 0) return false;
+    // Fast path: the cursor's bucket front is the global minimum whenever
+    // its virtual bucket matches (ties share a bucket, so order can never
+    // invert).
+    std::vector<CalendarEntry>& bucket = buckets_[cursor_ & mask_];
+    if (!bucket.empty() && bucket_of(bucket.front().time) == cursor_) {
+      if (bucket.front().time > limit) return false;
+      out = bucket.front();
+      bucket.erase(bucket.begin());
+      --size_;
+      ++ops_;
+      if (size_ < shrink_at_) resize((mask_ + 1) / 2);
+      return true;
+    }
+    return pop_scan(limit, out);
+  }
+
+  /// Remove the entry for `payload` scheduled at exactly `time` (the time
+  /// it was pushed with). Returns true if found and removed.
+  bool erase(double time, std::uint32_t payload) {
+    std::vector<CalendarEntry>& bucket = buckets_[bucket_of(time) & mask_];
+    for (auto it = bucket.begin(); it != bucket.end(); ++it) {
+      if (it->payload == payload && it->time == time) {
+        bucket.erase(it);
+        --size_;
+        ++ops_;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  /// Structure operations performed (pushes + pops + erases); feeds the
+  /// sim.*.queue_ops metrics.
+  [[nodiscard]] std::uint64_t ops() const { return ops_; }
+
+ private:
+  /// Virtual bucket (year * nbuckets + slot) for `time`; the physical
+  /// bucket is the virtual index masked to the table size.
+  [[nodiscard]] std::size_t bucket_of(double time) const {
+    // Times are nonnegative in every simulator; clamp defensively so a
+    // -1e-12 epsilon never turns into a huge unsigned virtual bucket.
+    const double vb = time > 0.0 ? time * inv_width_ : 0.0;
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(vb));
+  }
+  /// Total order matching the old priority-queue kernel: earlier time
+  /// first, earlier insertion first among ties.
+  static bool entry_before(const CalendarEntry& a, const CalendarEntry& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+  static void insert_sorted(std::vector<CalendarEntry>& bucket,
+                            CalendarEntry e);
+  static void check_finite(double time);
+  /// Slow path of pop_until: walk the year from the cursor, falling back
+  /// to a full minimum seek when a whole year is empty.
+  bool pop_scan(double limit, CalendarEntry& out);
+  /// Point cursor_ at the virtual bucket of the minimum pending entry;
+  /// pre: size_ > 0.
+  void seek_min();
+  void resize(std::size_t nbuckets);
+
+  std::vector<std::vector<CalendarEntry>> buckets_;
+  std::size_t mask_ = 0;         // buckets_.size() - 1 (power of two)
+  double width_ = 1.0;           // bucket width in time units
+  double inv_width_ = 1.0;       // 1 / width_, the hot-path factor
+  std::size_t cursor_ = 0;       // virtual bucket being drained
+  std::size_t size_ = 0;
+  std::size_t grow_at_ = 0;      // resize up when size_ exceeds this
+  std::size_t shrink_at_ = 0;    // resize down when size_ drops below this
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t ops_ = 0;
+};
+
+}  // namespace latol::sim

@@ -1,30 +1,49 @@
 #include "sim/des.hpp"
 
-#include "util/error.hpp"
-
 namespace latol::sim {
 
-void Simulator::schedule(SimTime t, std::function<void()> action) {
-  LATOL_REQUIRE(t + 1e-12 >= now_,
-                "cannot schedule in the past: " << t << " < " << now_);
-  LATOL_REQUIRE(action != nullptr, "null event action");
-  calendar_.push(Event{t, next_seq_++, std::move(action)});
+std::uint32_t Simulator::acquire_slot() {
+  if (free_head_ == kNoSlot) {
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t idx = free_head_;
+  free_head_ = slots_[idx].next_free;
+  return idx;
 }
 
-void Simulator::schedule_after(SimTime delay, std::function<void()> action) {
-  LATOL_REQUIRE(delay >= 0.0, "negative delay " << delay);
-  schedule(now_ + delay, std::move(action));
+void Simulator::release_slot(std::uint32_t idx) {
+  Slot& s = slots_[idx];
+  s.invoke = nullptr;
+  ++s.generation;  // invalidate outstanding EventIds for this slot
+  s.next_free = free_head_;
+  free_head_ = idx;
+}
+
+bool Simulator::cancel(EventId id) {
+  if (id.slot >= slots_.size()) return false;
+  Slot& s = slots_[id.slot];
+  if (s.generation != id.generation || s.invoke == nullptr) return false;
+  const bool erased = queue_.erase(s.time, id.slot);
+  LATOL_REQUIRE(erased, "pending event missing from calendar");
+  release_slot(id.slot);
+  return true;
 }
 
 void Simulator::run_until(SimTime horizon) {
-  while (!calendar_.empty() && calendar_.top().time <= horizon) {
-    // top() is const to protect heap order; moving out right before pop()
-    // is safe and avoids copying the closure.
-    Event ev = std::move(const_cast<Event&>(calendar_.top()));
-    calendar_.pop();
-    now_ = ev.time;
+  CalendarEntry e;
+  alignas(std::max_align_t) unsigned char copy[kMaxPayload];
+  while (queue_.pop_until(horizon, e)) {
+    Slot& s = slots_[e.payload];
+    const Invoke invoke = s.invoke;
+    // Copy the closure out and recycle the slot before invoking: the
+    // handler may schedule (growing the arena) or reuse the slot, and
+    // must not run out of arena memory that can move under it.
+    std::memcpy(copy, s.payload, kMaxPayload);
+    now_ = s.time;
+    release_slot(e.payload);
     ++executed_;
-    ev.action();
+    invoke(copy);
   }
   if (now_ < horizon) now_ = horizon;
 }

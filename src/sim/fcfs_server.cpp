@@ -4,40 +4,24 @@
 
 namespace latol::sim {
 
-FcfsServer::FcfsServer(Simulator& sim, std::string name, int servers)
-    : sim_(sim), name_(std::move(name)), servers_(servers) {
+FcfsServer::FcfsServer(Simulator& sim, std::string name, int servers,
+                       StatTracking track)
+    : sim_(sim), name_(std::move(name)), servers_(servers), track_(track) {
   LATOL_REQUIRE(servers >= 1, "server count " << servers);
 }
 
-void FcfsServer::submit(double service_time, std::function<void()> on_done) {
-  LATOL_REQUIRE(service_time >= 0.0, "service time " << service_time);
-  waiting_.push_back(Job{service_time, sim_.now(), std::move(on_done)});
-  qlen_.add(sim_.now(), +1.0);
-  try_start();
-}
-
-void FcfsServer::update_busy() {
-  busy_fraction_.set(sim_.now(), static_cast<double>(in_service_) /
-                                     static_cast<double>(servers_));
-}
-
-void FcfsServer::try_start() {
-  while (in_service_ < servers_ && !waiting_.empty()) {
-    Job job = std::move(waiting_.front());
-    waiting_.pop_front();
-    ++in_service_;
-    update_busy();
-    const double service = job.service;
-    sim_.schedule_after(service, [this, job = std::move(job)]() mutable {
-      --in_service_;
-      update_busy();
-      ++completions_;
-      qlen_.add(sim_.now(), -1.0);
-      residence_.add(sim_.now() - job.arrival);
-      try_start();
-      if (job.on_done) job.on_done();
-    });
+void FcfsServer::ring_push(const Job& job) {
+  if (waiting_count_ == ring_.size()) {
+    // Grow to the next power of two, linearizing head-first so FIFO order
+    // survives the move.
+    std::vector<Job> grown(ring_.empty() ? 8 : ring_.size() * 2);
+    for (std::size_t i = 0; i < waiting_count_; ++i)
+      grown[i] = ring_[(ring_head_ + i) & (ring_.size() - 1)];
+    ring_ = std::move(grown);
+    ring_head_ = 0;
   }
+  ring_[(ring_head_ + waiting_count_) & (ring_.size() - 1)] = job;
+  ++waiting_count_;
 }
 
 void FcfsServer::reset_stats() {
@@ -48,9 +32,15 @@ void FcfsServer::reset_stats() {
 }
 
 double FcfsServer::utilization() const {
+  LATOL_REQUIRE(track(StatTracking::kBusy),
+                "utilization tracking disabled on " << name_);
   return busy_fraction_.mean(sim_.now());
 }
 
-double FcfsServer::mean_queue_length() const { return qlen_.mean(sim_.now()); }
+double FcfsServer::mean_queue_length() const {
+  LATOL_REQUIRE(track(StatTracking::kQueueLength),
+                "queue-length tracking disabled on " << name_);
+  return qlen_.mean(sim_.now());
+}
 
 }  // namespace latol::sim

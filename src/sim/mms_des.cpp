@@ -17,6 +17,29 @@ namespace latol::sim {
 
 namespace {
 
+/// What a message does when it leaves the network (DESIGN.md §13): the
+/// in-flight state machine that replaced the old nested-closure chains.
+enum class LegKind : std::uint8_t {
+  kRequest,   // closed request: access memory at dst, then a response leg
+  kResponse,  // closed response: the issuing thread at dst restarts
+  kOpen,      // open background request: access memory at dst, then sink
+};
+
+/// In-flight message state, one arena slot per network leg. Trivially
+/// copyable: the route lives in the shared route cache, so events need
+/// only carry the slot index.
+struct Msg {
+  double t0 = 0.0;              // leg start time (S_obs / open sojourn)
+  std::uint32_t route_first = 0;  // first hop in the route cache
+  std::uint16_t route_len = 0;
+  std::uint16_t hop = 0;        // hops completed so far
+  std::int32_t origin = 0;      // leg source node
+  std::int32_t dst = 0;         // leg destination node
+  LegKind kind = LegKind::kRequest;
+  bool count_stats = true;      // closed legs feed S_obs; open legs don't
+  std::uint32_t next_free = 0;
+};
+
 /// Owns the whole simulated machine for one replication.
 class MmsSimulation {
  public:
@@ -43,18 +66,25 @@ class MmsSimulation {
           cum[static_cast<std::size_t>(dst)] = acc;
         }
       }
+      build_route_cache(P);
     }
     processors_.reserve(static_cast<std::size_t>(P));
     memories_.reserve(static_cast<std::size_t>(P));
     inbound_.reserve(static_cast<std::size_t>(P));
     outbound_.reserve(static_cast<std::size_t>(P));
+    // Track only what collect() reads: processor utilization and memory
+    // residence. Switch latency is measured end to end per message leg
+    // (network_latency_), so switch servers keep no time averages at all.
     for (int n = 0; n < P; ++n) {
       const std::string id = std::to_string(n);
-      processors_.push_back(std::make_unique<FcfsServer>(sim_, "P" + id));
-      memories_.push_back(std::make_unique<FcfsServer>(sim_, "M" + id,
-                                                       cfg_.mms.memory_ports));
-      inbound_.push_back(std::make_unique<FcfsServer>(sim_, "I" + id));
-      outbound_.push_back(std::make_unique<FcfsServer>(sim_, "O" + id));
+      processors_.push_back(std::make_unique<FcfsServer>(
+          sim_, "P" + id, 1, StatTracking::kBusy));
+      memories_.push_back(std::make_unique<FcfsServer>(
+          sim_, "M" + id, cfg_.mms.memory_ports, StatTracking::kResidence));
+      inbound_.push_back(std::make_unique<FcfsServer>(
+          sim_, "I" + id, 1, StatTracking::kNone));
+      outbound_.push_back(std::make_unique<FcfsServer>(
+          sim_, "O" + id, 1, StatTracking::kNone));
     }
   }
 
@@ -77,6 +107,52 @@ class MmsSimulation {
   }
 
  private:
+  /// Dimension-order routes, one (tie_a, tie_b) variant per slot,
+  /// flattened into one node array. A message then carries (offset, len)
+  /// instead of an owning path vector, so routing a message allocates
+  /// nothing and touches no virtual call. Slots are filled lazily on
+  /// first use — route() consults no RNG, so laziness cannot perturb the
+  /// random stream — because eager filling (P^2 * 4 virtual calls) costs
+  /// more than a short simulation at paper sizes.
+  void build_route_cache(int P) {
+    const auto n = static_cast<std::size_t>(P);
+    route_first_.assign(n * n * 4, kRouteUnfilled);
+    route_len_.assign(n * n * 4, 0);
+  }
+
+  [[nodiscard]] std::size_t route_slot(int src, int dst, bool tie_a,
+                                       bool tie_b) const {
+    const auto n = static_cast<std::size_t>(topology_->num_nodes());
+    return (static_cast<std::size_t>(src) * n +
+            static_cast<std::size_t>(dst)) *
+               4 +
+           (tie_a ? 2u : 0u) + (tie_b ? 1u : 0u);
+  }
+
+  /// Fill `slot` from the topology; cold path of send_leg.
+  void fill_route(std::size_t slot, int src, int dst, bool tie_a,
+                  bool tie_b) {
+    const std::vector<int> path = topology_->route(src, dst, tie_a, tie_b);
+    route_first_[slot] = static_cast<std::uint32_t>(route_nodes_.size());
+    route_len_[slot] = static_cast<std::uint16_t>(path.size());
+    route_nodes_.insert(route_nodes_.end(), path.begin(), path.end());
+  }
+
+  std::uint32_t acquire_msg() {
+    if (msg_free_ == kNoMsg) {
+      msgs_.emplace_back();
+      return static_cast<std::uint32_t>(msgs_.size() - 1);
+    }
+    const std::uint32_t m = msg_free_;
+    msg_free_ = msgs_[m].next_free;
+    return m;
+  }
+
+  void release_msg(std::uint32_t m) {
+    msgs_[m].next_free = msg_free_;
+    msg_free_ = m;
+  }
+
   void start_thread_cycle(int home) {
     const double service = rng_.service(
         cfg_.runlength_dist,
@@ -95,62 +171,101 @@ class MmsSimulation {
     ++remote_issued_;
     const int dst = sample_destination(home);
     // Request leg: home outbound -> inbound hops -> dst memory.
-    send_leg(home, dst, [this, home, dst] {
-      memories_[static_cast<std::size_t>(dst)]->submit(
-          rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
-          [this, home, dst] {
-            // Response leg: dst outbound -> inbound hops -> home.
-            send_leg(dst, home, [this, home] { finish_cycle(home); });
-          });
-    });
+    send_leg(home, dst, LegKind::kRequest, /*count_stats=*/true);
   }
 
   /// One switch traversal: a queueing server normally, or a pure delay
   /// when the machine has pipelined (wormhole-style) switches.
-  void traverse_switch(FcfsServer& server, std::function<void()> done) {
+  void traverse_switch(FcfsServer& server, InlineFn done) {
     const double service =
         rng_.service(cfg_.switch_dist, cfg_.mms.switch_delay);
     if (cfg_.mms.pipelined_switches) {
-      sim_.schedule_after(service, std::move(done));
+      sim_.schedule_after(service, done);
     } else {
-      server.submit(service, std::move(done));
+      server.submit(service, done);
     }
   }
 
   /// Route one message src -> dst through outbound[src] and the inbound
-  /// switches along a sampled dimension-order path; `on_arrive` fires when
-  /// the message leaves the last inbound switch at dst. Open background
-  /// legs pass count_stats = false so S_obs stays a closed-traffic metric
-  /// (open sojourns are tallied separately in open_latency_).
-  void send_leg(int src, int dst, std::function<void()> on_arrive,
-                bool count_stats = true) {
+  /// switches along a sampled dimension-order path; `kind` selects what
+  /// happens when the message leaves the last inbound switch at dst. Open
+  /// background legs pass count_stats = false so S_obs stays a
+  /// closed-traffic metric (open sojourns are tallied in open_latency_).
+  void send_leg(int src, int dst, LegKind kind, bool count_stats) {
     const double t0 = sim_.now();
-    auto path = std::make_shared<std::vector<int>>(
-        topology_->route(src, dst, rng_.bernoulli(0.5), rng_.bernoulli(0.5)));
+    // The old kernel drew both tie-breaks inside route()'s argument list;
+    // GCC evaluates call arguments right to left, so the second listed
+    // draw (tie_b) came out of the stream first. Preserved bit for bit.
+    const bool tie_b = rng_.bernoulli(0.5);
+    const bool tie_a = rng_.bernoulli(0.5);
+    const std::uint32_t m = acquire_msg();
+    Msg& msg = msgs_[m];
+    const std::size_t slot = route_slot(src, dst, tie_a, tie_b);
+    if (route_first_[slot] == kRouteUnfilled)
+      fill_route(slot, src, dst, tie_a, tie_b);
+    msg.t0 = t0;
+    msg.route_first = route_first_[slot];
+    msg.route_len = route_len_[slot];
+    msg.hop = 0;
+    msg.origin = src;
+    msg.dst = dst;
+    msg.kind = kind;
+    msg.count_stats = count_stats;
     traverse_switch(*outbound_[static_cast<std::size_t>(src)],
-                    [this, path, t0, count_stats,
-                     on_arrive = std::move(on_arrive)]() mutable {
-                      hop(path, 0, t0, count_stats, std::move(on_arrive));
-                    });
+                    [this, m] { advance_msg(m); });
   }
 
-  void hop(std::shared_ptr<std::vector<int>> path, std::size_t index,
-           double t0, bool count_stats, std::function<void()> on_arrive) {
-    if (index >= path->size()) {
-      if (count_stats && sim_.now() >= stats_epoch_) {
-        network_latency_.add(sim_.now() - t0);
+  /// A message finished one switch traversal: enter the next inbound
+  /// switch on its route, or deliver it.
+  void advance_msg(std::uint32_t m) {
+    Msg& msg = msgs_[m];
+    if (msg.hop >= msg.route_len) {
+      if (msg.count_stats && sim_.now() >= stats_epoch_) {
+        network_latency_.add(sim_.now() - msg.t0);
         ++remote_legs_;
       }
-      on_arrive();
+      const Msg done = msg;
+      release_msg(m);  // before dispatch: the continuation may reuse it
+      deliver(done);
       return;
     }
-    const int node = (*path)[index];
+    const int node = route_nodes_[msg.route_first + msg.hop];
+    ++msg.hop;
     traverse_switch(*inbound_[static_cast<std::size_t>(node)],
-                    [this, path = std::move(path), index, t0, count_stats,
-                     on_arrive = std::move(on_arrive)]() mutable {
-                      hop(std::move(path), index + 1, t0, count_stats,
-                          std::move(on_arrive));
-                    });
+                    [this, m] { advance_msg(m); });
+  }
+
+  /// The message left the network at its destination: run its
+  /// continuation.
+  void deliver(const Msg& done) {
+    switch (done.kind) {
+      case LegKind::kRequest: {
+        const int home = done.origin;
+        const int dst = done.dst;
+        memories_[static_cast<std::size_t>(dst)]->submit(
+            rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
+            [this, home, dst] {
+              // Response leg: dst outbound -> inbound hops -> home.
+              send_leg(dst, home, LegKind::kResponse, /*count_stats=*/true);
+            });
+        return;
+      }
+      case LegKind::kResponse:
+        finish_cycle(done.dst);
+        return;
+      case LegKind::kOpen: {
+        const double t0 = done.t0;
+        memories_[static_cast<std::size_t>(done.dst)]->submit(
+            rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
+            [this, t0] {
+              if (sim_.now() >= stats_epoch_) {
+                open_latency_.add(sim_.now() - t0);
+                ++open_completions_;
+              }
+            });
+        return;
+      }
+    }
   }
 
   /// One background open request from `home`: Poisson inter-arrival, then
@@ -160,21 +275,8 @@ class MmsSimulation {
   void schedule_open_arrival(int home) {
     sim_.schedule_after(
         rng_.exponential(1.0 / cfg_.mms.open_arrival_rate), [this, home] {
-          const double t0 = sim_.now();
           const int dst = sample_destination(home);
-          send_leg(
-              home, dst,
-              [this, t0, dst] {
-                memories_[static_cast<std::size_t>(dst)]->submit(
-                    rng_.service(cfg_.memory_dist, cfg_.mms.memory_latency),
-                    [this, t0] {
-                      if (sim_.now() >= stats_epoch_) {
-                        open_latency_.add(sim_.now() - t0);
-                        ++open_completions_;
-                      }
-                    });
-              },
-              /*count_stats=*/false);
+          send_leg(home, dst, LegKind::kOpen, /*count_stats=*/false);
           schedule_open_arrival(home);
         });
   }
@@ -238,10 +340,14 @@ class MmsSimulation {
     r.cycles = cycles_;
     r.remote_legs = remote_legs_;
     r.events = sim_.events_executed();
+    r.queue_ops = sim_.queue_ops();
     r.latency_samples = network_latency_.count();
     r.rng_draws = rng_.draws();
     return r;
   }
+
+  static constexpr std::uint32_t kNoMsg = 0xffffffffu;
+  static constexpr std::uint32_t kRouteUnfilled = 0xffffffffu;
 
   SimulationConfig cfg_;
   Rng rng_;
@@ -249,6 +355,11 @@ class MmsSimulation {
   std::unique_ptr<topo::Topology> topology_;
   std::unique_ptr<topo::RemoteAccessDistribution> traffic_;
   std::vector<std::vector<double>> cumulative_;
+  std::vector<std::uint32_t> route_first_;  // (src,dst,ties) -> route_nodes_
+  std::vector<std::uint16_t> route_len_;    // hops per slot; 0 until filled
+  std::vector<int> route_nodes_;            // all cached routes, flattened
+  std::vector<Msg> msgs_;                   // in-flight message arena
+  std::uint32_t msg_free_ = kNoMsg;
   std::vector<std::unique_ptr<FcfsServer>> processors_;
   std::vector<std::unique_ptr<FcfsServer>> memories_;
   std::vector<std::unique_ptr<FcfsServer>> inbound_;
@@ -269,6 +380,7 @@ SimulationResult simulate_mms(const SimulationConfig& config) {
   // Tag any validation or mid-run assertion failure with the seed so a
   // failing replication can be reproduced exactly.
   try {
+    obs::ScopedTimer timer("sim.des.run");
     MmsSimulation simulation(config);
     SimulationResult result = simulation.run();
     result.seed = config.seed;
@@ -276,6 +388,7 @@ SimulationResult simulate_mms(const SimulationConfig& config) {
     // instrumented hot path stays identical with and without a registry.
     obs::count("sim.des.runs");
     obs::count("sim.des.events", result.events);
+    obs::count("sim.des.queue_ops", result.queue_ops);
     obs::count("sim.des.cycles", result.cycles);
     obs::count("sim.des.latency_samples", result.latency_samples);
     obs::count("sim.des.rng_draws", result.rng_draws);

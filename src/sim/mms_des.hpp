@@ -46,6 +46,7 @@ struct SimulationResult {
   std::uint64_t cycles = 0;          ///< completed thread cycles measured
   std::uint64_t remote_legs = 0;     ///< one-way network traversals measured
   std::uint64_t events = 0;          ///< kernel events executed
+  std::uint64_t queue_ops = 0;       ///< calendar-queue operations performed
   std::uint64_t latency_samples = 0; ///< network-latency samples collected
   std::uint64_t rng_draws = 0;       ///< random variates consumed
   std::uint64_t seed = 0;            ///< RNG seed of this replication

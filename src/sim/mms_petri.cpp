@@ -195,57 +195,24 @@ class NetBuilder {
   std::vector<PlaceId> mem_free_, in_free_, out_free_, ready_;
 };
 
-PetriMmsResult simulate_checked(const core::MmsConfig& config,
-                                double sim_time, double warmup_fraction,
-                                std::uint64_t seed,
-                                ServiceDistribution memory_dist);
-
-}  // namespace
-
-MmsPetriModel build_mms_petri(const core::MmsConfig& config,
-                              ServiceDistribution memory_dist) {
-  NetBuilder builder(config, memory_dist);
-  return builder.build();
-}
-
-PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
-                                  double sim_time, double warmup_fraction,
-                                  std::uint64_t seed,
-                                  ServiceDistribution memory_dist) {
-  // Tag validation failures with the seed so the replication that exposed
-  // them can be reproduced exactly.
-  try {
-    PetriMmsResult result = simulate_checked(config, sim_time, warmup_fraction,
-                                             seed, memory_dist);
-    // Aggregate flush, once per replication (see mms_des.cpp).
-    obs::count("sim.stpn.runs");
-    obs::count("sim.stpn.firings", result.total_firings);
-    obs::count("sim.stpn.tokens_moved", result.tokens_moved);
-    obs::count("sim.stpn.rng_draws", result.rng_draws);
-    return result;
-  } catch (const InvalidArgument& e) {
-    throw InvalidArgument(std::string(e.what()) + " [seed=" +
-                          std::to_string(seed) + "]");
-  }
-}
-
-namespace {
-
-PetriMmsResult simulate_checked(const core::MmsConfig& config,
-                                double sim_time, double warmup_fraction,
-                                std::uint64_t seed,
-                                ServiceDistribution memory_dist) {
+/// Simulate `compiled` and turn token statistics into MMS measures; the
+/// common core of both public entry points (no seed tagging here).
+PetriMmsResult run_compiled(const MmsPetriModel& model,
+                            const CompiledPetriNet& compiled,
+                            const core::MmsConfig& config, double sim_time,
+                            double warmup_fraction, std::uint64_t seed) {
   LATOL_REQUIRE(sim_time > 0.0, "sim_time " << sim_time);
   LATOL_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
                 "warmup_fraction " << warmup_fraction);
-  const MmsPetriModel model = build_mms_petri(config, memory_dist);
-  PetriSimulator sim(model.net, seed);
+  obs::ScopedTimer timer("sim.stpn.run");
+  PetriSimulator sim(compiled, seed);
   const PetriStats stats = sim.run(sim_time, sim_time * warmup_fraction);
 
   PetriMmsResult out;
   out.seed = seed;
   out.total_firings = stats.total_firings;
   out.tokens_moved = stats.tokens_moved;
+  out.queue_ops = stats.queue_ops;
   out.rng_draws = stats.rng_draws;
   const auto P = static_cast<double>(model.processors);
   double exec_rate = 0.0;
@@ -268,9 +235,54 @@ PetriMmsResult simulate_checked(const core::MmsConfig& config,
     switch_tokens += stats.mean_tokens[p];
   const double leg_rate = 2.0 * remote_rate;
   out.network_latency = leg_rate > 0.0 ? switch_tokens / leg_rate : 0.0;
+
+  // Aggregate flush, once per replication (see mms_des.cpp).
+  obs::count("sim.stpn.runs");
+  obs::count("sim.stpn.firings", out.total_firings);
+  obs::count("sim.stpn.tokens_moved", out.tokens_moved);
+  obs::count("sim.stpn.queue_ops", out.queue_ops);
+  obs::count("sim.stpn.rng_draws", out.rng_draws);
   return out;
 }
 
 }  // namespace
+
+MmsPetriModel build_mms_petri(const core::MmsConfig& config,
+                              ServiceDistribution memory_dist) {
+  NetBuilder builder(config, memory_dist);
+  return builder.build();
+}
+
+PetriMmsResult simulate_mms_petri(const core::MmsConfig& config,
+                                  double sim_time, double warmup_fraction,
+                                  std::uint64_t seed,
+                                  ServiceDistribution memory_dist) {
+  // Tag validation failures with the seed so the replication that exposed
+  // them can be reproduced exactly.
+  try {
+    const MmsPetriModel model = build_mms_petri(config, memory_dist);
+    const CompiledPetriNet compiled(model.net);
+    return run_compiled(model, compiled, config, sim_time, warmup_fraction,
+                        seed);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(e.what()) + " [seed=" +
+                          std::to_string(seed) + "]");
+  }
+}
+
+PetriMmsResult simulate_mms_petri_compiled(const MmsPetriModel& model,
+                                           const CompiledPetriNet& compiled,
+                                           const core::MmsConfig& config,
+                                           double sim_time,
+                                           double warmup_fraction,
+                                           std::uint64_t seed) {
+  try {
+    return run_compiled(model, compiled, config, sim_time, warmup_fraction,
+                        seed);
+  } catch (const InvalidArgument& e) {
+    throw InvalidArgument(std::string(e.what()) + " [seed=" +
+                          std::to_string(seed) + "]");
+  }
+}
 
 }  // namespace latol::sim

@@ -72,6 +72,7 @@ struct PetriMmsResult {
   double memory_latency = 0;   ///< L_obs via Little's law
   std::uint64_t total_firings = 0;
   std::uint64_t tokens_moved = 0;  ///< tokens consumed + produced
+  std::uint64_t queue_ops = 0;     ///< calendar-queue operations
   std::uint64_t rng_draws = 0;     ///< random variates consumed
   std::uint64_t seed = 0;      ///< RNG seed of this replication
 };
@@ -82,5 +83,14 @@ struct PetriMmsResult {
     const core::MmsConfig& config, double sim_time, double warmup_fraction,
     std::uint64_t seed,
     ServiceDistribution memory_dist = ServiceDistribution::kExponential);
+
+/// As simulate_mms_petri, but over an already-built model and its
+/// compiled net — replications share one build + compile instead of
+/// redoing both per seed. Results are identical to simulate_mms_petri for
+/// the config that produced `model`.
+[[nodiscard]] PetriMmsResult simulate_mms_petri_compiled(
+    const MmsPetriModel& model, const CompiledPetriNet& compiled,
+    const core::MmsConfig& config, double sim_time, double warmup_fraction,
+    std::uint64_t seed);
 
 }  // namespace latol::sim

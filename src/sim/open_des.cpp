@@ -30,10 +30,13 @@ class OpenSimulation {
     const std::size_t stations = net_.num_stations();
     servers_.reserve(stations);
     for (std::size_t m = 0; m < stations; ++m) {
+      // The result exposes utilization and residence only; skip the
+      // queue-length time average.
       servers_.push_back(std::make_unique<FcfsServer>(
           sim_, net_.station(m).name.empty() ? "S" + std::to_string(m)
                                              : net_.station(m).name,
-          net_.station(m).servers));
+          net_.station(m).servers,
+          StatTracking::kBusy | StatTracking::kResidence));
     }
     const std::size_t classes = net_.num_classes();
     response_.assign(classes, BatchMeans(20));
@@ -131,6 +134,7 @@ class OpenSimulation {
       r.residence[m] = servers_[m]->mean_residence();
     }
     r.events = sim_.events_executed();
+    r.queue_ops = sim_.queue_ops();
     r.rng_draws = rng_.draws();
     return r;
   }
@@ -151,11 +155,13 @@ class OpenSimulation {
 OpenSimulationResult simulate_open(const qn::OpenNetwork& net,
                                    const OpenSimulationConfig& config) {
   try {
+    obs::ScopedTimer timer("sim.open.run");
     OpenSimulation simulation(net, config);
     OpenSimulationResult result = simulation.run();
     result.seed = config.seed;
     obs::count("sim.open.runs");
     obs::count("sim.open.events", result.events);
+    obs::count("sim.open.queue_ops", result.queue_ops);
     obs::count("sim.open.rng_draws", result.rng_draws);
     return result;
   } catch (const InvalidArgument& e) {

@@ -38,6 +38,7 @@ struct OpenSimulationResult {
   /// end-to-end response times).
   std::vector<double> residence;
   std::uint64_t events = 0;     ///< kernel events executed
+  std::uint64_t queue_ops = 0;  ///< calendar-queue operations performed
   std::uint64_t rng_draws = 0;  ///< random variates consumed
   std::uint64_t seed = 0;       ///< RNG seed of this replication
 };

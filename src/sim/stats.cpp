@@ -6,13 +6,6 @@
 
 namespace latol::sim {
 
-void OnlineStats::add(double x) {
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-}
-
 void OnlineStats::reset() {
   count_ = 0;
   mean_ = 0.0;
@@ -25,16 +18,6 @@ double OnlineStats::variance() const {
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
 
-void TimeAverage::set(double now, double v) {
-  LATOL_REQUIRE(now + 1e-12 >= last_change_,
-                "time went backwards: " << now << " < " << last_change_);
-  weighted_sum_ += value_ * (now - last_change_);
-  value_ = v;
-  last_change_ = now;
-}
-
-void TimeAverage::add(double now, double delta) { set(now, value_ + delta); }
-
 void TimeAverage::reset(double now) {
   weighted_sum_ = 0.0;
   last_change_ = now;
@@ -45,6 +28,23 @@ double TimeAverage::mean(double now) const {
   const double span = now - start_;
   if (span <= 0.0) return value_;
   return (weighted_sum_ + value_ * (now - last_change_)) / span;
+}
+
+double t_critical_95(std::size_t df) {
+  // Two-sided alpha = 0.05 quantiles, df = 1..30.
+  static constexpr double kTable[] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  LATOL_REQUIRE(df >= 1, "t critical value needs df >= 1");
+  if (df <= 30) return kTable[df - 1];
+  return 1.96;
+}
+
+double half_width_95(const OnlineStats& stats) {
+  if (stats.count() < 2) return 0.0;
+  return t_critical_95(stats.count() - 1) * stats.stddev() /
+         std::sqrt(static_cast<double>(stats.count()));
 }
 
 BatchMeans::BatchMeans(std::size_t num_batches)

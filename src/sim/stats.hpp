@@ -4,13 +4,20 @@
 #include <cstddef>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace latol::sim {
 
 /// Welford online mean/variance accumulator for i.i.d.-ish samples
 /// (per-access latencies and similar tallies).
 class OnlineStats {
  public:
-  void add(double x);
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
   void reset();
 
   [[nodiscard]] std::size_t count() const { return count_; }
@@ -34,10 +41,18 @@ class TimeAverage {
       : value_(initial), last_change_(start_time), start_(start_time) {}
 
   /// Record that the signal takes value `v` from time `now` on.
-  void set(double now, double v);
+  /// Hot path: called for every queue-length and busy-state change the
+  /// simulators record, so it lives in the header.
+  void set(double now, double v) {
+    LATOL_REQUIRE(now + 1e-12 >= last_change_,
+                  "time went backwards: " << now << " < " << last_change_);
+    weighted_sum_ += value_ * (now - last_change_);
+    value_ = v;
+    last_change_ = now;
+  }
 
   /// Add `delta` to the current value at time `now`.
-  void add(double now, double delta);
+  void add(double now, double delta) { set(now, value_ + delta); }
 
   /// Restart integration at `now`, keeping the current value.
   void reset(double now);
@@ -53,6 +68,17 @@ class TimeAverage {
   double last_change_;
   double start_;
 };
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (exact table through df = 30, normal tail beyond). Used for
+/// replication confidence intervals, where df is small and the 1.96
+/// normal approximation would understate the interval badly.
+[[nodiscard]] double t_critical_95(std::size_t df);
+
+/// Half-width of the 95% confidence interval on the mean of `stats`'
+/// samples treated as i.i.d. normal: t * s / sqrt(n). Returns 0 with
+/// fewer than two samples.
+[[nodiscard]] double half_width_95(const OnlineStats& stats);
 
 /// Batch-means confidence intervals: split a stream of samples into `b`
 /// equal batches and treat batch means as i.i.d. normal. Standard output

@@ -1,0 +1,152 @@
+#include "sim/calendar_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <queue>
+#include <random>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace latol::sim {
+namespace {
+
+/// Drain everything up to `limit` into a vector of payloads.
+std::vector<std::uint32_t> drain(CalendarQueue& q, double limit = 1e18) {
+  std::vector<std::uint32_t> out;
+  CalendarEntry e;
+  while (q.pop_until(limit, e)) out.push_back(e.payload);
+  return out;
+}
+
+TEST(CalendarQueue, PopsInTimeOrder) {
+  CalendarQueue q;
+  q.push(3.0, 3);
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{1, 2, 3}));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, TiesPopInPushOrder) {
+  CalendarQueue q;
+  for (std::uint32_t i = 0; i < 100; ++i) q.push(7.5, i);
+  std::vector<std::uint32_t> want(100);
+  for (std::uint32_t i = 0; i < 100; ++i) want[i] = i;
+  EXPECT_EQ(drain(q), want);
+}
+
+TEST(CalendarQueue, PopUntilRespectsLimit) {
+  CalendarQueue q;
+  q.push(1.0, 1);
+  q.push(5.0, 5);
+  CalendarEntry e;
+  ASSERT_TRUE(q.pop_until(2.0, e));
+  EXPECT_EQ(e.payload, 1u);
+  EXPECT_FALSE(q.pop_until(2.0, e));  // 5.0 lies beyond the limit
+  EXPECT_EQ(q.size(), 1u);
+  ASSERT_TRUE(q.pop_until(5.0, e));
+  EXPECT_EQ(e.payload, 5u);
+}
+
+TEST(CalendarQueue, EraseRemovesExactEntry) {
+  CalendarQueue q;
+  q.push(1.0, 10);
+  q.push(2.0, 20);
+  q.push(3.0, 30);
+  EXPECT_TRUE(q.erase(2.0, 20));
+  EXPECT_FALSE(q.erase(2.0, 20));  // already gone
+  EXPECT_FALSE(q.erase(1.5, 10));  // wrong time
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{10, 30}));
+}
+
+TEST(CalendarQueue, RejectsNonFiniteTimes) {
+  CalendarQueue q;
+  EXPECT_THROW(q.push(std::numeric_limits<double>::infinity(), 0),
+               InvalidArgument);
+  EXPECT_THROW(q.push(std::numeric_limits<double>::quiet_NaN(), 0),
+               InvalidArgument);
+}
+
+TEST(CalendarQueue, MatchesBinaryHeapOnRandomWorkload) {
+  // Differential test against the std::priority_queue ordering the
+  // calendar replaced: interleave pushes and pops with clustered and
+  // widely-spread times (stressing bucket resize + width retune) and
+  // require the exact (time, seq) sequence.
+  struct HeapEntry {
+    double time;
+    std::uint64_t seq;
+    std::uint32_t payload;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap;
+  CalendarQueue q;
+  std::mt19937_64 gen(12345);
+  std::uniform_real_distribution<double> gap(0.0, 1.0);
+  double now = 0.0;
+  std::uint64_t seq = 0;
+  std::uint32_t next_payload = 0;
+  for (int round = 0; round < 20000; ++round) {
+    const auto r = gen() % 100;
+    if (r < 60 || heap.empty()) {
+      // Mostly near-future events, occasionally far-future outliers.
+      const double at =
+          now + (r < 5 ? 1000.0 * gap(gen) : gap(gen));
+      heap.push(HeapEntry{at, seq++, next_payload});
+      q.push(at, next_payload);
+      ++next_payload;
+    } else {
+      const HeapEntry want = heap.top();
+      heap.pop();
+      CalendarEntry got;
+      ASSERT_TRUE(q.pop_until(1e18, got));
+      ASSERT_EQ(got.payload, want.payload);
+      ASSERT_EQ(got.time, want.time);
+      now = want.time;
+    }
+  }
+  // Drain the rest; order must still agree.
+  while (!heap.empty()) {
+    const HeapEntry want = heap.top();
+    heap.pop();
+    CalendarEntry got;
+    ASSERT_TRUE(q.pop_until(1e18, got));
+    ASSERT_EQ(got.payload, want.payload);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, SurvivesGrowShrinkCycles) {
+  CalendarQueue q;
+  // Fill far past the grow threshold, drain to trigger shrink, refill.
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    // Each cycle lives in its own later time window (pushes must not
+    // precede the last popped time).
+    for (std::uint32_t i = 0; i < 4096; ++i)
+      q.push(100.0 * cycle + static_cast<double>(i % 97), i);
+    EXPECT_EQ(q.size(), 4096u);
+    std::vector<std::uint32_t> got = drain(q);
+    EXPECT_EQ(got.size(), 4096u);
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+TEST(CalendarQueue, ErasingToEmptyThenReusing) {
+  CalendarQueue q;
+  q.push(1.0, 1);
+  q.push(2.0, 2);
+  EXPECT_TRUE(q.erase(1.0, 1));
+  EXPECT_TRUE(q.erase(2.0, 2));
+  EXPECT_TRUE(q.empty());
+  q.push(0.5, 9);
+  EXPECT_EQ(drain(q), (std::vector<std::uint32_t>{9}));
+}
+
+}  // namespace
+}  // namespace latol::sim

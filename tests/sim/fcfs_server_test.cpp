@@ -107,6 +107,46 @@ TEST(FcfsServer, RejectsZeroServers) {
   EXPECT_THROW(FcfsServer(sim, "s", 0), InvalidArgument);
 }
 
+TEST(FcfsServer, DisabledStatTrackingThrowsOnReadOnly) {
+  // A server constructed with a tracking mask skips the untracked
+  // accumulators entirely; reading one is a caller bug, not a zero.
+  Simulator sim;
+  FcfsServer server(sim, "s", 1, StatTracking::kBusy);
+  int done = 0;
+  server.submit(2.0, [&] { ++done; });
+  sim.run_until(10.0);
+  EXPECT_EQ(done, 1);                              // service still runs
+  EXPECT_EQ(server.completions(), 1u);             // counters stay on
+  EXPECT_NEAR(server.utilization(), 0.2, 1e-12);   // tracked
+  EXPECT_THROW(static_cast<void>(server.mean_queue_length()), InvalidArgument);
+  EXPECT_THROW(static_cast<void>(server.mean_residence()), InvalidArgument);
+}
+
+TEST(FcfsServer, TrackingMasksCompose) {
+  Simulator sim;
+  FcfsServer server(sim, "s", 1,
+                    StatTracking::kBusy | StatTracking::kResidence);
+  server.submit(4.0, nullptr);
+  sim.run_until(10.0);
+  EXPECT_NEAR(server.utilization(), 0.4, 1e-12);
+  EXPECT_NEAR(server.mean_residence(), 4.0, 1e-12);
+  EXPECT_THROW(static_cast<void>(server.mean_queue_length()), InvalidArgument);
+}
+
+/// Trivially-copyable Poisson arrival source (event actions live in
+/// arena slots; recursion goes through a struct, not std::function).
+struct PoissonArrivals {
+  Simulator* sim;
+  FcfsServer* server;
+  Rng* rng;
+  double service_mean;
+  double arrival_mean;
+  void operator()() const {
+    server->submit(rng->exponential(service_mean), nullptr);
+    sim->schedule_after(rng->exponential(arrival_mean), *this);
+  }
+};
+
 TEST(FcfsServer, MM2QueueMatchesTheory) {
   // M/M/2 with lambda = 0.8, mu = 0.5 per server: rho = 0.8. Erlang-C:
   // P(wait) = 0.7111..., Lq = rho/(1-rho) * P(wait) = 2.844,
@@ -114,11 +154,7 @@ TEST(FcfsServer, MM2QueueMatchesTheory) {
   Simulator sim;
   FcfsServer server(sim, "s", 2);
   Rng rng(99);
-  std::function<void()> arrive = [&] {
-    server.submit(rng.exponential(2.0), nullptr);
-    sim.schedule_after(rng.exponential(1.25), arrive);
-  };
-  sim.schedule(0.0, arrive);
+  sim.schedule(0.0, PoissonArrivals{&sim, &server, &rng, 2.0, 1.25});
   sim.run_until(400000.0);
   EXPECT_NEAR(server.utilization(), 0.8, 0.02);
   EXPECT_NEAR(server.mean_residence(), 5.556, 0.25);
@@ -131,13 +167,8 @@ TEST(FcfsServer, MM1QueueMatchesTheory) {
   Simulator sim;
   FcfsServer server(sim, "s");
   Rng rng(2026);
-  const double arrival_mean = 2.0;  // lambda = 0.5
-  const double service_mean = 1.0;  // mu = 1 -> rho = 0.5
-  std::function<void()> arrive = [&] {
-    server.submit(rng.exponential(service_mean), nullptr);
-    sim.schedule_after(rng.exponential(arrival_mean), arrive);
-  };
-  sim.schedule(0.0, arrive);
+  // lambda = 0.5, mu = 1 -> rho = 0.5.
+  sim.schedule(0.0, PoissonArrivals{&sim, &server, &rng, 1.0, 2.0});
   sim.run_until(200000.0);
   EXPECT_NEAR(server.utilization(), 0.5, 0.02);
   // M/M/1 residence: 1 / (mu - lambda) = 2.
