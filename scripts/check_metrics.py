@@ -18,7 +18,7 @@ import json
 import re
 import sys
 
-FORMAT = "latol-metrics-v1"
+FORMAT = "latol-metrics-v2"
 
 STAGE_KEYS = ["expand_seconds", "solve_seconds", "validate_seconds",
               "wall_seconds"]
@@ -95,6 +95,48 @@ def check_scenario_doc(doc):
         registry = doc["registry"]
         for section in ("counters", "gauges", "timers"):
             require(registry, section, dict, "$.registry")
+        histograms = require(registry, "histograms", dict, "$.registry")
+        if histograms is not None:
+            for name, hist in histograms.items():
+                check_histogram(hist, f"$.registry.histograms[{name}]")
+
+
+def check_histogram(hist, where):
+    """One log-bucket histogram: parallel `le`/`buckets` arrays where
+    `le[i]` is the inclusive upper bound of `buckets[i]` (the final null
+    bound is the overflow bucket), and the counts total `count`."""
+    if not isinstance(hist, dict):
+        fail(f"{where}: expected object")
+        return
+    count = require(hist, "count", (int, float), where)
+    require(hist, "sum", (int, float), where)
+    le = require(hist, "le", list, where)
+    buckets = require(hist, "buckets", list, where)
+    if le is None or buckets is None:
+        return
+    if len(le) != len(buckets):
+        fail(f"{where}: le/buckets length mismatch "
+             f"({len(le)} vs {len(buckets)})")
+        return
+    if not le or le[-1] is not None:
+        fail(f"{where}: last `le` bound must be null (overflow bucket)")
+    previous = 0.0
+    for i, bound in enumerate(le[:-1]):
+        if isinstance(bound, bool) or not isinstance(bound, (int, float)):
+            fail(f"{where}.le[{i}]: expected number")
+            return
+        if bound <= previous:
+            fail(f"{where}.le[{i}]: bounds must increase "
+                 f"({bound} after {previous})")
+        previous = bound
+    total = 0
+    for i, n in enumerate(buckets):
+        if isinstance(n, bool) or not isinstance(n, (int, float)) or n < 0:
+            fail(f"{where}.buckets[{i}]: expected non-negative count")
+            return
+        total += n
+    if count is not None and total != count:
+        fail(f"{where}: bucket counts total {total}, count says {count}")
 
 
 def check_command_doc(doc, command):
@@ -115,6 +157,10 @@ def check_command_doc(doc, command):
 
 
 PROM_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+# A histogram bucket sample: name{le="<bound>"} — the only label latol
+# emits.
+PROM_BUCKET = re.compile(
+    r'^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)\{le="(?P<le>[^"]+)"\}$')
 PROM_REQUIRED = ["latol_serve_queue_depth", "latol_serve_in_flight"]
 
 
@@ -124,10 +170,20 @@ def parse_prom_value(text):
     return float(text)  # raises ValueError on junk
 
 
+def histogram_base(name):
+    """The declared histogram a series name belongs to, or None."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[:-len(suffix)]
+    return None
+
+
 def check_prom_text(text):
     """A Prometheus exposition from the daemon's GET /metrics."""
     declared = {}  # metric name -> TYPE
     sampled = set()
+    hist_buckets = {}  # base -> last cumulative bucket value
+    hist_counts = {}  # base -> value of base_count
     for lineno, line in enumerate(text.splitlines(), start=1):
         where = f"line {lineno}"
         if not line.strip():
@@ -141,7 +197,7 @@ def check_prom_text(text):
                 _, _, name, kind = parts
                 if not PROM_NAME.match(name):
                     fail(f"{where}: illegal metric name `{name}`")
-                if kind not in ("counter", "gauge"):
+                if kind not in ("counter", "gauge", "histogram"):
                     fail(f"{where}: unexpected metric type `{kind}`")
                 if name in declared:
                     fail(f"{where}: duplicate TYPE for `{name}`")
@@ -152,6 +208,11 @@ def check_prom_text(text):
             fail(f"{where}: expected `name value`, got `{line}`")
             continue
         name, value = parts
+        labels = None
+        bucket = PROM_BUCKET.match(name)
+        if bucket is not None:
+            name = bucket.group("name")
+            labels = bucket.group("le")
         if not PROM_NAME.match(name):
             fail(f"{where}: illegal metric name `{name}`")
             continue
@@ -161,6 +222,33 @@ def check_prom_text(text):
             fail(f"{where}: `{name}` has non-numeric value `{value}`")
             continue
         sampled.add(name)
+        base = histogram_base(name)
+        if base is not None and declared.get(base) == "histogram":
+            # Histogram series: buckets carry the le label and must be
+            # cumulative; _sum/_count are bare.
+            sampled.add(base)
+            if name.endswith("_bucket"):
+                if labels is None:
+                    fail(f"{where}: `{name}` needs an le label")
+                    continue
+                if labels != "+Inf":
+                    try:
+                        float(labels)
+                    except ValueError:
+                        fail(f"{where}: `{name}` has bad le `{labels}`")
+                previous = hist_buckets.get(base, 0.0)
+                if number < previous:
+                    fail(f"{where}: `{name}` buckets not cumulative "
+                         f"({value} after {previous})")
+                hist_buckets[base] = number
+                if labels == "+Inf":
+                    hist_counts.setdefault(base, None)
+            elif name.endswith("_count"):
+                hist_counts[base] = number
+            continue
+        if labels is not None:
+            fail(f"{where}: unexpected label on `{name}`")
+            continue
         if name not in declared:
             fail(f"{where}: `{name}` sampled without a TYPE declaration")
             continue
@@ -170,6 +258,10 @@ def check_prom_text(text):
                 fail(f"{where}: counter `{name}` must end in _total/_count")
             if number < 0:
                 fail(f"{where}: counter `{name}` is negative ({value})")
+    for base, count in hist_counts.items():
+        if count is not None and hist_buckets.get(base) != count:
+            fail(f"histogram `{base}`: +Inf bucket "
+                 f"{hist_buckets.get(base)} != count {count}")
     for name in declared:
         if name not in sampled:
             fail(f"TYPE declared for `{name}` but no sample followed")

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Validate a latol span trace (Chrome trace_event JSON) structurally.
+
+Usage: check_trace.py <trace.json> [--require-span NAME]...
+
+Checks the document `latol <command> --trace-out FILE` writes
+(DESIGN.md §14) the way chrome://tracing and Perfetto consume it —
+those viewers silently drop malformed events, so CI has to fail loudly
+instead:
+
+ - the file is one JSON object with a `traceEvents` array;
+ - every event carries name/ph/pid/tid, and B/E/i events a numeric ts;
+ - timestamps are monotone within each tid (per-lane recording order);
+ - every `B` has a matching `E` with the same name, in LIFO order per
+   tid (spans nest, they never interleave within a thread);
+ - span ids are unique and parent links point at ids that exist (or 0);
+ - each tid that recorded events has a thread_name metadata event.
+
+With --require-span NAME (repeatable) the trace must also contain at
+least one complete span of that name — the CI smoke asserts the
+per-point spans nest under the batch runner. Standard library only.
+Exits 0 when valid, 1 with a list of violations otherwise.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def fail(msg):
+    errors.append(msg)
+
+
+def check_trace(doc, required_spans):
+    if not isinstance(doc, dict):
+        fail("document is not a JSON object")
+        return
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("$.traceEvents: missing or not an array")
+        return
+    last_ts = {}      # tid -> last timestamp
+    open_spans = {}   # tid -> stack of (name, span_id)
+    thread_named = set()
+    span_ids = set()
+    parent_links = []  # (where, parent_id)
+    seen_names = set()
+    for i, e in enumerate(events):
+        where = f"$.traceEvents[{i}]"
+        if not isinstance(e, dict):
+            fail(f"{where}: expected object")
+            continue
+        name = e.get("name")
+        ph = e.get("ph")
+        tid = e.get("tid")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing name")
+            continue
+        if ph not in ("B", "E", "i", "M"):
+            fail(f"{where}: unexpected phase `{ph}`")
+            continue
+        if not isinstance(tid, int) or "pid" not in e:
+            fail(f"{where}: missing pid/tid")
+            continue
+        if ph == "M":
+            if name == "thread_name":
+                thread_named.add(tid)
+            continue
+        ts = e.get("ts")
+        if isinstance(ts, bool) or not isinstance(ts, (int, float)):
+            fail(f"{where}: missing numeric ts")
+            continue
+        if ts < last_ts.get(tid, 0):
+            fail(f"{where}: ts {ts} goes backwards on tid {tid} "
+                 f"(after {last_ts[tid]})")
+        last_ts[tid] = ts
+        args = e.get("args", {})
+        span_id = args.get("span_id", 0)
+        parent_id = args.get("parent_id", 0)
+        if ph == "B":
+            if not span_id:
+                fail(f"{where}: B event without span_id")
+            elif span_id in span_ids:
+                fail(f"{where}: duplicate span_id {span_id}")
+            else:
+                span_ids.add(span_id)
+            parent_links.append((where, parent_id))
+            open_spans.setdefault(tid, []).append((name, span_id))
+        elif ph == "E":
+            stack = open_spans.get(tid, [])
+            if not stack:
+                fail(f"{where}: E `{name}` without an open B on tid {tid}")
+                continue
+            open_name, open_id = stack.pop()
+            if open_name != name:
+                fail(f"{where}: E `{name}` closes B `{open_name}` "
+                     f"(spans must nest LIFO per tid)")
+            else:
+                seen_names.add(name)
+        elif parent_id:
+            parent_links.append((where, parent_id))
+    for tid, stack in open_spans.items():
+        for name, _ in stack:
+            fail(f"unclosed span `{name}` on tid {tid}")
+    for tid in last_ts:
+        if tid not in thread_named:
+            fail(f"tid {tid} recorded events but has no thread_name "
+                 f"metadata")
+    for where, parent_id in parent_links:
+        if parent_id and parent_id not in span_ids:
+            fail(f"{where}: parent_id {parent_id} names no recorded span")
+    for name in required_spans:
+        if name not in seen_names:
+            fail(f"required span `{name}` not found (or never completed)")
+
+
+def main():
+    args = sys.argv[1:]
+    required = []
+    while "--require-span" in args:
+        i = args.index("--require-span")
+        if i + 1 >= len(args):
+            print(__doc__.strip(), file=sys.stderr)
+            return 2
+        required.append(args[i + 1])
+        del args[i:i + 2]
+    if len(args) != 1:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    path = args[0]
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"check_trace: cannot read {path}: {e}", file=sys.stderr)
+        return 1
+    check_trace(doc, required)
+    if errors:
+        for error in errors:
+            print(f"check_trace: {error}", file=sys.stderr)
+        print(f"check_trace: {path}: {len(errors)} violation(s)",
+              file=sys.stderr)
+        return 1
+    events = len(doc.get("traceEvents", []))
+    print(f"check_trace: {path}: ok ({events} events)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

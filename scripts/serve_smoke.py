@@ -136,8 +136,15 @@ def main():
     pump = drain_stdout(proc)
 
     # --- happy paths ---
-    status, _, body = http_request(port, "GET", "/healthz")
-    check(status == 200 and body == b"ok\n", "GET /healthz answers ok")
+    status, hdrs, body = http_request(port, "GET", "/healthz")
+    check(status == 200 and body.startswith(b"ok ") and body.endswith(b"\n"),
+          "GET /healthz answers ok + build version")
+    first_id = hdrs.get("x-latol-request-id", "")
+    check(len(first_id) == 23 and first_id[16] == "-",
+          f"response carries X-Latol-Request-Id (got `{first_id}`)")
+    status, hdrs, _ = http_request(port, "GET", "/healthz")
+    check(hdrs.get("x-latol-request-id", "") not in ("", first_id),
+          "request ids are unique per request")
 
     args = ["analyze", "--k", "3", "--threads", "4"]
     cli = subprocess.run([latol] + args, capture_output=True, timeout=120)
@@ -205,6 +212,10 @@ def main():
         port, "POST", "/v1/analyze",
         json.dumps({"args": ["--trace", "/tmp/x"]}).encode())
     check(status == 400, "file-writing flags are rejected with 400")
+    status, _, _ = http_request(
+        port, "POST", "/v1/analyze",
+        json.dumps({"args": ["--trace-out", "/tmp/x"]}).encode())
+    check(status == 400, "--trace-out is rejected over HTTP with 400")
 
     # --- admission: burst at 4x capacity ---
     results = []
@@ -242,6 +253,13 @@ def main():
     check(status == 200 and "latol_serve_queue_depth" in text
           and "latol_serve_requests_total" in text,
           "GET /metrics exposes serve metrics")
+    check("# TYPE latol_serve_request_latency_seconds histogram" in text
+          and 'latol_serve_request_latency_seconds_bucket{le="+Inf"}' in text
+          and "latol_serve_request_latency_seconds_count" in text,
+          "GET /metrics exposes the request-latency histogram")
+    check("latol_process_uptime_seconds" in text
+          and "latol_serve_accepted_total" in text,
+          "GET /metrics exposes process gauges and accept counters")
     if metrics_out:
         with open(metrics_out, "w", encoding="utf-8") as f:
             f.write(text)

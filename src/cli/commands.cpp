@@ -4,9 +4,11 @@
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
+#include <map>
 #include <optional>
 #include <ostream>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "cli/options.hpp"
@@ -17,6 +19,7 @@
 #include "exp/scenario.hpp"
 #include "io/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
 #include "sim/replicate.hpp"
@@ -48,6 +51,30 @@ class ScopedRegistry {
  private:
   obs::Registry registry_;
   obs::Registry* previous_;
+};
+
+/// Installs a span TraceSink as the process default for the lifetime of
+/// the command (--trace-out; DESIGN.md §14). `write` must only run after
+/// the command has returned — every recording thread is quiet by then
+/// (worker pools have joined), which is what write_chrome_trace requires.
+class ScopedTraceSink {
+ public:
+  ScopedTraceSink() : previous_(obs::set_default_trace_sink(&sink_)) {}
+  ~ScopedTraceSink() { obs::set_default_trace_sink(previous_); }
+  ScopedTraceSink(const ScopedTraceSink&) = delete;
+  ScopedTraceSink& operator=(const ScopedTraceSink&) = delete;
+
+  void write(const std::string& path, std::ostream& out) {
+    std::ofstream file(path);
+    LATOL_REQUIRE(file.good(), "cannot open `" << path << "`");
+    sink_.write_chrome_trace(file);
+    out << "wrote span trace " << path << " (" << sink_.event_count()
+        << " events)\n";
+  }
+
+ private:
+  obs::TraceSink sink_;
+  obs::TraceSink* previous_;
 };
 
 void write_json_artifact(const std::string& path, const io::Json& doc,
@@ -207,7 +234,7 @@ int cmd_analyze(const CliOptions& opts, std::ostream& out) {
         warnings.push_back(w);
     }
     io::Json doc = io::Json::object();
-    doc.set("format", "latol-metrics-v1");
+    doc.set("format", "latol-metrics-v2");
     doc.set("command", "analyze");
     doc.set("build", exp::build_version());
     doc.set("point", std::move(point));
@@ -354,7 +381,7 @@ int cmd_sweep(const CliOptions& opts, std::ostream& out) {
   table.print(out);
   if (!opts.metrics_path.empty()) {
     io::Json doc = io::Json::object();
-    doc.set("format", "latol-metrics-v1");
+    doc.set("format", "latol-metrics-v2");
     doc.set("command", "sweep");
     doc.set("build", exp::build_version());
     doc.set("points", std::move(metric_points));
@@ -571,12 +598,94 @@ std::string sci(double v) {
   return os.str();
 }
 
+/// Collect every numeric leaf of a metrics document as "dotted.path" ->
+/// value. Arrays (points, warnings, histogram buckets) and strings
+/// (format, build) are not scalar metrics and are skipped, so the walk
+/// works for every latol-metrics version and for both the per-command
+/// and the scenario document shapes.
+void flatten_metrics(const io::Json& node, const std::string& prefix,
+                     std::map<std::string, double>& flat) {
+  if (node.is_number()) {
+    if (!prefix.empty()) flat[prefix] = node.as_number();
+    return;
+  }
+  if (node.is_bool()) {
+    if (!prefix.empty()) flat[prefix] = node.as_bool() ? 1.0 : 0.0;
+    return;
+  }
+  if (!node.is_object()) return;
+  for (const auto& [key, value] : node.as_object()) {
+    flatten_metrics(value, prefix.empty() ? key : prefix + "." + key, flat);
+  }
+}
+
+/// General-format number for the diff table: counts print as integers,
+/// seconds keep enough digits to see sub-millisecond shifts.
+std::string diff_num(double v) {
+  std::ostringstream os;
+  os << std::setprecision(6) << v;
+  return os.str();
+}
+
+/// `latol profile --diff A.json B.json`: compare two metrics documents
+/// (any latol-metrics version) metric by metric. Prints one row per
+/// scalar found in either document — stages, cache traffic, registry
+/// counters/gauges/timers, histogram count/sum — with the absolute delta
+/// and the percent change relative to A.
+int cmd_profile_diff(const CliOptions& opts, std::ostream& out) {
+  const io::Json a = io::parse_json_file(opts.profile_inputs[0]);
+  const io::Json b = io::parse_json_file(opts.profile_inputs[1]);
+  for (const io::Json* doc : {&a, &b}) {
+    LATOL_REQUIRE(doc->is_object() && doc->contains("format"),
+                  "not a latol metrics document (no `format` key)");
+  }
+  std::map<std::string, double> fa;
+  std::map<std::string, double> fb;
+  flatten_metrics(a, "", fa);
+  flatten_metrics(b, "", fb);
+
+  out << "metrics diff\n"
+      << "  A: " << opts.profile_inputs[0] << " ("
+      << a.find("format")->as_string() << ")\n"
+      << "  B: " << opts.profile_inputs[1] << " ("
+      << b.find("format")->as_string() << ")\n\n";
+
+  // Union of metric names in lexicographic order (std::map keeps the
+  // output stable regardless of document member order).
+  std::map<std::string, std::pair<const double*, const double*>> merged;
+  for (const auto& [name, value] : fa) merged[name].first = &value;
+  for (const auto& [name, value] : fb) merged[name].second = &value;
+
+  util::Table table({"metric", "A", "B", "delta", "delta%"});
+  for (const auto& [name, values] : merged) {
+    const double* va = values.first;
+    const double* vb = values.second;
+    std::string delta = "-";
+    std::string pct = "-";
+    if (va != nullptr && vb != nullptr) {
+      const double d = *vb - *va;
+      delta = diff_num(d);
+      if (*va != 0.0) {
+        pct = util::Table::num(100.0 * d / *va, 1) + "%";
+      } else if (d == 0.0) {
+        pct = util::Table::num(0.0, 1) + "%";
+      }
+    }
+    table.add_row({name, va != nullptr ? diff_num(*va) : "-",
+                   vb != nullptr ? diff_num(*vb) : "-", std::move(delta),
+                   std::move(pct)});
+  }
+  table.print(out);
+  return 0;
+}
+
 /// `latol profile <scenario.json>`: solve the scenario with convergence
 /// tracing and the metric registry enabled, then print where the time
 /// went and how every point converged. Uses a transient solve cache (no
 /// load/save) so the timings reflect real solves; exit semantics match
 /// `run` (0 clean, 1 degraded/failed points, 3 everything failed).
 int cmd_profile(const CliOptions& opts, std::ostream& out) {
+  if (opts.profile_diff) return cmd_profile_diff(opts, out);
   LATOL_REQUIRE(
       !opts.scenario_path.empty(),
       "profile needs a scenario file: latol profile <scenario.json>");
@@ -677,13 +786,7 @@ int cmd_profile(const CliOptions& opts, std::ostream& out) {
   return 0;
 }
 
-}  // namespace
-
-int run_command(const CliOptions& opts, std::ostream& out) {
-  if (opts.command == "help") {
-    out << usage();
-    return 0;
-  }
+int dispatch_command(const CliOptions& opts, std::ostream& out) {
   if (opts.command == "run") return cmd_run(opts, out);
   if (opts.command == "profile") return cmd_profile(opts, out);
   if (opts.command == "serve") return cmd_serve(opts, out);
@@ -695,6 +798,25 @@ int run_command(const CliOptions& opts, std::ostream& out) {
   if (opts.command == "simulate") return cmd_simulate(opts, out);
   out << usage();
   return 2;
+}
+
+}  // namespace
+
+int run_command(const CliOptions& opts, std::ostream& out) {
+  if (opts.command == "help") {
+    out << usage();
+    return 0;
+  }
+  // --trace-out: spans record for the whole command (for `serve`, the
+  // whole daemon lifetime — run() joins its workers before returning, so
+  // the write below sees a quiescent sink). Note this deliberately does
+  // NOT flip wants_instrumentation(): span tracing must never alter the
+  // solve path or the cache key (byte-identity; DESIGN.md §14).
+  if (opts.trace_out_path.empty()) return dispatch_command(opts, out);
+  ScopedTraceSink trace;
+  const int rc = dispatch_command(opts, out);
+  trace.write(opts.trace_out_path, out);
+  return rc;
 }
 
 int cli_main(const std::vector<std::string>& args, std::ostream& out,

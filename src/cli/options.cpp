@@ -81,8 +81,11 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       LATOL_REQUIRE(i + 1 < args.size(), "flag " << flag << " needs a value");
       return args[++i];
     };
-    if ((opts.command == "run" || opts.command == "profile") &&
-        !flag.starts_with("--")) {
+    if (opts.command == "profile" && !flag.starts_with("--")) {
+      // Deferred: one scenario file normally, two metrics files with
+      // --diff — validated after the whole line is parsed.
+      opts.profile_inputs.push_back(flag);
+    } else if (opts.command == "run" && !flag.starts_with("--")) {
       LATOL_REQUIRE(opts.scenario_path.empty(),
                     opts.command << " takes one scenario file, got `"
                                  << opts.scenario_path << "` and `" << flag
@@ -115,8 +118,14 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
                     "--point-timeout must be >= 0 (milliseconds)");
     } else if (flag == "--trace") {
       opts.trace_path = value();
+    } else if (flag == "--trace-out") {
+      opts.trace_out_path = value();
     } else if (flag == "--metrics-out") {
       opts.metrics_path = value();
+    } else if (flag == "--diff") {
+      LATOL_REQUIRE(opts.command == "profile",
+                    "--diff only applies to `latol profile`");
+      opts.profile_diff = true;
     } else if (flag == "--k") {
       opts.config.k = parse_int(flag, value());
     } else if (flag == "--topology") {
@@ -178,6 +187,20 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
       LATOL_REQUIRE(opts.ci_rel >= 0.0, "--ci-rel must be >= 0");
     } else {
       throw InvalidArgument("unknown flag `" + flag + "`\n" + usage());
+    }
+  }
+  if (opts.command == "profile") {
+    if (opts.profile_diff) {
+      LATOL_REQUIRE(opts.profile_inputs.size() == 2,
+                    "profile --diff takes exactly two metrics JSON files, got "
+                        << opts.profile_inputs.size());
+    } else {
+      LATOL_REQUIRE(opts.profile_inputs.size() <= 1,
+                    "profile takes one scenario file, got "
+                        << opts.profile_inputs.size());
+      if (!opts.profile_inputs.empty()) {
+        opts.scenario_path = opts.profile_inputs.front();
+      }
     }
   }
   return opts;
@@ -254,7 +277,10 @@ std::string usage() {
         "                  the run continues                 [off]\n\n"
         "profile usage: latol profile <scenario.json> [--workers N]\n"
         "  solves the scenario with convergence tracing and the metric\n"
-        "  registry enabled (transient cache; results are not written)\n\n"
+        "  registry enabled (transient cache; results are not written)\n"
+        "profile diff:  latol profile --diff <metrics_A.json> <metrics_B.json>\n"
+        "  per-stage / per-counter / per-histogram delta table with percent\n"
+        "  change between two --metrics-out documents\n\n"
         "serve usage: latol serve <config.json>\n"
         "  binds host:port from the config and answers GET /healthz,\n"
         "  GET /metrics (Prometheus text), POST /v1/{analyze,tolerance,\n"
@@ -268,7 +294,10 @@ std::string usage() {
         "  4 runtime failure (accept loop died)\n\n"
         "instrumentation flags (analyze, sweep, run, profile; DESIGN.md §9):\n"
         "  --metrics-out FILE  write the metrics JSON document\n"
-        "  --trace FILE        write per-iteration convergence traces\n\n"
+        "  --trace FILE        write per-iteration convergence traces\n"
+        "  --trace-out FILE    write a span trace as Chrome trace_event\n"
+        "                      JSON (chrome://tracing / Perfetto; also on\n"
+        "                      simulate and serve; DESIGN.md §14)\n\n"
         "exit codes:\n"
         "  0  clean result\n"
         "  1  degraded result (fallback solver answered / not converged)\n"

@@ -49,9 +49,18 @@ struct CliOptions {
   /// the mean (0 = run all --reps).
   double ci_rel = 0.0;
 
-  // --- instrumentation (analyze/sweep/run/profile; DESIGN.md §9) ---
+  // --- instrumentation (analyze/sweep/run/profile; DESIGN.md §9, §14) ---
   std::string trace_path;    ///< --trace FILE: convergence traces as JSON
   std::string metrics_path;  ///< --metrics-out FILE: metrics document
+  /// --trace-out FILE: span trace as Chrome trace_event JSON (loadable in
+  /// chrome://tracing / Perfetto; analyze/sweep/run/simulate/serve).
+  std::string trace_out_path;
+
+  // --- profile --diff ---
+  bool profile_diff = false;  ///< --diff: compare two metrics documents
+  /// The two positional metrics JSON paths when --diff is given (A, B);
+  /// without --diff the single positional is `scenario_path`.
+  std::vector<std::string> profile_inputs;
 
   // --- run/profile (scenario batch) ---
   std::string scenario_path;       ///< positional `latol run <scenario.json>`

@@ -11,6 +11,7 @@
 
 #include "core/tolerance.hpp"
 #include "exp/parameter.hpp"
+#include "obs/span.hpp"
 #include "qn/robust.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
@@ -123,6 +124,10 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     return std::chrono::duration<double>(Clock::now() - since).count();
   };
   const auto start = Clock::now();
+  // The batch-runner span: per-point spans running on worker lanes link
+  // to it explicitly by id (thread-local nesting cannot cross threads).
+  obs::Span run_span("exp.run_scenario", "exp");
+  const std::uint64_t run_span_id = run_span.id();
   RunResult run;
   run.grid = expand_grid(scenario);
   run.points.resize(run.grid.size());
@@ -157,7 +162,12 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
       unique_points.size(),
       [&](std::size_t j) {
         const std::size_t i = unique_points[j];
+        obs::Span point_span("exp.point", "exp", run_span_id);
+        point_span.arg("index", static_cast<double>(i));
+        const auto t_point = Clock::now();
         compute_point(run.grid[i], scenario, cache, options, run.points[i]);
+        obs::observe("exp.point.latency_seconds", elapsed(t_point));
+        point_span.arg("cache_hit", run.points[i].cache_hit ? 1.0 : 0.0);
       },
       workers);
   for (std::size_t i = 0; i < run.grid.size(); ++i) {
@@ -196,6 +206,8 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
             point.model.error_code = qn::SolverErrorCode::kDeadlineExceeded;
             return;
           }
+          obs::Span sim_span("exp.sim_point", "exp", run_span_id);
+          sim_span.arg("index", static_cast<double>(i));
           try {
             point.sim = simulate_point(run.grid[i], spec, i);
           } catch (const std::exception& e) {
@@ -236,6 +248,8 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   st.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  run_span.arg("grid_points", static_cast<double>(st.grid_points));
+  run_span.arg("unique_points", static_cast<double>(st.unique_points));
   return run;
 }
 
@@ -479,6 +493,26 @@ io::Json snapshot_to_json(const obs::Snapshot& snapshot) {
     timers.set(t.name, std::move(entry));
   }
   doc.set("timers", std::move(timers));
+  io::Json histograms = io::Json::object();
+  for (const auto& h : snapshot.histograms) {
+    io::Json entry = io::Json::object();
+    entry.set("count", static_cast<double>(h.count));
+    entry.set("sum", h.sum);
+    // Parallel arrays: `le[i]` is the inclusive upper bound of
+    // `buckets[i]` in seconds; the final bucket (null bound) is overflow.
+    io::Json le = io::Json::array();
+    io::Json buckets = io::Json::array();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      const bool overflow = i >= obs::Histogram::kFiniteBuckets;
+      le.push_back(overflow ? io::Json(nullptr)
+                            : io::Json(obs::Histogram::upper_bound(i)));
+      buckets.push_back(static_cast<double>(h.buckets[i]));
+    }
+    entry.set("le", std::move(le));
+    entry.set("buckets", std::move(buckets));
+    histograms.set(h.name, std::move(entry));
+  }
+  doc.set("histograms", std::move(histograms));
   return doc;
 }
 
@@ -486,7 +520,7 @@ io::Json metrics_to_json(const Scenario& scenario, const RunResult& run,
                          const obs::Snapshot* registry) {
   const RunStats& st = run.stats;
   io::Json doc = io::Json::object();
-  doc.set("format", "latol-metrics-v1");
+  doc.set("format", "latol-metrics-v2");
   doc.set("scenario", scenario.name);
   doc.set("scenario_hash", hash_hex(scenario.source_hash));
   doc.set("build", build_version());

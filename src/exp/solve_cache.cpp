@@ -10,6 +10,7 @@
 
 #include "io/json.hpp"
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "qn/robust.hpp"
 #include "topo/topology.hpp"
 #include "util/error.hpp"
@@ -174,7 +175,8 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
   if (was_hit != nullptr) *was_hit = !compute;
   if (compute) {
     misses_.fetch_add(1, std::memory_order_relaxed);
-    obs::count("exp.cache.misses");
+    obs::count("cache.misses");
+    obs::instant("cache.miss", "exp");
     bool transient_failure = false;
     try {
       core::AnalysisOptions opts;
@@ -198,7 +200,8 @@ core::MmsPerformance SolveCache::analyze(const core::MmsConfig& config,
     }
   } else {
     hits_.fetch_add(1, std::memory_order_relaxed);
-    obs::count("exp.cache.hits");
+    obs::count("cache.hits");
+    obs::instant("cache.hit", "exp");
   }
   return future.get();
 }
@@ -231,7 +234,8 @@ void SolveCache::evict_over_capacity_locked() {
     }
     entries_.erase(it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
-    obs::count("exp.cache.evictions");
+    obs::count("cache.evictions");
+    obs::instant("cache.evict", "exp");
   }
   while (!in_flight.empty()) {
     insertion_order_.push_front(std::move(in_flight.back()));

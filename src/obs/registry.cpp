@@ -38,6 +38,10 @@ Timer& Registry::timer(std::string_view name) {
   return find_or_create<Timer>(mutex_, timers_, name);
 }
 
+Histogram& Registry::histogram(std::string_view name) {
+  return find_or_create<Histogram>(mutex_, histograms_, name);
+}
+
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   Snapshot snap;
@@ -51,6 +55,17 @@ Snapshot Registry::snapshot() const {
   for (const auto& entry : timers_)
     snap.timers.push_back({entry.name, entry.slot.seconds(),
                            entry.slot.count()});
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& entry : histograms_) {
+    Snapshot::HistogramSample sample;
+    sample.name = entry.name;
+    sample.count = entry.slot.count();
+    sample.sum = entry.slot.sum();
+    sample.buckets.resize(Histogram::kFiniteBuckets + 1);
+    for (std::size_t i = 0; i <= Histogram::kFiniteBuckets; ++i)
+      sample.buckets[i] = entry.slot.bucket(i);
+    snap.histograms.push_back(std::move(sample));
+  }
   return snap;
 }
 
@@ -59,6 +74,7 @@ void Registry::reset() {
   for (auto& entry : counters_) entry.slot.reset();
   for (auto& entry : gauges_) entry.slot.reset();
   for (auto& entry : timers_) entry.slot.reset();
+  for (auto& entry : histograms_) entry.slot.reset();
 }
 
 namespace {
@@ -111,6 +127,20 @@ std::string to_prometheus(const Snapshot& snapshot, std::string_view prefix) {
     append_metric(out, base + "_seconds_total", "counter",
                   prom_number(t.seconds));
     append_metric(out, base + "_count", "counter", std::to_string(t.count));
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string base = sanitize_metric_name(prefix, h.name);
+    out += "# TYPE " + base + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      cumulative += h.buckets[i];
+      const bool overflow = i >= Histogram::kFiniteBuckets;
+      out += base + "_bucket{le=\"" +
+             (overflow ? "+Inf" : prom_number(Histogram::upper_bound(i))) +
+             "\"} " + std::to_string(cumulative) + "\n";
+    }
+    out += base + "_sum " + prom_number(h.sum) + "\n";
+    out += base + "_count " + std::to_string(h.count) + "\n";
   }
   return out;
 }

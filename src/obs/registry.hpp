@@ -80,6 +80,58 @@ class Timer {
   std::atomic<std::uint64_t> count_{0};
 };
 
+/// Fixed log-bucket latency histogram: bucket i covers values up to
+/// 1e-6·2^i seconds (1 µs .. ~4295 s across 32 finite buckets), plus an
+/// overflow bucket. The bounds are compile-time constants — every
+/// histogram shares them, so two runs' histograms are always directly
+/// comparable (what `latol profile --diff` relies on) and the Prometheus
+/// exposition needs no per-slot configuration. Updates are relaxed
+/// atomics like the other slots; `observe` is a short predictable loop
+/// (≤33 compares) with no floating-point log.
+class Histogram {
+ public:
+  static constexpr std::size_t kFiniteBuckets = 32;
+
+  /// Inclusive upper bound of finite bucket `i` in seconds (1e-6·2^i).
+  [[nodiscard]] static constexpr double upper_bound(std::size_t i) {
+    double b = 1e-6;
+    for (std::size_t k = 0; k < i; ++k) b *= 2.0;
+    return b;
+  }
+
+  void observe(double seconds) {
+    std::size_t i = 0;
+    double bound = 1e-6;
+    while (i < kFiniteBuckets && seconds > bound) {
+      bound *= 2.0;
+      ++i;
+    }
+    buckets_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(seconds, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kFiniteBuckets + 1] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
 /// Point-in-time copy of a registry, in slot-creation order (stable across
 /// runs of the same code path, so metrics JSON diffs cleanly).
 struct Snapshot {
@@ -96,9 +148,18 @@ struct Snapshot {
     double seconds = 0.0;
     std::uint64_t count = 0;
   };
+  struct HistogramSample {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+    /// Per-bucket (non-cumulative) counts; index kFiniteBuckets is the
+    /// overflow bucket. Bounds are Histogram::upper_bound(i).
+    std::vector<std::uint64_t> buckets;
+  };
   std::vector<CounterSample> counters;
   std::vector<GaugeSample> gauges;
   std::vector<TimerSample> timers;
+  std::vector<HistogramSample> histograms;
 };
 
 /// Named metric slots. Slot lookup/creation is mutex-protected; the
@@ -114,6 +175,7 @@ class Registry {
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
   Timer& timer(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   [[nodiscard]] Snapshot snapshot() const;
 
@@ -131,6 +193,7 @@ class Registry {
   std::deque<Named<Counter>> counters_;
   std::deque<Named<Gauge>> gauges_;
   std::deque<Named<Timer>> timers_;
+  std::deque<Named<Histogram>> histograms_;
 };
 
 /// Render `snapshot` in the Prometheus text exposition format (one
@@ -139,7 +202,9 @@ class Registry {
 /// (Prometheus' legal name alphabet): counters become `<name>_total`
 /// (TYPE counter), gauges `<name>` (TYPE gauge), timers a pair
 /// `<name>_seconds_total` / `<name>_count` (TYPE counter) — the
-/// accumulated-wall-time-plus-invocations convention scrapers expect.
+/// accumulated-wall-time-plus-invocations convention scrapers expect —
+/// and histograms the standard cumulative `<name>_bucket{le="..."}`
+/// series plus `<name>_sum` / `<name>_count` (TYPE histogram).
 /// Output order follows the snapshot (slot-creation order), so repeated
 /// scrapes of one process diff cleanly.
 [[nodiscard]] std::string to_prometheus(const Snapshot& snapshot,
@@ -169,6 +234,11 @@ inline void gauge_set(std::string_view name, double value) {
 /// Add to timer `name` in the default registry; no-op when none is set.
 inline void time_add(std::string_view name, double seconds) {
   if (Registry* r = default_registry()) r->timer(name).add_seconds(seconds);
+}
+
+/// Record one observation in histogram `name`; no-op when none is set.
+inline void observe(std::string_view name, double seconds) {
+  if (Registry* r = default_registry()) r->histogram(name).observe(seconds);
 }
 
 /// Times a scope into a named timer of the default registry (no-op when

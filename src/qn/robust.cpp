@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "qn/bounds.hpp"
 #include "qn/mva_exact.hpp"
 #include "util/error.hpp"
@@ -285,6 +286,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
                          const RobustOptions& options) {
   LATOL_REQUIRE(!options.chain.empty(), "fallback chain must not be empty");
   const auto t_start = Clock::now();
+  obs::Span solve_span("qn.robust_solve", "qn");
 
   SolveReport report;
   try {
@@ -297,6 +299,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
     report.attempts.push_back(std::move(a));
     report.error = SolverErrorCode::kInvalidNetwork;
     report.wall_seconds = seconds_since(t_start);
+    obs::observe("qn.solve.latency_seconds", report.wall_seconds);
     return report;
   }
 
@@ -307,6 +310,9 @@ SolveReport robust_solve(const ClosedNetwork& net,
   const util::CancelToken* cancel = options.amva.cancel;
   bool deadline_hit = false;
   for (const SolverKind link : options.chain) {
+    // One span per chain link, named like its timer ("qn.solver.amva",
+    // ...); fallback hops show up in the trace as sibling attempt spans.
+    obs::Span attempt_span(solver_timer_name(link), "qn");
     SolveAttempt attempt;
     attempt.solver = link;
     if (options.record_traces)
@@ -363,6 +369,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
       if (!skipped) {
         obs::time_add(solver_timer_name(link), attempt.wall_seconds);
         attempt.iterations = sol.iterations;
+        attempt_span.arg("iterations", static_cast<double>(sol.iterations));
         if (!sol.converged) {
           throw SolverError(SolverErrorCode::kIterationBudget,
                             std::string(solver_kind_name(link)) +
@@ -401,6 +408,7 @@ SolveReport robust_solve(const ClosedNetwork& net,
     }
     report.attempts.push_back(std::move(attempt));
     if (deadline_hit) break;
+    obs::instant("qn.robust.fallback", "qn");
   }
 
   const bool solved =
@@ -427,6 +435,9 @@ SolveReport robust_solve(const ClosedNetwork& net,
       obs::count("qn.invariant.warnings", report.invariants.warnings.size());
   }
   report.wall_seconds = seconds_since(t_start);
+  solve_span.arg("attempts", static_cast<double>(report.attempts.size()));
+  solve_span.detail(solved ? solver_kind_name(report.solver) : "failed");
+  obs::observe("qn.solve.latency_seconds", report.wall_seconds);
   return report;
 }
 

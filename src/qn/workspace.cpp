@@ -1,8 +1,13 @@
 #include "qn/workspace.hpp"
 
+#include "obs/span.hpp"
+
 namespace latol::qn {
 
 void SolverWorkspace::bind(const ClosedNetwork& net) {
+  obs::Span span("qn.workspace.bind", "qn");
+  span.arg("stations", static_cast<double>(net.num_stations()));
+  span.arg("classes", static_cast<double>(net.num_classes()));
   classes_ = net.num_classes();
   stations_ = net.num_stations();
   const std::size_t C = classes_;

@@ -11,13 +11,16 @@
 #include <cerrno>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <ostream>
+#include <random>
 #include <sstream>
 #include <utility>
 
 #include "exp/runner.hpp"
 #include "exp/scenario.hpp"
+#include "obs/span.hpp"
 #include "util/error.hpp"
 
 namespace latol::serve {
@@ -33,8 +36,9 @@ double seconds_since(Clock::time_point start) {
 /// Flags a request must not smuggle into an injected CLI command: they
 /// write files on the server host (or redirect its cache), which a remote
 /// caller has no business doing.
-constexpr const char* kForbiddenFlags[] = {"--trace", "--metrics-out",
-                                           "--out", "--cache"};
+constexpr const char* kForbiddenFlags[] = {"--trace", "--trace-out",
+                                           "--metrics-out", "--out",
+                                           "--cache"};
 
 HttpResponse text_response(int status, std::string body) {
   HttpResponse r;
@@ -135,6 +139,18 @@ ServerConfig ServerConfig::load(const std::string& path) {
 Server::Server(ServerConfig config, CommandRunner runner, std::ostream* log)
     : config_(std::move(config)), runner_(std::move(runner)), log_(log) {
   LATOL_REQUIRE(runner_ != nullptr, "Server needs a CommandRunner");
+  std::random_device rd;
+  boot_token_ = (static_cast<std::uint64_t>(rd()) << 32) |
+                static_cast<std::uint64_t>(rd());
+}
+
+std::string Server::next_request_id() {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%016llx-%06llu",
+                static_cast<unsigned long long>(boot_token_),
+                static_cast<unsigned long long>(
+                    request_seq_.fetch_add(1, std::memory_order_relaxed)));
+  return buf;
 }
 
 Server::~Server() {
@@ -209,6 +225,7 @@ void Server::start() {
 
   previous_registry_ = obs::set_default_registry(&registry_);
   registry_installed_ = true;
+  started_at_ = std::chrono::steady_clock::now();
 
   std::size_t n_workers = config_.max_concurrent;
   if (n_workers == 0) {
@@ -317,6 +334,7 @@ void Server::accept_loop() {
       break;
     }
     accepted_.fetch_add(1, std::memory_order_relaxed);
+    registry_.counter("serve.accepted").add(1);
     set_send_timeout(client, config_.http.read_timeout_s);
 
     // Admission control: bounded queue, shed beyond it. The 503 write
@@ -350,6 +368,23 @@ void Server::shed_connection(int fd) {
                                   std::to_string(config_.retry_after_s));
   busy.body = "latol serve: busy, retry later\n";
   (void)write_http_response(fd, busy);
+  // Lingering close: the client's request bytes were never read, and
+  // close() on a socket with unread data sends an RST that can destroy
+  // the 503 before the client receives it. Half-close our side, then
+  // drain what the client already sent. The drain is tightly bounded
+  // (shedding runs on the accept loop; a slow client must not stall
+  // admission) — past the bound we close anyway and accept the race.
+  ::shutdown(fd, SHUT_WR);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(250);
+  char sink[4096];
+  for (;;) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) break;
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(left.count())) <= 0) break;
+    if (::recv(fd, sink, sizeof sink, 0) <= 0) break;  // FIN, or error
+  }
   ::close(fd);
 }
 
@@ -368,6 +403,7 @@ void Server::worker_loop() {
           const int queued = queue_.front();
           queue_.pop_front();
           lock.unlock();
+          registry_.counter("serve.drained").add(1);
           shed_connection(queued);
           lock.lock();
         }
@@ -387,6 +423,13 @@ void Server::handle_connection(int fd) {
   in_flight_.fetch_add(1, std::memory_order_relaxed);
   registry_.gauge("serve.in_flight")
       .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+
+  // One id per request, from accept to response: returned in
+  // X-Latol-Request-Id, attached to the request span and the per-request
+  // log line, so a client report, a trace, and the log join on it.
+  const std::string request_id = next_request_id();
+  obs::Span request_span("serve.request", "serve");
+  request_span.detail(request_id);
 
   const auto t_read = Clock::now();
   HttpRequest request;
@@ -431,13 +474,21 @@ void Server::handle_connection(int fd) {
       break;
   }
   if (respond) {
+    response.extra_headers.emplace_back("X-Latol-Request-Id", request_id);
     const auto t_write = Clock::now();
     (void)write_http_response(fd, response);
     registry_.timer("serve.stage.write").add_seconds(seconds_since(t_write));
     handled_.fetch_add(1, std::memory_order_relaxed);
     registry_.counter("serve.requests").add(1);
+    log_line("latol serve: [" + request_id + "] " + request.method + " " +
+             request.target + " -> " + std::to_string(response.status));
   }
   ::close(fd);
+  const double request_seconds = seconds_since(t_read);
+  registry_.histogram("serve.request.latency_seconds")
+      .observe(request_seconds);
+  request_span.arg("status",
+                   respond ? static_cast<double>(response.status) : 0.0);
   in_flight_.fetch_sub(1, std::memory_order_relaxed);
   registry_.gauge("serve.in_flight")
       .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
@@ -448,7 +499,7 @@ HttpResponse Server::route(const HttpRequest& request) {
     if (request.method != "GET") {
       return error_response(405, "healthz is GET-only");
     }
-    return text_response(200, "ok\n");
+    return text_response(200, "ok " + exp::build_version() + "\n");
   }
   if (request.target == "/metrics") {
     if (request.method != "GET") {
@@ -629,6 +680,7 @@ HttpResponse Server::metrics_response() {
   }
   registry_.gauge("serve.in_flight")
       .set(static_cast<double>(in_flight_.load(std::memory_order_relaxed)));
+  registry_.gauge("process.uptime_seconds").set(seconds_since(started_at_));
   const double hits = static_cast<double>(cache_.hits());
   const double misses = static_cast<double>(cache_.misses());
   registry_.gauge("serve.cache_entries")

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -166,6 +167,9 @@ class Server {
                     std::string* error);
   void shed_connection(int fd);
   void log_line(const std::string& line);
+  /// Fresh process-unique request id: a random per-boot token plus a
+  /// sequence number, so ids from different server runs never collide.
+  [[nodiscard]] std::string next_request_id();
 
   ServerConfig config_;
   CommandRunner runner_;
@@ -195,6 +199,10 @@ class Server {
   std::atomic<std::uint64_t> deadline_{0};
   std::atomic<std::uint64_t> read_errors_{0};
   std::atomic<std::size_t> in_flight_{0};
+
+  std::uint64_t boot_token_ = 0;  ///< random per-boot request-id prefix
+  std::atomic<std::uint64_t> request_seq_{0};
+  std::chrono::steady_clock::time_point started_at_{};
 };
 
 }  // namespace latol::serve

@@ -1,11 +1,13 @@
 #include "sim/mms_des.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sim/des.hpp"
 #include "sim/fcfs_server.hpp"
 #include "sim/stats.hpp"
@@ -381,8 +383,16 @@ SimulationResult simulate_mms(const SimulationConfig& config) {
   // failing replication can be reproduced exactly.
   try {
     obs::ScopedTimer timer("sim.des.run");
+    obs::Span span("sim.des.run", "sim");
+    span.arg("seed", static_cast<double>(config.seed));
+    const auto t_run = std::chrono::steady_clock::now();
     MmsSimulation simulation(config);
     SimulationResult result = simulation.run();
+    obs::observe("sim.run.latency_seconds",
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t_run)
+                     .count());
+    span.arg("events", static_cast<double>(result.events));
     result.seed = config.seed;
     // One aggregate flush per replication (never per event), so the
     // instrumented hot path stays identical with and without a registry.

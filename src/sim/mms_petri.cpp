@@ -1,9 +1,11 @@
 #include "sim/mms_petri.hpp"
 
+#include <chrono>
 #include <memory>
 #include <string>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "topo/topology.hpp"
 #include "topo/traffic.hpp"
 #include "util/error.hpp"
@@ -205,8 +207,16 @@ PetriMmsResult run_compiled(const MmsPetriModel& model,
   LATOL_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
                 "warmup_fraction " << warmup_fraction);
   obs::ScopedTimer timer("sim.stpn.run");
+  obs::Span span("sim.stpn.run", "sim");
+  span.arg("seed", static_cast<double>(seed));
+  const auto t_run = std::chrono::steady_clock::now();
   PetriSimulator sim(compiled, seed);
   const PetriStats stats = sim.run(sim_time, sim_time * warmup_fraction);
+  obs::observe("sim.run.latency_seconds",
+               std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t_run)
+                   .count());
+  span.arg("firings", static_cast<double>(stats.total_firings));
 
   PetriMmsResult out;
   out.seed = seed;

@@ -1,9 +1,11 @@
 #include "sim/open_des.hpp"
 
+#include <chrono>
 #include <memory>
 #include <string>
 
 #include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "sim/des.hpp"
 #include "sim/fcfs_server.hpp"
 #include "sim/rng.hpp"
@@ -156,8 +158,16 @@ OpenSimulationResult simulate_open(const qn::OpenNetwork& net,
                                    const OpenSimulationConfig& config) {
   try {
     obs::ScopedTimer timer("sim.open.run");
+    obs::Span span("sim.open.run", "sim");
+    span.arg("seed", static_cast<double>(config.seed));
+    const auto t_run = std::chrono::steady_clock::now();
     OpenSimulation simulation(net, config);
     OpenSimulationResult result = simulation.run();
+    obs::observe("sim.run.latency_seconds",
+                 std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t_run)
+                     .count());
+    span.arg("events", static_cast<double>(result.events));
     result.seed = config.seed;
     obs::count("sim.open.runs");
     obs::count("sim.open.events", result.events);

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/span.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
 #include "sim/open_des.hpp"
@@ -85,14 +86,25 @@ ReplicationRun<Result> run_replications(const ReplicationPlan& plan,
   OnlineStats acc;
   ReplicationRun<Result> out;
 
+  // Observability only — rounds/replications carry no result data, so
+  // tracing cannot perturb the determinism contract above.
+  obs::Span rep_span("sim.replications", "sim");
+  const std::uint64_t rep_span_id = rep_span.id();
+
   std::size_t accepted = 0;  // prefix length once the rule fires
   for (std::size_t base = 0; base < plan.max_reps && accepted == 0;
        base += plan.round_size) {
     const std::size_t batch =
         std::min(plan.round_size, plan.max_reps - base);
+    obs::Span round_span("sim.round", "sim", rep_span_id);
+    round_span.arg("base", static_cast<double>(base));
+    round_span.arg("batch", static_cast<double>(batch));
+    const std::uint64_t round_span_id = round_span.id();
     util::parallel_for(
         batch,
         [&](std::size_t k) {
+          obs::Span one_span("sim.replication", "sim", round_span_id);
+          one_span.arg("index", static_cast<double>(base + k));
           try {
             results[base + k] = run_one(base + k);
           } catch (...) {
@@ -133,6 +145,8 @@ ReplicationRun<Result> run_replications(const ReplicationPlan& plan,
                              (out.mean < 0.0 ? -out.mean : out.mean);
   }
   results.resize(accepted);
+  rep_span.arg("accepted", static_cast<double>(accepted));
+  rep_span.arg("discarded", static_cast<double>(out.speculative_discarded));
   out.runs = std::move(results);
   return out;
 }

@@ -378,7 +378,7 @@ TEST_F(CliRunScenario, RunEmitsMetricsAndTraceArtifacts) {
   EXPECT_EQ(rc, 0) << err.str();
 
   const io::Json metrics = io::parse_json_file(metrics_path);
-  EXPECT_EQ(metrics.find("format")->as_string(), "latol-metrics-v1");
+  EXPECT_EQ(metrics.find("format")->as_string(), "latol-metrics-v2");
   EXPECT_EQ(metrics.find("scenario")->as_string(), "instr");
   ASSERT_NE(metrics.find("cache"), nullptr);
   ASSERT_NE(metrics.find("stages"), nullptr);
@@ -441,6 +441,123 @@ TEST_F(CliRunScenario, AnalyzeAndSweepEmitMetricsAndTraces) {
   const io::Json sm = io::parse_json_file(sweep_metrics);
   EXPECT_EQ(sm.find("command")->as_string(), "sweep");
   EXPECT_EQ(sm.find("points")->as_array().size(), 3u);
+}
+
+TEST(CliParse, TraceOutAndProfileDiffFlags) {
+  EXPECT_EQ(parse_command_line({"analyze", "--trace-out", "spans.json"})
+                .trace_out_path,
+            "spans.json");
+  EXPECT_EQ(parse_command_line({"run", "s.json", "--trace-out", "t.json"})
+                .trace_out_path,
+            "t.json");
+  const CliOptions diff =
+      parse_command_line({"profile", "--diff", "a.json", "b.json"});
+  EXPECT_TRUE(diff.profile_diff);
+  ASSERT_EQ(diff.profile_inputs.size(), 2u);
+  EXPECT_EQ(diff.profile_inputs[0], "a.json");
+  EXPECT_EQ(diff.profile_inputs[1], "b.json");
+  // Flag order must not matter.
+  EXPECT_TRUE(parse_command_line({"profile", "a.json", "b.json", "--diff"})
+                  .profile_diff);
+  // --diff needs exactly two inputs, and only profile takes it.
+  EXPECT_THROW((void)parse_command_line({"profile", "--diff", "a.json"}),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)parse_command_line({"profile", "--diff", "a", "b", "c"}),
+      InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"analyze", "--diff"}),
+               InvalidArgument);
+  EXPECT_NE(usage().find("--trace-out"), std::string::npos);
+  EXPECT_NE(usage().find("--diff"), std::string::npos);
+}
+
+/// `--trace-out` on a multi-worker scenario run: the Chrome trace
+/// document is well formed, the per-point spans nest under the batch
+/// runner's span across worker lanes, and the result artifacts stay
+/// byte-identical to an untraced run. (Test name carries "Trace" so the
+/// TSan CI job exercises the concurrent recording path.)
+TEST_F(CliRunScenario, TraceOutWritesChromeSpansWithoutPerturbingResults) {
+  const std::string path = write_scenario(R"({
+    "name": "spans",
+    "base": {"k": 2},
+    "axes": [{"param": "p_remote", "values": [0.1, 0.2, 0.3, 0.4]}],
+    "outputs": {"network_tolerance": true}
+  })");
+  const std::string trace_path = dir_ + "/spans_trace.json";
+  std::ostringstream out, err;
+  const int rc = cli_main({"run", path, "--out", dir_, "--no-cache",
+                           "--workers", "4", "--trace-out", trace_path},
+                          out, err);
+  EXPECT_EQ(rc, 0) << err.str();
+  EXPECT_NE(out.str().find("wrote span trace"), std::string::npos);
+
+  const io::Json doc = io::parse_json_file(trace_path);
+  const auto& events = doc.find("traceEvents")->as_array();
+  double run_span_id = 0.0;
+  for (const io::Json& e : events) {
+    if (e.find("ph")->as_string() == "B" &&
+        e.find("name")->as_string() == "exp.run_scenario") {
+      run_span_id = e.find("args")->find("span_id")->as_number();
+    }
+  }
+  ASSERT_NE(run_span_id, 0.0);
+  std::size_t points = 0;
+  for (const io::Json& e : events) {
+    if (e.find("ph")->as_string() != "B" ||
+        e.find("name")->as_string() != "exp.point")
+      continue;
+    ++points;
+    EXPECT_EQ(e.find("args")->find("parent_id")->as_number(), run_span_id);
+  }
+  EXPECT_EQ(points, 4u);  // one per grid point, whatever lane ran it
+
+  // Byte-identity: tracing must not change the result artifacts.
+  const std::string traced_csv = read_all(dir_ + "/spans.csv");
+  const std::string traced_json = read_all(dir_ + "/spans.json");
+  std::filesystem::remove(dir_ + "/spans.csv");
+  std::filesystem::remove(dir_ + "/spans.json");
+  std::ostringstream out2, err2;
+  EXPECT_EQ(cli_main({"run", path, "--out", dir_, "--no-cache",
+                      "--workers", "4"},
+                     out2, err2),
+            0);
+  EXPECT_EQ(read_all(dir_ + "/spans.csv"), traced_csv);
+  EXPECT_EQ(read_all(dir_ + "/spans.json"), traced_json);
+  // The trace artifact only appears when asked for.
+  EXPECT_EQ(out2.str().find("wrote span trace"), std::string::npos);
+}
+
+TEST_F(CliRunScenario, ProfileDiffPrintsPerMetricDeltas) {
+  const std::string a = dir_ + "/a.json";
+  const std::string b = dir_ + "/b.json";
+  std::ostringstream out, err;
+  EXPECT_EQ(cli_main({"analyze", "--k", "2", "--p-remote", "0.1",
+                      "--metrics-out", a},
+                     out, err),
+            0);
+  EXPECT_EQ(cli_main({"analyze", "--k", "2", "--p-remote", "0.4",
+                      "--metrics-out", b},
+                     out, err),
+            0);
+  std::ostringstream diff_out, diff_err;
+  const int rc = cli_main({"profile", "--diff", a, b}, diff_out, diff_err);
+  EXPECT_EQ(rc, 0) << diff_err.str();
+  const std::string text = diff_out.str();
+  EXPECT_NE(text.find("metrics diff"), std::string::npos);
+  EXPECT_NE(text.find("latol-metrics-v2"), std::string::npos);
+  EXPECT_NE(text.find("delta%"), std::string::npos);
+  EXPECT_NE(text.find("point.iterations"), std::string::npos);
+  EXPECT_NE(text.find("point.residual"), std::string::npos);
+
+  // A non-metrics JSON input is a usage error (exit 2), as is a missing
+  // file.
+  const std::string junk = dir_ + "/junk.json";
+  { std::ofstream f(junk); f << "[1, 2]"; }
+  std::ostringstream o3, e3;
+  EXPECT_EQ(cli_main({"profile", "--diff", a, junk}, o3, e3), 2);
+  std::ostringstream o4, e4;
+  EXPECT_EQ(cli_main({"profile", "--diff", a, dir_ + "/nope.json"}, o4, e4),
+            2);
 }
 
 TEST_F(CliRunScenario, ProfilePrintsStageAndConvergenceTables) {

@@ -325,7 +325,7 @@ TEST(Runner, MetricsDocumentRoundTripsThroughIo) {
   const io::Json rendered = metrics_to_json(scenario, run, &snapshot);
   // The document must survive a full serialize/parse round trip.
   const io::Json doc = io::parse_json(rendered.dump(2));
-  EXPECT_EQ(doc.find("format")->as_string(), "latol-metrics-v1");
+  EXPECT_EQ(doc.find("format")->as_string(), "latol-metrics-v2");
   EXPECT_EQ(doc.find("scenario")->as_string(), "small");
   EXPECT_EQ(doc.find("build")->as_string(), build_version());
   ASSERT_NE(doc.find("stages"), nullptr);

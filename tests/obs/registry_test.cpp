@@ -123,6 +123,75 @@ TEST_F(RegistryTest, ConcurrentUpdatesAreExact) {
   }
 }
 
+TEST_F(RegistryTest, HistogramBucketsObservationsByLogBound) {
+  Registry r;
+  Histogram& h = r.histogram("h");
+  // Bucket i covers (1e-6 * 2^(i-1), 1e-6 * 2^i]; bucket 0 is <= 1e-6.
+  h.observe(0.0);             // bucket 0
+  h.observe(1e-6);            // bucket 0 (inclusive upper bound)
+  h.observe(1.1e-6);          // bucket 1
+  h.observe(1e9);             // overflow bucket
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(1), 1u);
+  EXPECT_EQ(h.bucket(Histogram::kFiniteBuckets), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 1e9 + 2.1e-6, 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::upper_bound(0), 1e-6);
+  EXPECT_DOUBLE_EQ(Histogram::upper_bound(10), 1e-6 * 1024.0);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.bucket(0), 0u);
+}
+
+TEST_F(RegistryTest, HistogramSurvivesConcurrentObserve) {
+  Registry r;
+  Histogram& h = r.histogram("mt");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(1e-4);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(h.sum(), kThreads * kPerThread * 1e-4, 1e-6);
+}
+
+TEST_F(RegistryTest, SnapshotAndPrometheusCarryHistograms) {
+  Registry r;
+  r.histogram("lat.seconds").observe(2e-6);
+  r.histogram("lat.seconds").observe(0.5);
+  const Snapshot snap = r.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "lat.seconds");
+  EXPECT_EQ(snap.histograms[0].count, 2u);
+  ASSERT_EQ(snap.histograms[0].buckets.size(),
+            Histogram::kFiniteBuckets + 1);
+
+  const std::string prom = to_prometheus(snap, "latol_");
+  EXPECT_NE(prom.find("# TYPE latol_lat_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(prom.find("latol_lat_seconds_bucket{le=\"1e-06\"} 0"),
+            std::string::npos);
+  // Buckets are cumulative, so the +Inf bucket equals the count.
+  EXPECT_NE(prom.find("latol_lat_seconds_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("latol_lat_seconds_count 2"), std::string::npos);
+  EXPECT_NE(prom.find("latol_lat_seconds_sum 0.500002"), std::string::npos);
+}
+
+TEST_F(RegistryTest, ObserveHelperIsInertWithoutARegistry) {
+  observe("nobody.listens", 1.0);  // must not crash
+  Registry r;
+  Registry* const previous = set_default_registry(&r);
+  observe("somebody.listens", 1.0);
+  set_default_registry(previous);
+  EXPECT_EQ(r.histogram("somebody.listens").count(), 1u);
+}
+
 TEST(ConvergenceTrace, RecordsResidualsInOrder) {
   ConvergenceTrace trace;
   trace.record(0.5);

@@ -229,7 +229,9 @@ TEST(Serve, HealthzAnswersOk) {
   TestServer ts(small_config());
   const RawResponse r = roundtrip(ts.port(), make_request("GET", "/healthz"));
   EXPECT_EQ(r.status, 200);
-  EXPECT_EQ(r.body, "ok\n");
+  // Body carries the build version after the token: "ok <version>\n".
+  EXPECT_EQ(r.body.rfind("ok ", 0), 0u);
+  EXPECT_EQ(r.body.back(), '\n');
 }
 
 TEST(Serve, UnknownPathIs404AndWrongMethodIs405) {
@@ -310,6 +312,34 @@ TEST(Serve, MetricsExposesPrometheusText) {
   EXPECT_NE(r.body.find("latol_serve_queue_depth"), std::string::npos);
   EXPECT_NE(r.body.find("latol_serve_in_flight"), std::string::npos);
   EXPECT_NE(r.body.find("latol_serve_cache_hit_ratio"), std::string::npos);
+  // Process gauges and the request-latency histogram (cumulative buckets
+  // plus _sum/_count) ride along on the same endpoint.
+  EXPECT_NE(r.body.find("latol_process_uptime_seconds"), std::string::npos);
+  EXPECT_NE(r.body.find(
+                "# TYPE latol_serve_request_latency_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("latol_serve_request_latency_seconds_bucket{le=\""),
+            std::string::npos);
+  EXPECT_NE(r.body.find(
+                "latol_serve_request_latency_seconds_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("latol_serve_request_latency_seconds_count"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("latol_serve_accepted_total"), std::string::npos);
+}
+
+TEST(Serve, EveryResponseCarriesAUniqueRequestId) {
+  TestServer ts(small_config());
+  const RawResponse a = roundtrip(ts.port(), make_request("GET", "/healthz"));
+  const RawResponse b = roundtrip(ts.port(), make_request("GET", "/nope"));
+  const std::string id_a = a.header("X-Latol-Request-Id");
+  const std::string id_b = b.header("X-Latol-Request-Id");
+  // Format: 16-hex boot token, dash, sequence number.
+  ASSERT_EQ(id_a.size(), 23u);
+  EXPECT_EQ(id_a[16], '-');
+  ASSERT_EQ(id_b.size(), 23u);
+  EXPECT_NE(id_a, id_b);  // unique within a boot
+  EXPECT_EQ(id_a.substr(0, 16), id_b.substr(0, 16));  // same boot token
 }
 
 // --- fault injection ------------------------------------------------------
