@@ -1,20 +1,28 @@
 #!/usr/bin/env python3
-"""Header documentation lint: every namespace-scope declaration in a
-public header must carry a doc comment.
+"""Documentation lint: header doc comments, required doc files, and the
+DESIGN.md table of contents.
 
 Usage: check_docs.py [src_dir ...]   (default: src)
 
-Walks every *.hpp under the given directories and requires that each
-declaration at namespace scope (class/struct/enum definitions, free
-functions, type aliases, constants) is immediately preceded by a `///`
-Doxygen comment or a `//` comment block. Pure forward declarations
-(`class X;`) are exempt — the documentation lives at the definition.
+Three checks:
 
-This is a line-based heuristic, not a C++ parser: it tracks brace depth
-to tell namespace scope from class/function bodies, which is reliable for
-this codebase's clang-format style. Standard library only so CI can run
-it without installing anything. Exits 0 when clean, 1 with a list of
-undocumented declarations otherwise.
+1. Header docs — walks every *.hpp under the given directories and
+   requires that each declaration at namespace scope (class/struct/enum
+   definitions, free functions, type aliases, constants) is immediately
+   preceded by a `///` Doxygen comment or a `//` comment block. Pure
+   forward declarations (`class X;`) are exempt — the documentation
+   lives at the definition.
+2. Required doc files — the repo must ship DESIGN.md, EXPERIMENTS.md,
+   docs/ARCHITECTURE.md, and docs/PERFORMANCE.md (non-empty).
+3. DESIGN.md TOC — every numbered `## N. Title` section must have a
+   `§N` entry in the table of contents above the first section, so the
+   TOC cannot silently rot as sections are added.
+
+The header walk is a line-based heuristic, not a C++ parser: it tracks
+brace depth to tell namespace scope from class/function bodies, which is
+reliable for this codebase's clang-format style. Standard library only
+so CI can run it without installing anything. Exits 0 when clean, 1 with
+a list of problems otherwise.
 """
 
 import re
@@ -114,6 +122,56 @@ def lint_file(path):
     return violations
 
 
+# Doc files every checkout must ship (relative to the repo root).
+REQUIRED_DOCS = (
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "docs/ARCHITECTURE.md",
+    "docs/PERFORMANCE.md",
+)
+
+
+def check_required_docs(repo_root):
+    """Return a list of problem strings for missing/empty doc files."""
+    problems = []
+    for rel in REQUIRED_DOCS:
+        path = repo_root / rel
+        if not path.is_file():
+            problems.append(f"{rel}: required documentation file is missing")
+        elif not path.read_text().strip():
+            problems.append(f"{rel}: required documentation file is empty")
+    return problems
+
+
+def check_design_toc(design_path):
+    """Every `## N. Title` section needs a `§N` TOC entry above section 1."""
+    if not design_path.is_file():
+        return []  # already reported by check_required_docs
+    lines = design_path.read_text().splitlines()
+    section_re = re.compile(r"^## (\d+)\. (.+)$")
+    sections = []
+    first_section_line = None
+    for i, line in enumerate(lines):
+        m = section_re.match(line)
+        if m:
+            if first_section_line is None:
+                first_section_line = i
+            sections.append((int(m.group(1)), m.group(2).strip()))
+    problems = []
+    if not sections:
+        return [f"{design_path.name}: no `## N. Title` sections found"]
+    preamble = "\n".join(lines[:first_section_line])
+    if "contents" not in preamble.lower():
+        problems.append(f"{design_path.name}: no table of contents before "
+                        f"the first numbered section")
+    for number, title in sections:
+        if f"§{number} " not in preamble and f"§{number}]" not in preamble:
+            problems.append(f"{design_path.name}: section {number} "
+                            f"(`{title}`) has no §{number} entry in the "
+                            f"table of contents")
+    return problems
+
+
 def main(argv):
     roots = [Path(p) for p in (argv[1:] or ["src"])]
     failures = 0
@@ -123,11 +181,19 @@ def main(argv):
                 print(f"{path}:{lineno}: undocumented namespace-scope "
                       f"declaration: {text}")
                 failures += 1
+    repo_root = Path(__file__).resolve().parent.parent
+    doc_problems = check_required_docs(repo_root)
+    doc_problems += check_design_toc(repo_root / "DESIGN.md")
+    for problem in doc_problems:
+        print(problem)
+        failures += 1
     if failures:
-        print(f"\ncheck_docs: {failures} undocumented declaration(s); "
-              f"add a /// comment above each.")
+        print(f"\ncheck_docs: {failures} problem(s); add a /// comment above "
+              f"each undocumented declaration, restore any missing doc "
+              f"files, and keep the DESIGN.md table of contents complete.")
         return 1
-    print("check_docs: all namespace-scope declarations are documented.")
+    print("check_docs: headers documented, doc files present, DESIGN.md "
+          "TOC complete.")
     return 0
 
 

@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""Reassemble a sharded `latol run --shard i/n` sweep.
+
+Usage: merge_shards.py [--out BASE] [--check] <shard.manifest.json> ...
+
+Each worker process of an i/n split writes `<name>.shard<i>of<n>.csv` /
+`.jsonl` plus a manifest. A shard owns the grid rows r with
+r % n == i (a row is one run of the fastest-varying axis), so the
+single-process output is the round-robin interleave of the shard files,
+row by row. This script validates that the manifests compose — same
+scenario content hash, build, and grid geometry; shard indices 0..n-1
+present exactly once; owned-row counts covering the grid exactly once —
+then writes BASE.csv / BASE.jsonl byte-identical to a single-process
+`latol run` of the same scenario, plus BASE.manifest.json with the
+summed accounting.
+
+Validation uses only the axis/grid metadata recorded in the manifests
+(manifest keys `grid.row_length`, `grid.rows_total`, `shard.*`); the
+scenario file is never re-parsed. With --check, validation runs and
+nothing is written. Standard library only. Exits 0 on success, 1 on any
+composition error.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(msg):
+    print(f"merge_shards: error: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_shard(path):
+    """Load one shard manifest and locate its data files."""
+    p = Path(path)
+    with open(p) as f:
+        manifest = json.load(f)
+    for key in ("scenario", "scenario_hash", "build", "grid", "shard"):
+        if key not in manifest:
+            fail(f"{path}: not a latol run manifest (missing `{key}`)")
+    name = p.name
+    suffix = ".manifest.json"
+    if not name.endswith(suffix):
+        fail(f"{path}: expected a `*.manifest.json` file")
+    base = p.with_name(name[: -len(suffix)])
+    return {
+        "manifest_path": p,
+        "base": base,
+        "manifest": manifest,
+        "csv": base.with_suffix(base.suffix + ".csv"),
+        "jsonl": base.with_suffix(base.suffix + ".jsonl"),
+    }
+
+
+def owned_rows(rows_total, index, count):
+    """Rows this shard must contain: r in [0, rows_total) with r % count == index."""
+    return len(range(index, rows_total, count))
+
+
+def validate(shards):
+    """Cross-check the manifests; return (n, rows_total, row_length)."""
+    ref = shards[0]["manifest"]
+    for field in ("scenario", "scenario_hash", "build"):
+        values = {s["manifest"][field] for s in shards}
+        if len(values) != 1:
+            fail(f"shards disagree on `{field}`: {sorted(values)}")
+    grids = [s["manifest"]["grid"] for s in shards]
+    for field in ("total_points", "row_length", "rows_total"):
+        values = {g[field] for g in grids}
+        if len(values) != 1:
+            fail(f"shards disagree on grid.{field}: {sorted(values)}")
+
+    counts = {s["manifest"]["shard"]["count"] for s in shards}
+    if len(counts) != 1:
+        fail(f"shards disagree on shard.count: {sorted(counts)}")
+    n = counts.pop()
+    if n != len(shards):
+        fail(f"manifests declare {n} shards but {len(shards)} were given")
+
+    indices = sorted(s["manifest"]["shard"]["index"] for s in shards)
+    if indices != list(range(n)):
+        fail(f"shard indices must be 0..{n - 1} exactly once, got {indices}")
+
+    rows_total = ref["grid"]["rows_total"]
+    row_length = ref["grid"]["row_length"]
+    for s in shards:
+        sh = s["manifest"]["shard"]
+        expect = owned_rows(rows_total, sh["index"], n)
+        if sh["rows_owned"] != expect:
+            fail(f"shard {sh['index']}: owns {sh['rows_owned']} rows, "
+                 f"expected {expect} of {rows_total} — the union would not "
+                 f"cover the grid exactly once")
+    return n, rows_total, row_length
+
+
+def read_rows(path, row_length, rows_owned, skip_header):
+    """Read a shard data file into a list of rows (each row_length lines)."""
+    lines = path.read_text().splitlines(keepends=True)
+    header = None
+    if skip_header:
+        if not lines:
+            fail(f"{path}: empty file, expected a CSV header")
+        header, lines = lines[0], lines[1:]
+    if len(lines) != rows_owned * row_length:
+        fail(f"{path}: {len(lines)} data lines, expected "
+             f"{rows_owned} rows x {row_length} points")
+    rows = [lines[i * row_length:(i + 1) * row_length]
+            for i in range(rows_owned)]
+    return header, rows
+
+
+def merge_files(shards, kind, rows_total, row_length, out_path, check):
+    """Round-robin interleave one file kind ("csv" | "jsonl") across shards."""
+    present = [s[kind].exists() for s in shards]
+    if not any(present):
+        return False
+    if not all(present):
+        missing = [str(s[kind]) for s, p in zip(shards, present) if not p]
+        fail(f"{kind} present in some shards but missing in: {missing}")
+
+    headers = []
+    per_shard = []
+    for s in shards:
+        sh = s["manifest"]["shard"]
+        header, rows = read_rows(s[kind], row_length, sh["rows_owned"],
+                                 skip_header=(kind == "csv"))
+        headers.append(header)
+        per_shard.append(rows)
+    if kind == "csv" and len(set(headers)) != 1:
+        fail("shard CSV headers differ — different column sets?")
+
+    n = len(shards)
+    merged = [] if headers[0] is None else [headers[0]]
+    cursor = [0] * n
+    for r in range(rows_total):
+        shard = r % n
+        merged.extend(per_shard[shard][cursor[shard]])
+        cursor[shard] += 1
+    if check:
+        return True
+    out_path.write_text("".join(merged))
+    print(f"wrote {out_path} ({rows_total} rows)")
+    return True
+
+
+def merge_manifest(shards, rows_total, out_path, check):
+    """Summed accounting over the shards, shaped like a 0/1 manifest."""
+    by_index = sorted(shards, key=lambda s: s["manifest"]["shard"]["index"])
+    merged = json.loads(json.dumps(by_index[0]["manifest"]))
+    summed = ("grid_points", "unique_points", "solves", "cache_hits",
+              "cache_preloaded", "cache_evictions", "degraded_points",
+              "failed_points", "deadline_points", "simulated_points")
+    for field in summed:
+        if field in merged:
+            merged[field] = sum(s["manifest"].get(field, 0) for s in shards)
+    merged["wall_seconds"] = max(
+        s["manifest"].get("wall_seconds", 0.0) for s in shards)
+    merged["shard"] = {"index": 0, "count": 1, "rows_owned": rows_total}
+    if "warm" in merged:
+        merged["warm"]["hinted_points"] = sum(
+            s["manifest"].get("warm", {}).get("hinted_points", 0)
+            for s in shards)
+        merged["warm"]["total_iterations"] = sum(
+            s["manifest"].get("warm", {}).get("total_iterations", 0)
+            for s in shards)
+    merged["merged_from"] = [str(s["manifest_path"]) for s in by_index]
+    if check:
+        return
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {out_path}")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser()
+    ap.add_argument("manifests", nargs="+",
+                    help="one *.manifest.json per shard, any order")
+    ap.add_argument("--out", help="output base path (writes BASE.csv / "
+                                  "BASE.jsonl / BASE.manifest.json)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate composition only; write nothing")
+    args = ap.parse_args(argv[1:])
+    if not args.check and not args.out:
+        ap.error("--out BASE is required unless --check is given")
+
+    shards = [load_shard(p) for p in args.manifests]
+    n, rows_total, row_length = validate(shards)
+    print(f"merge_shards: {n} shards compose: {rows_total} rows x "
+          f"{row_length} points, scenario "
+          f"`{shards[0]['manifest']['scenario']}`")
+
+    out_base = Path(args.out) if args.out else Path("merged")
+    wrote_any = False
+    for kind, suffix in (("csv", ".csv"), ("jsonl", ".jsonl")):
+        out = out_base.with_name(out_base.name + suffix)
+        if merge_files(shards, kind, rows_total, row_length, out, args.check):
+            wrote_any = True
+    if not wrote_any:
+        fail("no .csv or .jsonl shard data files found next to the manifests")
+    merge_manifest(shards, rows_total,
+                   out_base.with_name(out_base.name + ".manifest.json"),
+                   args.check)
+    if args.check:
+        print("merge_shards: composition OK (check mode, nothing written)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -505,9 +505,122 @@ int cmd_simulate(const CliOptions& opts, std::ostream& out) {
   return warn_if_degraded(model, "model", out);
 }
 
+/// Streaming `latol run` (--stream / --shard / --warm-start): row-by-row
+/// execution with bounded memory. Results go straight to CSV/JSONL sinks;
+/// no RunResult is ever materialized, so the per-point instrumentation
+/// paths (--trace, --metrics-out) are rejected up front. Span tracing
+/// (--trace-out) still works — it is sink-based, not result-based.
+int cmd_run_stream(const CliOptions& opts, std::ostream& out) {
+  LATOL_REQUIRE(opts.trace_path.empty() && opts.metrics_path.empty(),
+                "streaming run (--stream/--shard/--warm-start) does not "
+                "support --trace/--metrics-out (they need the materialized "
+                "results); drop the flag or run without --stream");
+  exp::Scenario scenario = exp::load_scenario(opts.scenario_path);
+  std::filesystem::create_directories(opts.out_dir);
+
+  exp::SolveCache cache(opts.run_workers > 1 ? opts.run_workers : 8);
+  const std::string version = exp::build_version();
+  const std::string cache_path = opts.cache_path.empty()
+                                     ? opts.out_dir + "/latol_cache.json"
+                                     : opts.cache_path;
+  if (opts.run_cache) {
+    std::string cache_warning;
+    cache.load(cache_path, version, &cache_warning);
+    if (!cache_warning.empty()) out << "warning: " << cache_warning << '\n';
+  }
+
+  exp::RunOptions ropts;
+  ropts.workers = opts.run_workers;
+  // With --no-cache there is nothing to persist, so let the runner use
+  // its bounded transient cache — an unbounded store would grow with the
+  // unique-point count and defeat the streaming memory bound.
+  ropts.cache = opts.run_cache ? &cache : nullptr;
+  ropts.point_timeout_ms = opts.point_timeout_ms;
+  ropts.warm_start = opts.warm_start;
+  ropts.shard_index = opts.shard_index;
+  ropts.shard_count = opts.shard_count;
+  ropts.block_points = opts.block_points;
+
+  // Shards write side-by-side artifacts (<name>.shard<i>of<n>.*) that
+  // scripts/merge_shards.py reassembles into the single-process files.
+  std::string base = opts.out_dir + "/" + scenario.name;
+  if (opts.shard_count > 1) {
+    base += ".shard" + std::to_string(opts.shard_index) + "of" +
+            std::to_string(opts.shard_count);
+  }
+  // In stream mode the row-oriented JSON shape is JSONL; a monolithic
+  // .json document would defeat the bounded-memory point.
+  const bool want_csv =
+      opts.run_format == "csv" || opts.run_format == "both";
+  const bool want_jsonl = opts.run_format == "jsonl" ||
+                          opts.run_format == "json" ||
+                          opts.run_format == "both";
+  std::ofstream csv;
+  std::ofstream jsonl;
+  exp::StreamSinks sinks;
+  if (want_csv) {
+    csv.open(base + ".csv");
+    LATOL_REQUIRE(csv.good(), "cannot open `" << base << ".csv`");
+    sinks.csv = &csv;
+  }
+  if (want_jsonl) {
+    jsonl.open(base + ".jsonl");
+    LATOL_REQUIRE(jsonl.good(), "cannot open `" << base << ".jsonl`");
+    sinks.jsonl = &jsonl;
+  }
+
+  const exp::RunStats st = exp::run_scenario_stream(scenario, ropts, sinks);
+
+  if (want_csv) out << "wrote " << base << ".csv\n";
+  if (want_jsonl) out << "wrote " << base << ".jsonl\n";
+  io::write_json_file(base + ".manifest.json",
+                      exp::manifest_to_json(scenario, st));
+  out << "wrote " << base << ".manifest.json\n";
+  if (opts.run_cache) cache.save(cache_path, version);
+
+  out << "scenario `" << scenario.name << "` (streamed): " << st.grid_points
+      << " grid points, " << st.rows_owned << "/" << st.rows_total
+      << " rows";
+  if (st.shard_count > 1) {
+    out << " (shard " << st.shard_index << "/" << st.shard_count << ")";
+  }
+  out << ", " << st.solves << " solves, " << st.cache_hits << " cache hits, "
+      << st.workers << " workers, " << std::setprecision(3)
+      << st.wall_seconds << " s\n";
+  if (st.warm) {
+    out << "warm start: " << st.warm_points << " of " << st.unique_points
+        << " points hinted, " << st.total_iterations
+        << " solver iterations total\n";
+  }
+  if (st.simulated_points > 0) {
+    out << "validated " << st.simulated_points << " points with the "
+        << scenario.validation->engine << " simulator\n";
+  }
+  if (st.failed_points == st.unique_points && st.unique_points > 0) {
+    throw qn::SolverError(qn::SolverErrorCode::kNumerical,
+                          "every grid point failed to solve");
+  }
+  if (st.failed_points > 0 || st.degraded_points > 0) {
+    out << "warning: " << st.degraded_points << " degraded, "
+        << st.failed_points << " failed of " << st.unique_points
+        << " owned points";
+    if (st.deadline_points > 0) {
+      out << " (" << st.deadline_points << " hit the point timeout)";
+    }
+    out << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_run(const CliOptions& opts, std::ostream& out) {
   LATOL_REQUIRE(!opts.scenario_path.empty(),
                 "run needs a scenario file: latol run <scenario.json>");
+  if (opts.run_stream || opts.shard_count > 1 || opts.warm_start) {
+    return cmd_run_stream(opts, out);
+  }
+  LATOL_REQUIRE(opts.run_format != "jsonl",
+                "--format jsonl needs the streaming runner; add --stream");
   exp::Scenario scenario = exp::load_scenario(opts.scenario_path);
   std::filesystem::create_directories(opts.out_dir);
 

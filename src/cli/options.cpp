@@ -101,9 +101,31 @@ CliOptions parse_command_line(const std::vector<std::string>& args) {
     } else if (flag == "--format") {
       opts.run_format = value();
       LATOL_REQUIRE(opts.run_format == "json" || opts.run_format == "csv" ||
-                        opts.run_format == "both",
-                    "--format expects json|csv|both, got `" << opts.run_format
-                                                            << "`");
+                        opts.run_format == "both" ||
+                        opts.run_format == "jsonl",
+                    "--format expects json|csv|both|jsonl, got `"
+                        << opts.run_format << "`");
+    } else if (flag == "--stream") {
+      opts.run_stream = true;
+    } else if (flag == "--warm-start") {
+      opts.warm_start = true;
+    } else if (flag == "--shard") {
+      const std::string& spec = value();
+      const std::size_t slash = spec.find('/');
+      LATOL_REQUIRE(slash != std::string::npos,
+                    "--shard expects I/N (e.g. 0/4), got `" << spec << "`");
+      const int index = parse_int(flag, spec.substr(0, slash));
+      const int count = parse_int(flag, spec.substr(slash + 1));
+      LATOL_REQUIRE(count >= 1, "--shard count must be >= 1, got " << count);
+      LATOL_REQUIRE(index >= 0 && index < count,
+                    "--shard index must be in [0, " << count << "), got "
+                                                    << index);
+      opts.shard_index = static_cast<std::size_t>(index);
+      opts.shard_count = static_cast<std::size_t>(count);
+    } else if (flag == "--block-points") {
+      const int n = parse_int(flag, value());
+      LATOL_REQUIRE(n >= 1, "--block-points must be >= 1");
+      opts.block_points = static_cast<std::size_t>(n);
     } else if (flag == "--workers" || flag == "--jobs") {
       const int n = parse_int(flag, value());
       LATOL_REQUIRE(n >= 0, flag << " must be >= 0");
@@ -267,14 +289,25 @@ std::string usage() {
         "  --jobs N    replication workers (0 = shared pool) [0]\n\n"
         "run usage: latol run <scenario.json> [flags]\n"
         "  --out DIR       output directory                  [.]\n"
-        "  --format F      json|csv|both                     [both]\n"
+        "  --format F      json|csv|both|jsonl               [both]\n"
         "  --workers N     worker threads (0 = hardware); --jobs is an\n"
         "                  alias                             [0]\n"
         "  --cache FILE    solve-cache file    [<out>/latol_cache.json]\n"
         "  --no-cache      do not load/save the solve cache\n"
         "  --point-timeout MS  per-point wall-clock budget; a point over\n"
         "                  budget is marked failed (deadline-exceeded) and\n"
-        "                  the run continues                 [off]\n\n"
+        "                  the run continues                 [off]\n"
+        "  --stream        bounded-memory row-by-row execution: results\n"
+        "                  stream to CSV/JSONL as blocks complete instead\n"
+        "                  of materializing the grid (large sweeps;\n"
+        "                  --format json emits JSONL). Bytes match the\n"
+        "                  non-streamed CSV exactly.\n"
+        "  --warm-start    seed each solve from an extrapolation of its row\n"
+        "                  neighbors (DESIGN.md §15); implies --stream\n"
+        "  --shard I/N     solve rows r with r % N == I only; implies\n"
+        "                  --stream. scripts/merge_shards.py reassembles\n"
+        "                  the N outputs byte-identically    [0/1]\n"
+        "  --block-points N  streamed-emission memory bound  [4096]\n\n"
         "profile usage: latol profile <scenario.json> [--workers N]\n"
         "  solves the scenario with convergence tracing and the metric\n"
         "  registry enabled (transient cache; results are not written)\n"

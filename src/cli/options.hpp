@@ -65,7 +65,7 @@ struct CliOptions {
   // --- run/profile (scenario batch) ---
   std::string scenario_path;       ///< positional `latol run <scenario.json>`
   std::string out_dir = ".";       ///< --out DIR
-  std::string run_format = "both"; ///< --format json|csv|both
+  std::string run_format = "both"; ///< --format json|csv|both|jsonl
   std::size_t run_workers = 0;  ///< --workers/--jobs N (0 = scenario/shared)
   bool run_cache = true;           ///< --no-cache disables persistence
   std::string cache_path;          ///< --cache FILE (default <out>/latol_cache.json)
@@ -73,6 +73,19 @@ struct CliOptions {
   /// exceeding it is marked failed with error deadline-exceeded and
   /// counted in the manifest's deadline_points (0 = no budget).
   double point_timeout_ms = 0.0;
+  /// --stream: bounded-memory row-by-row execution (large sweeps). Forced
+  /// on by --shard and --warm-start.
+  bool run_stream = false;
+  /// --warm-start: chain extrapolated solver seeds along each grid row
+  /// (DESIGN.md §15); implies --stream.
+  bool warm_start = false;
+  /// --shard I/N: solve only rows r with r % N == I (deterministic split
+  /// across worker processes; scripts/merge_shards.py reassembles).
+  /// Implies --stream. Defaults to the whole grid (0/1).
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// --block-points N: streamed-emission buffer bound (0 = default 4096).
+  std::size_t block_points = 0;
 
   // --- serve ---
   std::string serve_config_path;  ///< positional `latol serve <config.json>`

@@ -332,24 +332,30 @@ const char* solve_method_name(SolveMethod method) {
 MmsPerformance analyze(const MmsConfig& config,
                        const AnalysisOptions& options) {
   if (options.method == SolveMethod::kHierarchical) {
+    if (options.solution_out != nullptr) *options.solution_out = {};
     HierarchicalOptions hopts;
     hopts.tolerance = std::max(options.amva.tolerance, 1e-14);
     return analyze_hierarchical(config, hopts);
   }
-  if (!options.use_linearizer && options.method != SolveMethod::kLinearizer)
-    return analyze(config, options.amva);
+  const bool linearizer =
+      options.use_linearizer || options.method == SolveMethod::kLinearizer;
   const MmsModel model(config);
   const qn::ClosedNetwork net = model.build_network();
   qn::RobustOptions ropts;
-  ropts.chain = {qn::SolverKind::kLinearizer, qn::SolverKind::kAmva,
-                 qn::SolverKind::kExactMva, qn::SolverKind::kBounds};
+  if (linearizer) {
+    ropts.chain = {qn::SolverKind::kLinearizer, qn::SolverKind::kAmva,
+                   qn::SolverKind::kExactMva, qn::SolverKind::kBounds};
+    ropts.linearizer.tolerance = options.amva.tolerance;
+  }
   ropts.amva = options.amva;
-  ropts.linearizer.tolerance = options.amva.tolerance;
   ropts.record_traces = options.amva.record_trace;
+  ropts.hints = options.hints;
   SolvedMms solved = solve_mms(model, net, ropts);
   MmsPerformance perf = extract_performance(model, net, solved.report.solution);
   stamp_provenance(perf, solved.report);
   stamp_open(perf, solved, 0);
+  if (options.solution_out != nullptr)
+    *options.solution_out = std::move(solved.report.solution);
   return perf;
 }
 

@@ -138,6 +138,17 @@ struct AnalysisOptions {
   /// Back-compat flag, equivalent to method = kLinearizer.
   bool use_linearizer = false;
   SolveMethod method = SolveMethod::kAmva;
+  /// Warm-start hints forwarded to the AMVA/Linearizer links of the
+  /// robust chain (qn/hints.hpp, DESIGN.md §15). Ignored by the
+  /// hierarchical method (FESC is not an iterative MVA). Not owned; must
+  /// outlive the call. nullptr keeps the plain kernels, bit-identical to
+  /// earlier releases.
+  const qn::SolveHints* hints = nullptr;
+  /// When non-null, receives the raw accepted closed-network solution —
+  /// the sweep engine chains it into the next lattice point's hint.
+  /// Left empty by the hierarchical method (it never materializes a
+  /// full multi-class solution).
+  qn::MvaSolution* solution_out = nullptr;
 };
 
 /// Solve the model through qn::robust_solve (AMVA first, degrading through

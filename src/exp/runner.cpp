@@ -12,6 +12,7 @@
 #include "core/tolerance.hpp"
 #include "exp/parameter.hpp"
 #include "obs/span.hpp"
+#include "qn/hints.hpp"
 #include "qn/robust.hpp"
 #include "sim/mms_des.hpp"
 #include "sim/mms_petri.hpp"
@@ -27,6 +28,48 @@ namespace latol::exp {
 
 namespace {
 
+/// Per-row warm-start state: the two most recent solutions of the chain
+/// plus the extrapolated hint built from them (kept here so its storage
+/// is reused across the row instead of reallocated per point).
+struct WarmChain {
+  qn::MvaSolution prev1;  // most recent
+  qn::MvaSolution prev2;
+  qn::MvaSolution hint;
+  bool has1 = false;
+  bool has2 = false;
+
+  void reset() { has1 = has2 = false; }
+};
+
+/// Warm-solve accounting for one row.
+struct WarmStats {
+  std::size_t solves = 0;  ///< main analyze() calls executed
+  std::size_t hinted = 0;  ///< of those, seeded from a prior
+};
+
+/// The hint for the next point of a row: the linear extrapolation
+/// q = max(0, 2*q1 - q2) of the two previous queue vectors, falling back
+/// to the previous solution alone when only one exists (or when the
+/// network shape changed along the row — the kernel would reject a
+/// mismatched seed anyway). Extrapolating roughly doubles the iteration
+/// savings of a plain previous-point seed on fig04-style axes
+/// (docs/PERFORMANCE.md §7).
+const qn::MvaSolution* chain_hint(WarmChain& chain) {
+  if (!chain.has1) return nullptr;
+  if (!chain.has2) return &chain.prev1;
+  const util::Matrix& q1 = chain.prev1.queue_length;
+  const util::Matrix& q2 = chain.prev2.queue_length;
+  if (q1.rows() != q2.rows() || q1.cols() != q2.cols()) return &chain.prev1;
+  chain.hint = chain.prev1;
+  util::Matrix& q = chain.hint.queue_length;
+  for (std::size_t c = 0; c < q.rows(); ++c) {
+    for (std::size_t m = 0; m < q.cols(); ++m) {
+      q(c, m) = std::max(0.0, 2.0 * q1(c, m) - q2(c, m));
+    }
+  }
+  return &chain.hint;
+}
+
 /// Solve one grid point through the cache. Mirrors core::sweep's failure
 /// isolation and tolerance_index's math exactly — same numbers, but the
 /// ideal-system solve is shared across every point with the same ideal.
@@ -35,9 +78,19 @@ namespace {
 /// armed with the per-point budget when configured. The token is not part
 /// of the cache key, so a timed-out point and a later retry still share
 /// (and coalesce onto) the same cache entry.
+///
+/// Warm starting: with a non-null `chain`, the main solve bypasses the
+/// cache — core::analyze seeded from the chain's extrapolated hint, the
+/// accepted solution fed back into the chain. The cached value of a
+/// configuration must never depend on which row's hint reached it first,
+/// so hinted solves and the cache are mutually exclusive by construction;
+/// the hint-free ideal-system solves still go through the cache. A failed
+/// point resets the chain (the next point starts cold — deterministic,
+/// since failures are).
 void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
                    SolveCache& cache, const RunOptions& run_options,
-                   PointResult& point) {
+                   PointResult& point, WarmChain* chain = nullptr,
+                   WarmStats* warm = nullptr) {
   util::CancelToken point_token(run_options.cancel);
   qn::AmvaOptions amva = scenario.amva;
   if (run_options.cancel != nullptr || run_options.point_timeout_ms > 0.0) {
@@ -54,7 +107,28 @@ void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
       throw qn::SolverError(qn::SolverErrorCode::kDeadlineExceeded,
                             "point deadline expired before solve started");
     }
-    r.perf = cache.analyze(cfg, amva, &point.cache_hit, scenario.method);
+    if (chain != nullptr) {
+      const qn::MvaSolution* prior = chain_hint(*chain);
+      qn::SolveHints hints;
+      hints.prior = prior;
+      core::AnalysisOptions opts;
+      opts.amva = amva;
+      opts.method = scenario.method;
+      opts.hints = &hints;
+      qn::MvaSolution solution;
+      opts.solution_out = &solution;
+      if (warm != nullptr) {
+        ++warm->solves;
+        if (prior != nullptr) ++warm->hinted;
+      }
+      r.perf = core::analyze(cfg, opts);
+      chain->prev2 = std::move(chain->prev1);
+      chain->prev1 = std::move(solution);
+      chain->has2 = chain->has1;
+      chain->has1 = true;
+    } else {
+      r.perf = cache.analyze(cfg, amva, &point.cache_hit, scenario.method);
+    }
     if (scenario.network_tolerance) {
       const core::MmsPerformance ideal = cache.analyze(
           core::ideal_config(cfg, core::Subsystem::kNetwork,
@@ -80,11 +154,14 @@ void compute_point(const core::MmsConfig& cfg, const Scenario& scenario,
   } catch (const qn::SolverError& e) {
     r.error = e.what();
     r.error_code = e.code();
+    if (chain != nullptr) chain->reset();
   } catch (const InvalidArgument& e) {
     r.error = e.what();
     r.error_code = qn::SolverErrorCode::kInvalidNetwork;
+    if (chain != nullptr) chain->reset();
   } catch (const std::exception& e) {
     r.error = e.what();
+    if (chain != nullptr) chain->reset();
   }
 }
 
@@ -223,6 +300,9 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
   RunStats& st = run.stats;
   st.grid_points = run.grid.size();
   st.unique_points = unique_points.size();
+  st.row_length = scenario.axes.empty() ? 1 : scenario.axes.back().size();
+  st.rows_total = st.grid_points / st.row_length;
+  st.rows_owned = st.rows_total;
   st.solves = cache.misses() - misses_before;
   st.cache_hits = cache.hits() - hits_before;
   st.cache_preloaded = preloaded;
@@ -242,6 +322,8 @@ RunResult run_scenario(const Scenario& scenario, const RunOptions& options) {
     }
     if (!p.model.healthy() || p.ideal_degraded) ++st.degraded_points;
     ++counts[qn::solver_kind_name(p.model.perf.solver)];
+    st.total_iterations +=
+        static_cast<std::size_t>(p.model.perf.solver_iterations);
     if (p.sim.has_value()) ++st.simulated_points;
   }
   st.solver_counts.assign(counts.begin(), counts.end());
@@ -407,6 +489,205 @@ void write_results_csv(const Scenario& scenario, const RunResult& run,
   }
 }
 
+RunStats run_scenario_stream(const Scenario& scenario,
+                             const RunOptions& options,
+                             const StreamSinks& sinks) {
+  using Clock = std::chrono::steady_clock;
+  const auto elapsed = [](Clock::time_point since) {
+    return std::chrono::duration<double>(Clock::now() - since).count();
+  };
+  const auto start = Clock::now();
+  obs::Span run_span("exp.run_stream", "exp");
+  const std::uint64_t run_span_id = run_span.id();
+
+  LATOL_REQUIRE(options.shard_count >= 1, "shard_count must be >= 1");
+  LATOL_REQUIRE(options.shard_index < options.shard_count,
+                "shard_index " << options.shard_index << " outside 0.."
+                               << options.shard_count - 1);
+  RunStats st;
+  st.grid_points = grid_size(scenario);
+  st.row_length = scenario.axes.empty() ? 1 : scenario.axes.back().size();
+  st.rows_total = st.grid_points / st.row_length;
+  st.shard_index = options.shard_index;
+  st.shard_count = options.shard_count;
+  st.warm = options.warm_start || scenario.warm_start;
+
+  // Validation targets, checked up front like run_scenario.
+  std::vector<std::size_t> targets;
+  bool validate_all = false;
+  if (scenario.validation.has_value()) {
+    targets = scenario.validation->points;
+    validate_all = targets.empty();
+    for (const std::size_t i : targets) {
+      LATOL_REQUIRE(i < st.grid_points,
+                    "validation point " << i << " outside the grid (size "
+                                        << st.grid_points << ")");
+    }
+    std::sort(targets.begin(), targets.end());
+  }
+
+  SolveCache transient;
+  // The transient fallback exists for in-run dedup only; on a
+  // million-point grid an unbounded one would quietly hold every result
+  // and defeat the streaming memory bound, so cap it. Far-apart
+  // duplicates may re-solve after eviction — deterministically, so the
+  // bytes cannot change. A caller-provided cache is the caller's policy.
+  if (options.cache == nullptr) transient.set_capacity(1 << 14);
+  SolveCache& cache = options.cache != nullptr ? *options.cache : transient;
+  const std::size_t preloaded = cache.size();
+  const std::size_t hits_before = cache.hits();
+  const std::size_t misses_before = cache.misses();
+  const std::size_t evictions_before = cache.evictions();
+
+  const std::vector<std::string> columns = scenario.output_columns();
+  if (sinks.csv != nullptr) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      if (c != 0) *sinks.csv << ',';
+      *sinks.csv << csv_escape(columns[c]);
+    }
+    *sinks.csv << '\n';
+  }
+
+  // The rows this shard owns, ascending — the round-robin split the
+  // merge tool inverts.
+  std::vector<std::size_t> owned;
+  for (std::size_t r = options.shard_index; r < st.rows_total;
+       r += options.shard_count) {
+    owned.push_back(r);
+  }
+  st.rows_owned = owned.size();
+
+  const std::size_t block_points =
+      options.block_points != 0 ? options.block_points : 4096;
+  const std::size_t rows_per_block =
+      std::max<std::size_t>(1, block_points / st.row_length);
+  const std::size_t workers =
+      options.workers != 0 ? options.workers : scenario.workers;
+
+  // One row's results, buffered until its block emits. The block bound is
+  // the memory bound: nothing outlives its block.
+  struct RowBuffer {
+    std::vector<core::MmsConfig> configs;
+    std::vector<PointResult> points;
+    WarmStats warm;
+  };
+
+  std::map<std::string, std::size_t> counts;
+  st.expand_seconds = elapsed(start);
+  obs::time_add("exp.stage.expand", st.expand_seconds);
+  const auto solve_start = Clock::now();
+  std::size_t main_solves = 0;
+  for (std::size_t begin = 0; begin < owned.size(); begin += rows_per_block) {
+    const std::size_t count_rows =
+        std::min(rows_per_block, owned.size() - begin);
+    std::vector<RowBuffer> block(count_rows);
+    util::parallel_for(
+        count_rows,
+        [&](std::size_t j) {
+          const std::size_t row = owned[begin + j];
+          RowBuffer& buf = block[j];
+          buf.configs.reserve(st.row_length);
+          buf.points.resize(st.row_length);
+          obs::Span row_span("exp.row", "exp", run_span_id);
+          row_span.arg("row", static_cast<double>(row));
+          WarmChain chain;
+          for (std::size_t k = 0; k < st.row_length; ++k) {
+            const std::size_t i = row * st.row_length + k;
+            buf.configs.push_back(config_at(scenario, i));
+            PointResult& point = buf.points[k];
+            compute_point(buf.configs.back(), scenario, cache, options,
+                          point, st.warm ? &chain : nullptr, &buf.warm);
+            const bool wanted =
+                scenario.validation.has_value() &&
+                (validate_all ||
+                 std::binary_search(targets.begin(), targets.end(), i));
+            if (!wanted || point.model.error) continue;
+            if (options.cancel != nullptr && options.cancel->expired()) {
+              point.model.error =
+                  "validation: deadline expired before simulation started";
+              point.model.error_code =
+                  qn::SolverErrorCode::kDeadlineExceeded;
+              continue;
+            }
+            try {
+              point.sim =
+                  simulate_point(buf.configs.back(), *scenario.validation, i);
+            } catch (const std::exception& e) {
+              point.model.error = std::string("validation: ") + e.what();
+            }
+          }
+        },
+        workers);
+    // Ordered single-threaded emission: rows leave in grid order, so the
+    // concatenated output of a shard is deterministic whatever the worker
+    // count, and shards interleave back to the single-process bytes.
+    for (std::size_t j = 0; j < count_rows; ++j) {
+      const RowBuffer& buf = block[j];
+      const std::size_t row = owned[begin + j];
+      for (std::size_t k = 0; k < st.row_length; ++k) {
+        const PointResult& p = buf.points[k];
+        if (sinks.csv != nullptr) {
+          for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c != 0) *sinks.csv << ',';
+            *sinks.csv << csv_render(
+                cell_value(columns[c], buf.configs[k], p));
+          }
+          *sinks.csv << '\n';
+        }
+        if (sinks.jsonl != nullptr) {
+          io::Json rowj = io::Json::object();
+          rowj.set("index",
+                   static_cast<double>(row * st.row_length + k));
+          for (const std::string& column : columns) {
+            rowj.set(column,
+                     json_render(cell_value(column, buf.configs[k], p)));
+          }
+          *sinks.jsonl << rowj.dump() << '\n';
+        }
+        if (p.model.error) {
+          ++st.failed_points;
+          if (p.model.error_code ==
+              qn::SolverErrorCode::kDeadlineExceeded) {
+            ++st.deadline_points;
+          }
+          ++counts["error"];
+          continue;
+        }
+        if (!p.model.healthy() || p.ideal_degraded) ++st.degraded_points;
+        ++counts[qn::solver_kind_name(p.model.perf.solver)];
+        st.total_iterations +=
+            static_cast<std::size_t>(p.model.perf.solver_iterations);
+        if (p.sim.has_value()) ++st.simulated_points;
+      }
+      st.warm_points += buf.warm.hinted;
+      main_solves += buf.warm.solves;
+    }
+    obs::count("exp.stream.blocks");
+  }
+  if (sinks.csv != nullptr) sinks.csv->flush();
+  if (sinks.jsonl != nullptr) sinks.jsonl->flush();
+  st.solve_seconds = elapsed(solve_start);
+  obs::time_add("exp.stage.solve", st.solve_seconds);
+
+  st.unique_points = st.rows_owned * st.row_length;
+  st.solves = (cache.misses() - misses_before) + main_solves;
+  st.cache_hits = cache.hits() - hits_before;
+  st.cache_preloaded = preloaded;
+  st.cache_evictions = cache.evictions() - evictions_before;
+  st.workers = workers != 0
+                   ? workers
+                   : std::max(1u, std::thread::hardware_concurrency());
+  st.solver_counts.assign(counts.begin(), counts.end());
+  if (st.warm) {
+    obs::count("exp.warm.hinted_points", st.warm_points);
+    obs::count("exp.warm.iterations", st.total_iterations);
+  }
+  st.wall_seconds = elapsed(start);
+  run_span.arg("grid_points", static_cast<double>(st.grid_points));
+  run_span.arg("rows_owned", static_cast<double>(st.rows_owned));
+  return st;
+}
+
 io::Json results_to_json(const Scenario& scenario, const RunResult& run) {
   const std::vector<std::string> columns = scenario.output_columns();
   io::Json rows = io::Json::array();
@@ -441,7 +722,10 @@ io::Json results_to_json(const Scenario& scenario, const RunResult& run) {
 }
 
 io::Json manifest_to_json(const Scenario& scenario, const RunResult& run) {
-  const RunStats& st = run.stats;
+  return manifest_to_json(scenario, run.stats);
+}
+
+io::Json manifest_to_json(const Scenario& scenario, const RunStats& st) {
   io::Json doc = io::Json::object();
   doc.set("scenario", scenario.name);
   doc.set("scenario_hash", hash_hex(scenario.source_hash));
@@ -458,6 +742,37 @@ io::Json manifest_to_json(const Scenario& scenario, const RunResult& run) {
   doc.set("simulated_points", st.simulated_points);
   doc.set("workers", st.workers);
   doc.set("wall_seconds", st.wall_seconds);
+  // Axis metadata: enough for shard-merge validation (point count per
+  // axis, hence grid geometry) without re-parsing the scenario file.
+  io::Json axes = io::Json::array();
+  for (const Axis& axis : scenario.axes) {
+    io::Json a = io::Json::object();
+    io::Json params = io::Json::array();
+    for (const AxisComponent& comp : axis.components) {
+      params.push_back(comp.param);
+    }
+    a.set("params", std::move(params));
+    a.set("points", axis.size());
+    axes.push_back(std::move(a));
+  }
+  doc.set("axes", std::move(axes));
+  const std::size_t row_length =
+      scenario.axes.empty() ? 1 : scenario.axes.back().size();
+  io::Json grid = io::Json::object();
+  grid.set("total_points", grid_size(scenario));
+  grid.set("row_length", row_length);
+  grid.set("rows_total", grid_size(scenario) / row_length);
+  doc.set("grid", std::move(grid));
+  io::Json shard = io::Json::object();
+  shard.set("index", st.shard_index);
+  shard.set("count", st.shard_count);
+  shard.set("rows_owned", st.rows_owned);
+  doc.set("shard", std::move(shard));
+  io::Json warm = io::Json::object();
+  warm.set("enabled", st.warm);
+  warm.set("hinted_points", st.warm_points);
+  warm.set("total_iterations", st.total_iterations);
+  doc.set("warm", std::move(warm));
   io::Json stages = io::Json::object();
   stages.set("expand_seconds", st.expand_seconds);
   stages.set("solve_seconds", st.solve_seconds);

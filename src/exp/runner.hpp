@@ -68,6 +68,16 @@ struct RunStats {
   std::size_t deadline_points = 0; ///< of the failed: hit a deadline/timeout
   std::size_t simulated_points = 0;
   std::size_t workers = 0;         ///< worker threads used
+  // --- grid geometry and sharding (DESIGN.md §15) ---
+  std::size_t row_length = 0;      ///< points per row (last-axis size)
+  std::size_t rows_total = 0;      ///< rows in the full grid
+  std::size_t rows_owned = 0;      ///< rows this process solved
+  std::size_t shard_index = 0;     ///< this process's shard
+  std::size_t shard_count = 1;     ///< total worker processes
+  // --- warm-start accounting ---
+  bool warm = false;               ///< warm-start chaining was active
+  std::size_t warm_points = 0;     ///< points solved with a non-null hint
+  std::size_t total_iterations = 0;  ///< solver iterations over all points
   double wall_seconds = 0;
   // Per-stage wall time (also mirrored into the obs registry as
   // exp.stage.* timers when one is installed); `latol profile` prints
@@ -96,6 +106,30 @@ struct RunOptions {
   /// exceeding it is marked failed with error code deadline-exceeded and
   /// counted in RunStats::deadline_points; other points are unaffected.
   double point_timeout_ms = 0.0;
+  /// Chain warm-start hints along each grid row (forces the behavior on
+  /// even when the scenario's solver.warm_start is false). Streaming
+  /// runner only; see DESIGN.md §15 for the determinism contract.
+  bool warm_start = false;
+  /// Deterministic split across worker processes (streaming runner):
+  /// this process solves the grid rows r with r % shard_count ==
+  /// shard_index. Concatenating the shards' outputs row-by-row
+  /// (round-robin, scripts/merge_shards.py) reproduces the single-process
+  /// artifacts byte-for-byte.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
+  /// Upper bound on the points buffered before emission (streaming
+  /// runner; rounded up to whole rows). 0 picks a default (4096). This is
+  /// the memory bound: a million-point sweep holds block_points results,
+  /// never the whole grid.
+  std::size_t block_points = 0;
+};
+
+/// Output sinks for the streaming runner; null sinks are skipped. Rows
+/// are written in grid order as each block completes, so memory stays
+/// bounded by RunOptions::block_points.
+struct StreamSinks {
+  std::ostream* csv = nullptr;    ///< header + one line per point
+  std::ostream* jsonl = nullptr;  ///< one compact JSON object per point
 };
 
 /// A completed run.
@@ -111,6 +145,27 @@ struct RunResult {
 [[nodiscard]] RunResult run_scenario(const Scenario& scenario,
                                      const RunOptions& options = {});
 
+/// Streaming variant for large sweeps: solves the grid row by row (a row
+/// is one run of the fastest-varying axis) and emits each block of rows
+/// to the sinks as soon as it completes, holding at most
+/// RunOptions::block_points results in memory. For the same scenario and
+/// build the emitted bytes equal write_results_csv over run_scenario —
+/// regardless of worker count — and the shards of an i/n split
+/// concatenate (round-robin by row) to the single-process output.
+///
+/// Warm starting (scenario solver.warm_start or RunOptions::warm_start):
+/// within each row, points are solved left to right and each solve is
+/// seeded from a linear extrapolation of the two previous solutions
+/// (qn/hints.hpp). Chains never cross rows, so rows stay independent
+/// tasks and every point's hint — and therefore its bytes — is a pure
+/// function of the scenario, whatever the worker count or shard split.
+/// Warm main solves bypass the cache (a cached value must not depend on
+/// which row computed it first); the hint-free ideal-system solves behind
+/// tolerance indices still share it.
+[[nodiscard]] RunStats run_scenario_stream(const Scenario& scenario,
+                                           const RunOptions& options,
+                                           const StreamSinks& sinks);
+
 /// Write the result rows as CSV (header = scenario.output_columns()).
 /// Cells use the same formatting as the bench CSVs, so a scenario that
 /// mirrors a bench reproduces its file byte-for-byte.
@@ -123,10 +178,17 @@ void write_results_csv(const Scenario& scenario, const RunResult& run,
                                        const RunResult& run);
 
 /// The run manifest: scenario identity (name, content hash), build
-/// version, seed, wall time, grid/cache accounting, and per-solver
-/// provenance counts.
+/// version, seed, wall time, grid/cache accounting, per-solver
+/// provenance counts, axis metadata (parameter names + point count per
+/// axis, so shard-merge validation never re-parses the scenario), grid
+/// geometry, and the shard/warm sections.
 [[nodiscard]] io::Json manifest_to_json(const Scenario& scenario,
                                         const RunResult& run);
+
+/// Manifest from bare stats — what the streaming runner returns (it never
+/// materializes a RunResult).
+[[nodiscard]] io::Json manifest_to_json(const Scenario& scenario,
+                                        const RunStats& stats);
 
 /// The metrics document ("latol-metrics-v1", DESIGN.md §9): per-point
 /// solver diagnostics (iterations, residual + history length, invariant

@@ -280,7 +280,8 @@ core::SolveMethod parse_solve_method(const std::string& value,
 void parse_solver(const io::Json& obj, Scenario& s) {
   const std::string ctx = "solver";
   check_keys(obj,
-             {"method", "max_iterations", "tolerance", "damping", "workers"},
+             {"method", "max_iterations", "tolerance", "damping", "workers",
+              "warm_start"},
              ctx);
   if (const io::Json* v = obj.find("method")) {
     s.method = parse_solve_method(get_string(*v, ctx + ".method"),
@@ -308,6 +309,9 @@ void parse_solver(const io::Json& obj, Scenario& s) {
     const int w = get_int(*v, ctx + ".workers");
     if (w < 0) schema_error(ctx + ".workers", "must be >= 0");
     s.workers = static_cast<std::size_t>(w);
+  }
+  if (const io::Json* v = obj.find("warm_start")) {
+    s.warm_start = get_bool(*v, ctx + ".warm_start");
   }
 }
 
@@ -468,11 +472,7 @@ Scenario load_scenario(const std::string& path) {
 }
 
 std::vector<core::MmsConfig> expand_grid(const Scenario& s) {
-  std::size_t total = 1;
-  for (const Axis& axis : s.axes) {
-    LATOL_REQUIRE(axis.size() >= 1, "empty axis");
-    total *= axis.size();
-  }
+  const std::size_t total = grid_size(s);
   std::vector<core::MmsConfig> grid;
   grid.reserve(total);
   // Mixed-radix counter, first axis outermost (slowest).
@@ -491,6 +491,31 @@ std::vector<core::MmsConfig> expand_grid(const Scenario& s) {
     }
   }
   return grid;
+}
+
+std::size_t grid_size(const Scenario& s) {
+  std::size_t total = 1;
+  for (const Axis& axis : s.axes) {
+    LATOL_REQUIRE(axis.size() >= 1, "empty axis");
+    total *= axis.size();
+  }
+  return total;
+}
+
+core::MmsConfig config_at(const Scenario& s, std::size_t index) {
+  LATOL_REQUIRE(index < grid_size(s), "grid index out of range");
+  // Decompose the flat index with the same mixed radix expand_grid
+  // iterates: first axis outermost, last axis fastest.
+  core::MmsConfig cfg = s.base;
+  for (std::size_t a = s.axes.size(); a-- > 0;) {
+    const std::size_t n = s.axes[a].size();
+    const std::size_t step = index % n;
+    index /= n;
+    for (const AxisComponent& comp : s.axes[a].components) {
+      apply_parameter(cfg, comp.param, comp.values[step]);
+    }
+  }
+  return cfg;
 }
 
 }  // namespace latol::exp

@@ -74,6 +74,10 @@ struct Scenario {
   /// configs only; see core/hierarchical.hpp).
   core::SolveMethod method = core::SolveMethod::kAmva;
   std::size_t workers = 0;  ///< 0 = hardware concurrency
+  /// Chain lattice-neighbor warm-start hints along the fastest-varying
+  /// axis (qn/hints.hpp, DESIGN.md §15). Only the streaming runner honors
+  /// it; plain solves are unaffected.
+  bool warm_start = false;
 
   /// FNV-1a hash of the canonical (compact) source document; identifies
   /// the scenario content in manifests and caches.
@@ -101,6 +105,18 @@ struct Scenario {
 /// alone. Grid order is deterministic and documented: later scenarios and
 /// cached runs may rely on it.
 [[nodiscard]] std::vector<core::MmsConfig> expand_grid(const Scenario& s);
+
+/// Number of grid points expand_grid(s) would produce, without
+/// materializing them — the streaming runner sizes shards and manifests
+/// from this.
+[[nodiscard]] std::size_t grid_size(const Scenario& s);
+
+/// The configuration at grid position `index` (same order as
+/// expand_grid: first axis outermost, last axis fastest). O(#axes) per
+/// call, so a million-point sweep never holds the whole grid in memory.
+/// Requires index < grid_size(s).
+[[nodiscard]] core::MmsConfig config_at(const Scenario& s,
+                                        std::size_t index);
 
 /// True when `column` is a valid output column name (axis parameter,
 /// alias, or metric). See DESIGN.md §8 for the full list.

@@ -10,25 +10,30 @@
 // degraded, residual), so a cached answer is indistinguishable from a
 // fresh one.
 //
-// Concurrency: the first caller of a key computes inline while later
-// callers block on a shared future, so every duplicate is coalesced into
-// one solve even mid-flight. Solvers are deterministic, which keeps
-// results bitwise identical regardless of worker count or arrival order.
+// Concurrency: the store is split into N independently locked shards
+// (keys routed by FNV-1a hash), so misses on distinct keys from many
+// workers never serialize on one mutex. Within a shard the first caller
+// of a key computes inline while later callers block on a shared future,
+// so every duplicate is coalesced into one solve even mid-flight. Solvers
+// are deterministic, which keeps results bitwise identical regardless of
+// worker count or arrival order.
 //
-// Persistence: load()/save() round-trip the cache through a JSON file
-// keyed by a build version string; a file written by a different build is
-// ignored wholesale (model changes must invalidate old numbers). Doubles
-// are serialized in shortest round-trip form, so a warmed run reproduces
-// the cold run byte-for-byte.
+// Persistence: load()/save() round-trip the cache through a JSON index
+// file plus one JSON file per shard, all keyed by a build version string;
+// files written by a different build are ignored wholesale (model changes
+// must invalidate old numbers). Doubles are serialized in shortest
+// round-trip form, so a warmed run reproduces the cold run byte-for-byte.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "core/mms_model.hpp"
 #include "qn/mva_approx.hpp"
@@ -41,7 +46,13 @@ namespace latol::exp {
 /// grid points.
 class SolveCache {
  public:
-  SolveCache() = default;
+  /// A cache with `shards` independently locked segments (0 is treated
+  /// as 1). The default single shard preserves the classic behavior
+  /// exactly: one mutex, one global FIFO eviction order. More shards cut
+  /// lock contention when many workers look up concurrently (`latol run
+  /// --jobs N`); keys are routed by FNV-1a hash so segments fill about
+  /// evenly, and eviction is then FIFO per shard rather than global.
+  explicit SolveCache(std::size_t shards = 1);
   SolveCache(const SolveCache&) = delete;
   SolveCache& operator=(const SolveCache&) = delete;
 
@@ -65,24 +76,36 @@ class SolveCache {
       const core::MmsConfig& config, const qn::AmvaOptions& options,
       core::SolveMethod method = core::SolveMethod::kAmva);
 
-  /// Merge entries from `path` (written by save()). Silently does nothing
-  /// when the file is missing; ignores files whose version string differs
-  /// from `version`. Returns the number of entries loaded.
+  /// Merge entries from the index file at `path` (written by save()) and
+  /// the per-shard files it lists. Silently does nothing when the index
+  /// is missing; ignores files whose format generation or version string
+  /// differs from `version`. Returns the number of entries loaded.
   ///
   /// A corrupt or truncated file (malformed JSON, malformed entries) is
-  /// quarantined instead of aborting the run: the file is renamed to
-  /// `path + ".corrupt"`, nothing is ingested, and when `warning` is
-  /// non-null it receives a one-line description — a cache is an
-  /// optimization, so losing it degrades to a cold run, never a crash.
-  /// Ingestion is all-or-nothing: entries are staged before any of them
-  /// becomes visible, so a bad entry can never leave a half-loaded cache.
+  /// quarantined instead of aborting the run: that file is renamed to
+  /// `<file> + ".corrupt"`, none of its entries are ingested, and when
+  /// `warning` is non-null it receives a one-line description — a cache
+  /// is an optimization, so losing it degrades to a cold run, never a
+  /// crash. Quarantine is per file: one damaged shard file costs 1/N of
+  /// the cache, the other shards still load. Ingestion of each file is
+  /// all-or-nothing: entries are staged before any becomes visible, so a
+  /// bad entry can never leave a half-loaded file.
+  ///
+  /// Entries are routed to in-memory shards by key hash, not by which
+  /// file they came from, so a cache saved with a different shard count
+  /// (or loaded into a cache with one) still lands every key on the
+  /// shard that analyze() will probe.
   std::size_t load(const std::string& path, const std::string& version,
                    std::string* warning = nullptr);
 
-  /// Write every successful entry to `path` for a future load(). Failed
-  /// (exception) entries are not persisted. The write is atomic (temp
-  /// file + rename, see io::write_json_file), so a crash mid-save leaves
-  /// the previous cache file intact.
+  /// Write every successful entry to disk for a future load(): one file
+  /// per shard at `path + ".shard<i>"` (keys sorted within each file, so
+  /// bytes are deterministic for a given content) and an index at `path`
+  /// listing them. Failed (exception) entries are not persisted. Each
+  /// write is atomic (temp file + rename, see io::write_json_file), so a
+  /// crash mid-save leaves the previous files intact; shard files are
+  /// written before the index, and unlisted stale shard files from an
+  /// earlier save with more shards are simply never read back.
   void save(const std::string& path, const std::string& version) const;
 
   /// Lookups served from an already-present entry.
@@ -91,23 +114,34 @@ class SolveCache {
   [[nodiscard]] std::size_t misses() const { return misses_.load(); }
   /// Entries dropped by the capacity bound since construction.
   [[nodiscard]] std::size_t evictions() const { return evictions_.load(); }
-  /// Entries currently in the cache.
+  /// Entries currently in the cache (summed over shards).
   [[nodiscard]] std::size_t size() const;
 
+  /// Number of independently locked segments (>= 1).
+  [[nodiscard]] std::size_t shards() const { return shards_.size(); }
+
   /// Bound the entry count (0 = unlimited, the default). When an insert
-  /// pushes the cache past the bound, the oldest *completed* entries are
-  /// dropped FIFO (in-flight solves are never evicted — later duplicates
-  /// must still coalesce onto them).
+  /// pushes a shard past its share of the bound — ceil(capacity/shards),
+  /// exactly `capacity` for the default single shard — the oldest
+  /// *completed* entries of that shard are dropped FIFO (in-flight solves
+  /// are never evicted — later duplicates must still coalesce onto them).
   void set_capacity(std::size_t capacity);
 
  private:
-  void evict_over_capacity_locked();
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string,
+                       std::shared_future<core::MmsPerformance>>
+        entries;
+    std::deque<std::string> insertion_order;
+  };
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, std::shared_future<core::MmsPerformance>>
-      entries_;
-  std::deque<std::string> insertion_order_;
-  std::size_t capacity_ = 0;
+  [[nodiscard]] Shard& shard_for(const std::string& key);
+  [[nodiscard]] std::size_t per_shard_capacity() const;
+  void evict_over_capacity_locked(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::size_t> capacity_{0};
   std::atomic<std::size_t> hits_{0};
   std::atomic<std::size_t> misses_{0};
   std::atomic<std::size_t> evictions_{0};

@@ -17,6 +17,7 @@
 #pragma once
 
 #include "obs/trace.hpp"
+#include "qn/hints.hpp"
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
 #include "util/cancel.hpp"
@@ -73,5 +74,23 @@ struct AmvaOptions {
 [[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
                                      const AmvaOptions& options,
                                      SolverWorkspace& ws);
+
+/// Warm-kernel solve (qn/hints.hpp, DESIGN.md §15): seed the iterate from
+/// `hints.prior` (when usable) and converge from there; the reported
+/// solution is re-derived from the final iterate in one pure evaluation
+/// pass. A deterministic pure function of (net, options, hints) — the
+/// byte-determinism the sweep engine builds on — but NOT bitwise equal to
+/// the plain overloads or to a differently-hinted solve (they stop at
+/// different iterates inside the tolerance ball). Error behavior matches
+/// the plain overloads.
+[[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
+                                     const AmvaOptions& options,
+                                     SolverWorkspace& ws,
+                                     const SolveHints& hints);
+
+/// Warm-kernel solve in the per-thread default arena.
+[[nodiscard]] MvaSolution solve_amva(const ClosedNetwork& net,
+                                     const AmvaOptions& options,
+                                     const SolveHints& hints);
 
 }  // namespace latol::qn

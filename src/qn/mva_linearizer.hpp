@@ -12,6 +12,7 @@
 #pragma once
 
 #include "obs/trace.hpp"
+#include "qn/hints.hpp"
 #include "qn/network.hpp"
 #include "qn/solution.hpp"
 #include "util/cancel.hpp"
@@ -53,5 +54,22 @@ struct LinearizerOptions {
 [[nodiscard]] MvaSolution solve_linearizer(const ClosedNetwork& net,
                                            const LinearizerOptions& options,
                                            SolverWorkspace& ws);
+
+/// Warm-kernel solve (qn/hints.hpp, DESIGN.md §15): every Core fixed
+/// point seeds its fraction vector from `hints.prior` (when usable), and
+/// the reported solution is re-derived from the final full-population
+/// fractions in one pure evaluation pass. A deterministic pure function
+/// of (net, options, hints), but NOT bitwise equal to the plain overloads
+/// or to a differently-hinted solve. Error behavior matches the plain
+/// overloads.
+[[nodiscard]] MvaSolution solve_linearizer(const ClosedNetwork& net,
+                                           const LinearizerOptions& options,
+                                           SolverWorkspace& ws,
+                                           const SolveHints& hints);
+
+/// Warm-kernel solve in the per-thread default arena.
+[[nodiscard]] MvaSolution solve_linearizer(const ClosedNetwork& net,
+                                           const LinearizerOptions& options,
+                                           const SolveHints& hints);
 
 }  // namespace latol::qn

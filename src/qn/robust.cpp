@@ -332,14 +332,18 @@ SolveReport robust_solve(const ClosedNetwork& net,
         case SolverKind::kAmva: {
           AmvaOptions amva = options.amva;
           amva.trace = options.record_traces ? &attempt.trace : nullptr;
-          sol = solve_amva(net, amva);
+          sol = options.hints != nullptr ? solve_amva(net, amva,
+                                                     *options.hints)
+                                         : solve_amva(net, amva);
           break;
         }
         case SolverKind::kLinearizer: {
           LinearizerOptions lin = options.linearizer;
           lin.trace = options.record_traces ? &attempt.trace : nullptr;
           if (lin.cancel == nullptr) lin.cancel = cancel;
-          sol = solve_linearizer(net, lin);
+          sol = options.hints != nullptr ? solve_linearizer(net, lin,
+                                                            *options.hints)
+                                         : solve_linearizer(net, lin);
           break;
         }
         case SolverKind::kExactMva: {

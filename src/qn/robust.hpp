@@ -72,6 +72,13 @@ struct RobustOptions {
   /// Per-attempt trace capacity (entries beyond it are counted, not
   /// stored); see obs::ConvergenceTrace.
   std::size_t trace_capacity = obs::ConvergenceTrace::kDefaultCapacity;
+  /// Warm-start hints (qn/hints.hpp): when non-null, the AMVA and
+  /// Linearizer links run on the warm kernels, seeded from the hint (a
+  /// deterministic pure function of network + options + hint). Exact MVA
+  /// and bounds ignore hints (they are direct methods). Not owned; must
+  /// outlive the call. nullptr (the default) keeps every link on the
+  /// plain kernels, bit-identical to earlier releases.
+  const SolveHints* hints = nullptr;
 };
 
 /// One link of the chain, as it actually went.

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <vector>
 
 #include "io/json.hpp"
 #include "util/error.hpp"
@@ -243,6 +244,39 @@ TEST(CliParse, RunFlagsAndPositionalScenario) {
                InvalidArgument);
 }
 
+TEST(CliParse, StreamingShardAndWarmStartFlags) {
+  const CliOptions opts = parse_command_line(
+      {"run", "exp.json", "--stream", "--warm-start", "--shard", "2/5",
+       "--block-points", "512", "--format", "jsonl"});
+  EXPECT_TRUE(opts.run_stream);
+  EXPECT_TRUE(opts.warm_start);
+  EXPECT_EQ(opts.shard_index, 2u);
+  EXPECT_EQ(opts.shard_count, 5u);
+  EXPECT_EQ(opts.block_points, 512u);
+  EXPECT_EQ(opts.run_format, "jsonl");
+  // Defaults: whole grid, no streaming.
+  const CliOptions plain = parse_command_line({"run", "exp.json"});
+  EXPECT_FALSE(plain.run_stream);
+  EXPECT_FALSE(plain.warm_start);
+  EXPECT_EQ(plain.shard_index, 0u);
+  EXPECT_EQ(plain.shard_count, 1u);
+}
+
+TEST(CliParse, RejectsMalformedShardSpecs) {
+  // Index must be in [0, count); the spec must be I/N with integers.
+  EXPECT_THROW((void)parse_command_line({"run", "a.json", "--shard", "3"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"run", "a.json", "--shard", "2/2"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"run", "a.json", "--shard", "a/b"}),
+               InvalidArgument);
+  EXPECT_THROW((void)parse_command_line({"run", "a.json", "--shard", "1/0"}),
+               InvalidArgument);
+  EXPECT_THROW(
+      (void)parse_command_line({"run", "a.json", "--block-points", "0"}),
+      InvalidArgument);
+}
+
 class CliRunScenario : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -298,6 +332,76 @@ TEST_F(CliRunScenario, WritesResultsAndManifest) {
   std::ostringstream out2, err2;
   EXPECT_EQ(cli_main({"run", path, "--out", dir_}, out2, err2), 0);
   EXPECT_NE(out2.str().find("0 solves"), std::string::npos) << out2.str();
+}
+
+TEST_F(CliRunScenario, StreamedRunMatchesMaterializedAndShardsCompose) {
+  const std::string path = write_scenario(R"({
+    "name": "clistream",
+    "base": {"k": 2},
+    "axes": [
+      {"param": "threads", "values": [1, 2, 3]},
+      {"param": "p_remote", "values": [0.1, 0.2]}
+    ],
+    "outputs": {"network_tolerance": true}
+  })");
+  std::ostringstream out, err;
+  ASSERT_EQ(cli_main({"run", path, "--out", dir_, "--no-cache"}, out, err), 0)
+      << err.str();
+  const std::string whole = read_all(dir_ + "/clistream.csv");
+  // --stream reproduces the bytes and adds a .jsonl for --format both.
+  ASSERT_EQ(cli_main({"run", path, "--out", dir_ + "/s", "--no-cache",
+                      "--stream"},
+                     out, err),
+            0)
+      << err.str();
+  EXPECT_EQ(read_all(dir_ + "/s/clistream.csv"), whole);
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/s/clistream.jsonl"));
+  // A 2-shard split writes side-by-side artifacts whose row-interleave
+  // is the single-process file (rows here are 2 points long).
+  for (const char* shard : {"0/2", "1/2"}) {
+    ASSERT_EQ(cli_main({"run", path, "--out", dir_ + "/sh", "--no-cache",
+                        "--shard", shard, "--format", "csv"},
+                       out, err),
+              0)
+        << err.str();
+  }
+  const std::string s0 = read_all(dir_ + "/sh/clistream.shard0of2.csv");
+  const std::string s1 = read_all(dir_ + "/sh/clistream.shard1of2.csv");
+  auto lines = [](const std::string& text) {
+    std::vector<std::string> out_lines;
+    std::istringstream is(text);
+    for (std::string l; std::getline(is, l);) out_lines.push_back(l);
+    return out_lines;
+  };
+  const auto l0 = lines(s0);
+  const auto l1 = lines(s1);
+  ASSERT_EQ(l0.size(), 5u);  // header + rows 0 and 2 of 2 points each
+  ASSERT_EQ(l1.size(), 3u);  // header + row 1
+  const std::string merged = l0[0] + "\n" + l0[1] + "\n" + l0[2] + "\n" +
+                             l1[1] + "\n" + l1[2] + "\n" + l0[3] + "\n" +
+                             l0[4] + "\n";
+  EXPECT_EQ(merged, whole);
+  const std::string manifest =
+      read_all(dir_ + "/sh/clistream.shard0of2.manifest.json");
+  EXPECT_NE(manifest.find("\"shard\""), std::string::npos);
+  EXPECT_NE(manifest.find("\"rows_owned\": 2"), std::string::npos);
+}
+
+TEST_F(CliRunScenario, StreamRejectsResultBasedInstrumentation) {
+  const std::string path = write_scenario(R"({
+    "name": "streambad",
+    "base": {"k": 2}
+  })");
+  std::ostringstream out, err;
+  // --trace/--metrics-out need materialized results: usage error (2).
+  EXPECT_EQ(cli_main({"run", path, "--out", dir_, "--stream", "--trace",
+                      dir_ + "/t.json"},
+                     out, err),
+            2);
+  // --format jsonl without streaming is a usage error too.
+  EXPECT_EQ(cli_main({"run", path, "--out", dir_, "--format", "jsonl"},
+                     out, err),
+            2);
 }
 
 TEST_F(CliRunScenario, FormatJsonSkipsCsv) {
